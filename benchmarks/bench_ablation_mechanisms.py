@@ -1,0 +1,30 @@
+"""Design-choice ablation — disabling SpikeDyn's learning mechanisms one at a
+time (adaptive rates, weight decay, adaptive threshold, update gating)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_mechanism_ablation
+from repro.experiments.ablation import ABLATION_VARIANTS
+
+
+def test_ablation_of_learning_mechanisms(benchmark, bench_scale):
+    """Each mechanism can be disabled in isolation; gating saves energy."""
+    result = benchmark.pedantic(
+        run_mechanism_ablation,
+        kwargs={"scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    assert set(result.variants) == set(ABLATION_VARIANTS)
+    normalized = result.normalized_training_energy()
+    assert normalized["full"] == 1.0
+    # Removing the update gating reverts to per-timestep updates, which costs
+    # strictly more weight-update energy than the gated rule.
+    assert normalized["no_update_gating"] > normalized["full"]
+    for variant, entry in result.variants.items():
+        assert 0.0 <= entry.mean_recent_accuracy <= 1.0
+        assert 0.0 <= entry.mean_final_accuracy <= 1.0
+        assert entry.training_energy_joules > 0.0

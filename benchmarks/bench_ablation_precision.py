@@ -1,0 +1,66 @@
+"""Bit-precision ablation — the BP knob of the analytical memory model.
+
+The paper's memory model charges every parameter ``BP`` bits; this benchmark
+sweeps the deployed precision of a trained SpikeDyn model and reports the
+memory saving together with the accuracy on a held-out evaluation set, making
+the memory/accuracy trade-off behind the BP choice explicit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quantization import quantize_model_weights
+from repro.evaluation.reporting import format_table
+from repro.experiments.common import build_model, default_digit_source
+
+
+def test_precision_sweep(benchmark, bench_scale):
+    """Accuracy and memory across deployed bit precisions."""
+    def run():
+        scale = bench_scale
+        classes = list(scale.class_sequence)
+        rows = []
+        for bits in (32, 8, 4, 2, 1):
+            model = build_model("spikedyn", scale.config(max(scale.network_sizes)))
+            source = default_digit_source(scale)
+            rng = np.random.default_rng(scale.seed)
+
+            for digit in classes:
+                for image in source.generate(digit, scale.samples_per_task, rng=rng):
+                    model.train_sample(image)
+            report = quantize_model_weights(model, bits)
+
+            assign_images, assign_labels, eval_images, eval_labels = [], [], [], []
+            for digit in classes:
+                for image in source.generate(digit, scale.eval_samples_per_class,
+                                             rng=rng):
+                    assign_images.append(image)
+                    assign_labels.append(digit)
+                for image in source.generate(digit, scale.eval_samples_per_class,
+                                             rng=rng):
+                    eval_images.append(image)
+                    eval_labels.append(digit)
+            model.assign_labels(assign_images, assign_labels)
+            accuracy = model.evaluate_accuracy(eval_images, eval_labels)
+            rows.append((bits, report.memory_bytes / 1024.0,
+                         report.memory_saving, accuracy, report.rms_error))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Bit-precision ablation (SpikeDyn, deployed precision sweep)")
+    print(format_table(
+        ["bits", "memory_KB", "memory_saving", "accuracy", "rms_error"],
+        [list(row) for row in rows],
+    ))
+
+    by_bits = {row[0]: row for row in rows}
+    # Memory shrinks linearly with the precision.
+    assert by_bits[8][1] < by_bits[32][1]
+    assert by_bits[1][1] < by_bits[4][1]
+    assert by_bits[8][2] == 0.75
+    # The quantization perturbation grows as the precision shrinks.
+    assert by_bits[1][4] >= by_bits[4][4] >= by_bits[8][4]
+    # Accuracy values are valid fractions at every precision.
+    assert all(0.0 <= row[3] <= 1.0 for row in rows)

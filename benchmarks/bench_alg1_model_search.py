@@ -1,0 +1,78 @@
+"""Alg. 1 — memory- and energy-constrained SNN model search."""
+
+from __future__ import annotations
+
+from repro.experiments import run_model_search_study
+
+
+def test_alg1_constrained_model_search(benchmark, bench_scale):
+    """The search selects the largest model that fits each memory budget."""
+    study = benchmark.pedantic(
+        run_model_search_study,
+        kwargs={"scale": bench_scale, "n_add": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(study.to_text())
+
+    budgets = sorted(study.results)
+    selected = study.selected_sizes()
+
+    # Larger budgets never select a smaller model.
+    previous = 0
+    for budget in budgets:
+        size = selected[budget]
+        if size is None:
+            continue
+        assert size >= previous
+        previous = size
+
+    for budget, result in study.results.items():
+        # Every feasible candidate respects the memory budget, and the
+        # selected model is the largest feasible one (Alg. 1's policy).
+        for candidate in result.feasible_candidates:
+            assert candidate.memory_bytes <= budget
+        if result.selected is not None:
+            assert result.selected.n_exc == max(
+                candidate.n_exc for candidate in result.feasible_candidates
+            )
+        # Exploring with one sample per phase is far cheaper than running the
+        # full phases for every candidate.
+        if result.candidates:
+            assert result.exploration_time_seconds() < result.actual_run_time_seconds(
+                bench_scale.n_training_samples, bench_scale.n_inference_samples
+            )
+
+
+def test_alg1_energy_constraints_reject_candidates(benchmark, bench_scale):
+    """A tight training-energy budget rejects candidates the memory budget allows."""
+    from repro.core.model_search import search_snn_model
+    from repro.estimation.hardware import GTX_1080_TI
+
+    config = bench_scale.config(max(bench_scale.network_sizes))
+
+    # A budget admitting a handful of candidate sizes keeps the sweep fast.
+    memory_budget = 5.5 * config.n_input * 10 * config.bit_precision / 8.0
+
+    def run():
+        return search_snn_model(
+            config,
+            memory_budget_bytes=memory_budget,
+            training_energy_budget_joules=1e-9,
+            n_training_samples=bench_scale.n_training_samples,
+            n_inference_samples=bench_scale.n_inference_samples,
+            n_add=10,
+            device=GTX_1080_TI,
+            rng=bench_scale.seed,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(f"explored {len(result.candidates)} candidates, "
+          f"feasible: {len(result.feasible_candidates)}")
+    assert result.candidates, "the sweep should explore at least one candidate"
+    assert not result.feasible_candidates
+    assert result.selected is None
+    assert all("training energy" in candidate.rejection_reason
+               for candidate in result.candidates)

@@ -1,0 +1,49 @@
+"""Fig. 1 — motivational case study (baseline vs. ASP).
+
+Reproduces the two panels of the paper's Fig. 1:
+
+* Fig. 1(b): training/inference energy of ASP normalized to the baseline for
+  two network sizes — ASP must come out *more* expensive;
+* Fig. 1(c): per-task accuracy of both techniques after a dynamic task
+  sequence.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_motivation_study
+
+
+def test_fig01_energy_overhead_of_asp(benchmark, energy_scale):
+    """ASP costs more training energy than the baseline (Fig. 1b)."""
+    result = benchmark.pedantic(
+        run_motivation_study,
+        kwargs={"scale": energy_scale.replace(class_sequence=(0, 1))},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for label in energy_scale.network_labels:
+        training = result.normalized_training_energy[label]
+        assert training["baseline"] == 1.0
+        # The paper's observation: ASP adds an energy overhead over the baseline.
+        assert training["asp"] > 1.0
+
+
+def test_fig01_dynamic_accuracy_profile(benchmark, bench_scale):
+    """Per-task accuracy of baseline and ASP after the dynamic sequence (Fig. 1c)."""
+    result = benchmark.pedantic(
+        run_motivation_study,
+        kwargs={"scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for model_name, protocol in result.accuracy_per_task.items():
+        assert list(protocol.class_sequence) == list(bench_scale.class_sequence)
+        for task in protocol.class_sequence:
+            assert 0.0 <= protocol.final_task_accuracy[task] <= 1.0
+            assert 0.0 <= protocol.recent_task_accuracy[task] <= 1.0

@@ -1,0 +1,49 @@
+"""Fig. 4 — memory and energy savings of the direct-lateral-inhibition
+architecture, and its accuracy-profile parity with the baseline architecture."""
+
+from __future__ import annotations
+
+from repro.experiments import run_architecture_reduction
+from repro.experiments.fig04_architecture import (
+    LABEL_BASELINE_ARCH,
+    LABEL_OPTIMIZED_ARCH,
+)
+
+
+def test_fig04_memory_and_energy_savings(benchmark, energy_scale):
+    """The optimized architecture saves memory and inference energy (Fig. 4b,c)."""
+    result = benchmark.pedantic(
+        run_architecture_reduction,
+        kwargs={"scale": energy_scale, "include_accuracy_profile": False},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for label in energy_scale.network_labels:
+        assert result.memory_savings(label) > 0.0
+        assert result.energy_savings(label) > 0.0
+        # The savings grow with the network size because the eliminated
+        # inhibitory layer scales quadratically with n_exc.
+    labels = list(energy_scale.network_labels)
+    assert result.memory_savings(labels[-1]) >= result.memory_savings(labels[0])
+
+
+def test_fig04_accuracy_profile_parity(benchmark, bench_scale):
+    """Both architectures, trained with the same STDP rule, reach a similar
+    accuracy profile in the dynamic scenario (Fig. 4d)."""
+    result = benchmark.pedantic(
+        run_architecture_reduction,
+        kwargs={"scale": bench_scale, "include_accuracy_profile": True},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    baseline_profile = result.accuracy_profiles[LABEL_BASELINE_ARCH]
+    optimized_profile = result.accuracy_profiles[LABEL_OPTIMIZED_ARCH]
+    assert list(baseline_profile.class_sequence) == list(optimized_profile.class_sequence)
+    for task in baseline_profile.class_sequence:
+        assert 0.0 <= optimized_profile.final_task_accuracy[task] <= 1.0

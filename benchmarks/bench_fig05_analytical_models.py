@@ -1,0 +1,53 @@
+"""Fig. 5 — validation of the analytical memory/energy models and the
+exploration-time savings of the model-search algorithm."""
+
+from __future__ import annotations
+
+from repro.experiments import run_analytical_validation
+
+
+def test_fig05_analytical_model_validation(benchmark, energy_scale):
+    """Analytical estimates track the actual-run reference (Fig. 5a-c)."""
+    result = benchmark.pedantic(
+        run_analytical_validation,
+        kwargs={"scale": energy_scale, "actual_run_samples": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    assert result.rows, "the validation produced no rows"
+    for row in result.rows:
+        # The analytical memory model ignores only the transient simulation
+        # state, so it always under-estimates and stays within a small margin
+        # at paper-like layer sizes.
+        assert row.analytical_memory_bytes <= row.actual_memory_bytes
+        assert row.memory_error < 0.10
+        # The energy model extrapolates from a single sample; sample-to-sample
+        # Poisson variability keeps it within a modest band of the reference.
+        assert row.training_energy_error < 0.25
+        assert row.inference_energy_error < 0.25
+
+    # Exploring with the analytical models is orders of magnitude faster than
+    # actually running every configuration (Fig. 5d,e).
+    assert result.exploration_speedup > 100.0
+
+
+def test_fig05_memory_error_shrinks_with_network_size(benchmark, energy_scale):
+    """The relative memory error decreases as the network grows (Fig. 5a)."""
+    sizes = (50, 100, 200, 400)
+    result = benchmark.pedantic(
+        run_analytical_validation,
+        kwargs={"scale": energy_scale, "network_sizes": sizes,
+                "actual_run_samples": 1},
+        rounds=1,
+        iterations=1,
+    )
+    errors = [row.memory_error for row in result.rows]
+    print()
+    print("memory errors by n_exc:",
+          {size: round(error, 4) for size, error in zip(sizes, errors)})
+    assert errors == sorted(errors, reverse=True)
+    # At the paper's N400 the analytical model is comfortably below 5 % error.
+    assert errors[-1] < 0.05

@@ -1,0 +1,34 @@
+"""Fig. 6 — impact of the weight-decay rate and the adaptation potential on
+the accuracy of learning new tasks in a dynamic scenario."""
+
+from __future__ import annotations
+
+from repro.experiments import run_decay_theta_sweep
+
+
+def test_fig06_decay_and_theta_sweep(benchmark, bench_scale):
+    """Sweep w_decay and the adaptation-potential scale (Fig. 6)."""
+    result = benchmark.pedantic(
+        run_decay_theta_sweep,
+        kwargs={
+            "scale": bench_scale,
+            "w_decay_values": (None, 1e-1, 1e-2, 1e-3),
+            "theta_scales": (1.0, 0.3, 0.1),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    # The paper's slice-style sweep: every decay at theta=1, then the
+    # remaining theta scales at the selected decay -> 4 + 2 points.
+    assert len(result.points) == 6
+    labels = [point.label for point in result.points]
+    assert len(set(labels)) == len(labels), "sweep points must be unique"
+    for point in result.points:
+        assert 0.0 <= point.mean_recent_accuracy <= 1.0
+    best = result.best_point()
+    assert best.mean_recent_accuracy >= max(
+        point.mean_recent_accuracy for point in result.points
+    ) - 1e-12

@@ -1,0 +1,54 @@
+"""Fig. 9 — classification accuracy of baseline / ASP / SpikeDyn in dynamic
+and non-dynamic environments."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    run_dynamic_accuracy_comparison,
+    run_nondynamic_accuracy_comparison,
+)
+
+
+def test_fig09_dynamic_environment_accuracy(benchmark, bench_scale):
+    """Most-recently-learned-task and previously-learned-task accuracy
+    (Fig. 9 a.1/a.2/b.1/b.2)."""
+    result = benchmark.pedantic(
+        run_dynamic_accuracy_comparison,
+        kwargs={"scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for label in bench_scale.network_labels:
+        per_model = result.dynamic[label]
+        assert set(per_model) == {"baseline", "asp", "spikedyn"}
+        for model_name, protocol in per_model.items():
+            assert list(protocol.class_sequence) == list(bench_scale.class_sequence)
+            for task in protocol.class_sequence:
+                assert 0.0 <= protocol.recent_task_accuracy[task] <= 1.0
+                assert 0.0 <= protocol.final_task_accuracy[task] <= 1.0
+        improvement = result.improvement_over(label, reference="baseline")
+        print(f"{label}: SpikeDyn vs baseline improvement "
+              f"(points): {improvement}")
+
+
+def test_fig09_nondynamic_environment_accuracy(benchmark, bench_scale):
+    """Accuracy as a function of the number of training samples (Fig. 9c)."""
+    result = benchmark.pedantic(
+        run_nondynamic_accuracy_comparison,
+        kwargs={"scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for label in bench_scale.network_labels:
+        per_model = result.nondynamic[label]
+        assert set(per_model) == {"baseline", "asp", "spikedyn"}
+        for protocol in per_model.values():
+            assert list(protocol.checkpoints) == list(bench_scale.nondynamic_checkpoints)
+            for checkpoint in protocol.checkpoints:
+                assert 0.0 <= protocol.accuracy_at_checkpoint[checkpoint] <= 1.0

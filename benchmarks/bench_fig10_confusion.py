@@ -1,0 +1,36 @@
+"""Fig. 10 — confusion matrices of SpikeDyn for previously learned tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_confusion_study
+
+
+def test_fig10_confusion_matrices(benchmark, bench_scale):
+    """Confusion matrices per network size after the dynamic sequence."""
+    result = benchmark.pedantic(
+        run_confusion_study,
+        kwargs={"scale": bench_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    n_eval = bench_scale.eval_samples_per_class
+    for label in bench_scale.network_labels:
+        matrix = result.confusion(label)
+        assert matrix.shape == (10, 10)
+        assert matrix.dtype.kind in "iu"
+        # Every evaluated task contributes exactly eval_samples_per_class rows.
+        for task in bench_scale.class_sequence:
+            assert matrix[task].sum() == n_eval
+        # Tasks that were never evaluated contribute nothing.
+        unevaluated = set(range(10)) - set(bench_scale.class_sequence)
+        for task in unevaluated:
+            assert matrix[task].sum() == 0
+        assert int(matrix.sum()) == n_eval * len(bench_scale.class_sequence)
+        target, predicted = result.most_confused(label)
+        assert 0 <= target < 10 and 0 <= predicted < 10
+        assert np.all(matrix >= 0)

@@ -1,0 +1,35 @@
+"""Fig. 11 — training and inference energy of baseline / ASP / SpikeDyn,
+normalized to the baseline, across network sizes and GPUs."""
+
+from __future__ import annotations
+
+from repro.experiments import run_energy_comparison
+
+
+def test_fig11_normalized_energy(benchmark, energy_scale):
+    """SpikeDyn consumes less energy than both comparison partners (Fig. 11)."""
+    result = benchmark.pedantic(
+        run_energy_comparison,
+        kwargs={"scale": energy_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for device, per_network in result.normalized_training.items():
+        for label, per_model in per_network.items():
+            inference = result.normalized_inference[device][label]
+            assert per_model["baseline"] == 1.0
+            assert inference["baseline"] == 1.0
+            # The paper's headline orderings: ASP adds an overhead over the
+            # baseline, SpikeDyn undercuts both, in both phases.
+            assert per_model["asp"] > per_model["baseline"]
+            assert per_model["spikedyn"] < per_model["baseline"]
+            assert inference["spikedyn"] < inference["baseline"]
+            assert inference["spikedyn"] < inference["asp"]
+
+    savings = result.savings_vs("asp")
+    print(f"mean savings of SpikeDyn vs ASP: {savings}")
+    assert savings["training"] > 0.0
+    assert savings["inference"] > 0.0

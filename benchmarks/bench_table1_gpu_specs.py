@@ -1,0 +1,36 @@
+"""Table I — GPU specifications of the paper's evaluation platforms."""
+
+from __future__ import annotations
+
+from repro.estimation.hardware import GTX_1080_TI, JETSON_NANO, RTX_2080_TI
+from repro.experiments import gpu_specification_table
+
+
+def test_table1_gpu_specifications(benchmark):
+    """The device registry reproduces the paper's Table I rows exactly."""
+    table = benchmark.pedantic(gpu_specification_table, rounds=1, iterations=1)
+    print()
+    print("Table I — GPU specifications")
+    print(table)
+
+    # Paper values, row by row.
+    assert JETSON_NANO.architecture == "Maxwell"
+    assert JETSON_NANO.cuda_cores == 128
+    assert JETSON_NANO.memory == "4GB LPDDR4"
+    assert JETSON_NANO.interface_width_bits == 64
+    assert JETSON_NANO.tdp_watts == 10.0
+
+    assert GTX_1080_TI.architecture == "Pascal"
+    assert GTX_1080_TI.cuda_cores == 3584
+    assert GTX_1080_TI.memory == "11GB GDDR5X"
+    assert GTX_1080_TI.interface_width_bits == 352
+    assert GTX_1080_TI.tdp_watts == 250.0
+
+    assert RTX_2080_TI.architecture == "Turing"
+    assert RTX_2080_TI.cuda_cores == 4352
+    assert RTX_2080_TI.memory == "11GB GDDR6"
+    assert RTX_2080_TI.interface_width_bits == 352
+    assert RTX_2080_TI.tdp_watts == 250.0
+
+    for name in ("Jetson Nano", "GTX 1080 Ti", "RTX 2080 Ti"):
+        assert name in table

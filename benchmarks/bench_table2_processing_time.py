@@ -1,0 +1,46 @@
+"""Table II — SpikeDyn processing time on the full MNIST dataset,
+extrapolated from per-sample operation counts for the three GPUs."""
+
+from __future__ import annotations
+
+from repro.experiments import run_processing_time_study
+
+
+def test_table2_processing_time(benchmark, energy_scale):
+    """Training/inference hours and per-image latency per device (Table II)."""
+    study = benchmark.pedantic(
+        run_processing_time_study,
+        kwargs={"scale": energy_scale},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(study.to_text())
+
+    devices = ("Jetson Nano", "GTX 1080 Ti", "RTX 2080 Ti")
+    labels = energy_scale.network_labels
+    for label in labels:
+        for device in devices:
+            training_hours = study.hours("training", device, label)
+            inference_hours = study.hours("inference", device, label)
+            assert training_hours > 0.0
+            assert inference_hours > 0.0
+            # Training processes 6x more samples than inference, so the
+            # training phase always dominates (paper Table II shape).
+            assert training_hours > inference_hours
+
+    # The embedded GPU is the slowest, the RTX 2080 Ti the fastest — for every
+    # network size and phase (Table II column ordering).
+    for label in labels:
+        for process in ("training", "inference"):
+            nano = study.hours(process, "Jetson Nano", label)
+            gtx = study.hours(process, "GTX 1080 Ti", label)
+            rtx = study.hours(process, "RTX 2080 Ti", label)
+            assert nano > gtx > rtx
+
+    # Larger networks take longer on every device.
+    small, large = labels[0], labels[-1]
+    for device in devices:
+        assert study.hours("training", device, large) >= study.hours(
+            "training", device, small
+        )

@@ -1,0 +1,80 @@
+"""Energy and processing-time report across GPUs (paper Fig. 11 / Table II).
+
+The paper's energy methodology derives a phase's energy from the processing
+time and the measured processing power of the target GPU.  This example
+measures the per-sample operation counts of the three techniques (baseline,
+ASP, SpikeDyn), converts them into time and energy on each of the paper's
+three GPUs, and prints
+
+* the training and inference energy normalized to the baseline (Fig. 11), and
+* the extrapolated full-MNIST processing time of SpikeDyn (Table II).
+
+Run with::
+
+    python examples/energy_report.py [--n-exc 100 200] [--image-size 28]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.estimation.hardware import default_devices
+from repro.experiments import run_energy_comparison, run_processing_time_study
+from repro.experiments.common import ExperimentScale
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-exc", type=int, nargs="+", default=[100, 200],
+                        help="network sizes to compare (default: 100 200)")
+    parser.add_argument("--image-size", type=int, default=28,
+                        help="side length of the input images (default: 28)")
+    parser.add_argument("--t-sim", type=float, default=100.0,
+                        help="presentation window in ms (default: 100)")
+    parser.add_argument("--samples", type=int, default=2,
+                        help="samples averaged per energy measurement (default: 2)")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    scale = ExperimentScale.tiny(
+        image_size=args.image_size,
+        network_sizes=tuple(args.n_exc),
+        t_sim=args.t_sim,
+        seed=args.seed,
+    )
+    devices = default_devices()
+
+    print("measuring per-sample operation counts "
+          f"(image {args.image_size}x{args.image_size}, "
+          f"networks {list(args.n_exc)}, {args.t_sim:.0f} ms presentations)...\n")
+
+    energy = run_energy_comparison(
+        scale, devices=devices, energy_measurement_samples=args.samples
+    )
+    print(energy.to_text())
+
+    savings_vs_asp = energy.savings_vs("asp")
+    savings_vs_baseline = energy.savings_vs("baseline")
+    print()
+    print(f"mean SpikeDyn savings vs ASP      : "
+          f"training {savings_vs_asp['training'] * 100.0:.0f}%, "
+          f"inference {savings_vs_asp['inference'] * 100.0:.0f}%")
+    print(f"mean SpikeDyn savings vs baseline : "
+          f"training {savings_vs_baseline['training'] * 100.0:.0f}%, "
+          f"inference {savings_vs_baseline['inference'] * 100.0:.0f}%")
+
+    print()
+    study = run_processing_time_study(
+        scale, devices=devices, energy_measurement_samples=args.samples
+    )
+    print(study.to_text())
+    print()
+    print("note: hours are extrapolated to the full 60k/10k MNIST split from "
+          "per-sample operation counts through each device's throughput model")
+
+
+if __name__ == "__main__":
+    main()

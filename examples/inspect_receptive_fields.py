@@ -1,0 +1,115 @@
+"""Inspect what the excitatory neurons learned (receptive fields & statistics).
+
+After unsupervised STDP training, each excitatory neuron's incoming weight
+vector converges towards the input pattern it responds to.  This example
+trains a small SpikeDyn model on a few digit classes and then uses
+``repro.analysis`` to:
+
+* render each neuron's receptive field as an ASCII heat map,
+* label neurons by the class prototype their weights resemble most,
+* report population statistics (winner share, sparseness, selectivity), and
+* plot the normalized per-model training energy as an ASCII bar chart.
+
+Run with::
+
+    python examples/inspect_receptive_fields.py [--classes 0 1 3] [--n-exc 12]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import SpikeDynConfig, SpikeDynModel, SyntheticDigits
+from repro.analysis import (
+    ascii_bar_chart,
+    ascii_heatmap,
+    class_selectivity,
+    neuron_class_map,
+    receptive_field,
+    response_statistics,
+)
+from repro.estimation.energy import EnergyModel
+from repro.estimation.hardware import GTX_1080_TI
+from repro.experiments.common import build_model
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--classes", type=int, nargs="+", default=[0, 1, 3],
+                        help="digit classes to train on")
+    parser.add_argument("--n-exc", type=int, default=12,
+                        help="number of excitatory neurons")
+    parser.add_argument("--image-size", type=int, default=14,
+                        help="side length of the synthetic digits")
+    parser.add_argument("--train-per-class", type=int, default=10,
+                        help="training samples per class")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    config = SpikeDynConfig.scaled_down(
+        n_input=args.image_size * args.image_size,
+        n_exc=args.n_exc,
+        seed=args.seed,
+    )
+    source = SyntheticDigits(image_size=args.image_size, seed=args.seed)
+    model = SpikeDynModel(config)
+    rng = np.random.default_rng(args.seed)
+
+    print(f"training on classes {args.classes} "
+          f"({args.train_per_class} samples per class)...\n")
+    for digit in args.classes:
+        for image in source.generate(digit, args.train_per_class, rng=rng):
+            model.train_sample(image)
+
+    # Weight-based neuron labels: which prototype does each field resemble?
+    prototypes = {digit: source.prototype(digit) for digit in args.classes}
+    weight_labels = neuron_class_map(model, prototypes)
+
+    print("Receptive fields (ASCII heat maps), labelled by weight similarity:")
+    for neuron in range(model.n_exc):
+        label = weight_labels[neuron]
+        label_text = f"digit-{label}" if label >= 0 else "silent"
+        print(f"\nneuron {neuron:2d}  (closest prototype: {label_text})")
+        print(ascii_heatmap(receptive_field(model, neuron)))
+
+    # Response statistics on a mixed evaluation batch.
+    images, labels = [], []
+    for digit in args.classes:
+        for image in source.generate(digit, 5, rng=rng):
+            images.append(image)
+            labels.append(digit)
+    responses = model.respond_batch(images)
+    stats = response_statistics(responses)
+    selectivity = class_selectivity(responses, labels)
+
+    print("\nPopulation statistics over the evaluation batch:")
+    print(f"  mean spikes per sample   : {stats.mean_spikes_per_sample:.1f}")
+    print(f"  active neuron fraction   : {stats.active_neuron_fraction:.2f}")
+    print(f"  silent sample fraction   : {stats.silent_sample_fraction:.2f}")
+    print(f"  mean winner share        : {stats.mean_winner_share:.2f}")
+    print("  per-class selectivity    : "
+          + ", ".join(f"digit-{cls}: {value:.2f}"
+                      for cls, value in selectivity.items()))
+
+    # Training-energy comparison of the three techniques on this workload.
+    energy_model = EnergyModel(GTX_1080_TI)
+    sample = source.generate(args.classes[0], 1, rng=rng)[0]
+    energies = {}
+    for name in ("baseline", "asp", "spikedyn"):
+        probe = build_model(name, config)
+        before = probe.counter.copy()
+        probe.train_sample(sample)
+        energies[name] = energy_model.estimate(probe.counter - before).joules
+    normalized = {name: value / energies["baseline"] for name, value in energies.items()}
+
+    print("\nPer-sample training energy, normalized to the baseline:")
+    print(ascii_bar_chart(normalized, width=30))
+
+
+if __name__ == "__main__":
+    main()

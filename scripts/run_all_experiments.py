@@ -1,0 +1,129 @@
+"""Regenerate every table and figure of the SpikeDyn paper.
+
+The script runs each experiment driver from :mod:`repro.experiments` and
+writes its plain-text report to ``results/<experiment>.txt``.  The numbers
+recorded in EXPERIMENTS.md were produced by this script.
+
+Two scales are used:
+
+* accuracy experiments (Fig. 1c, 4d, 6, 9, 10, ablation) run on the synthetic
+  digit workload at a reduced scale (14x14 images, N20/N40 networks, 10 tasks,
+  10 samples per task) so the whole sweep finishes on a laptop;
+* energy/memory/latency experiments (Fig. 1b, 4b-c, 5, 11, Table II, Alg. 1)
+  use the paper's input size (28x28) and larger networks (N100/N200 by
+  default, ``--paper-networks`` switches to N200/N400), since they only need
+  a handful of sample presentations per model.
+
+Run with::
+
+    python scripts/run_all_experiments.py [--out results] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    gpu_specification_table,
+    run_analytical_validation,
+    run_architecture_reduction,
+    run_confusion_study,
+    run_decay_theta_sweep,
+    run_dynamic_accuracy_comparison,
+    run_energy_comparison,
+    run_mechanism_ablation,
+    run_model_search_study,
+    run_motivation_study,
+    run_nondynamic_accuracy_comparison,
+    run_processing_time_study,
+)
+from repro.experiments.common import ExperimentScale
+
+
+def accuracy_scale(quick: bool) -> ExperimentScale:
+    """Scale used by the accuracy (protocol-driven) experiments."""
+    if quick:
+        return ExperimentScale.tiny()
+    return ExperimentScale.small(
+        network_sizes=(20, 40),
+        class_sequence=tuple(range(10)),
+        samples_per_task=10,
+        eval_samples_per_class=4,
+        nondynamic_checkpoints=(10, 20, 40, 80),
+        t_sim=60.0,
+    )
+
+
+def energy_scale(quick: bool, paper_networks: bool) -> ExperimentScale:
+    """Scale used by the energy/memory/latency experiments."""
+    if quick:
+        return ExperimentScale.tiny(image_size=28, network_sizes=(50, 100),
+                                    t_sim=50.0)
+    sizes = (200, 400) if paper_networks else (100, 200)
+    return ExperimentScale.tiny(image_size=28, network_sizes=sizes, t_sim=100.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results",
+                        help="output directory for the text reports")
+    parser.add_argument("--quick", action="store_true",
+                        help="run everything at the CI-sized tiny scale")
+    parser.add_argument("--paper-networks", action="store_true",
+                        help="use N200/N400 for the energy experiments")
+    args = parser.parse_args()
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    acc_scale = accuracy_scale(args.quick)
+    nrg_scale = energy_scale(args.quick, args.paper_networks)
+    sweep_scale = acc_scale.replace(class_sequence=tuple(range(10)),
+                                    network_sizes=(max(acc_scale.network_sizes),))
+
+    jobs = [
+        ("table1_gpu_specs", lambda: gpu_specification_table()),
+        ("fig05_analytical_models",
+         lambda: run_analytical_validation(nrg_scale, actual_run_samples=2).to_text()),
+        ("fig04_arch_reduction",
+         lambda: run_architecture_reduction(
+             nrg_scale, include_accuracy_profile=False).to_text()),
+        ("fig01_motivation",
+         lambda: run_motivation_study(
+             acc_scale.replace(network_sizes=nrg_scale.network_sizes,
+                               image_size=nrg_scale.image_size,
+                               t_sim=nrg_scale.t_sim,
+                               class_sequence=acc_scale.class_sequence)
+             if not args.quick else acc_scale).to_text()),
+        ("fig11_energy", lambda: run_energy_comparison(nrg_scale).to_text()),
+        ("table2_processing_time",
+         lambda: run_processing_time_study(nrg_scale).to_text()),
+        ("alg1_model_search",
+         lambda: run_model_search_study(nrg_scale, n_add=50).to_text()),
+        ("fig09_dynamic_accuracy",
+         lambda: run_dynamic_accuracy_comparison(acc_scale).to_text()),
+        ("fig09_nondynamic_accuracy",
+         lambda: run_nondynamic_accuracy_comparison(acc_scale).to_text()),
+        ("fig10_confusion", lambda: run_confusion_study(acc_scale).to_text()),
+        ("fig06_decay_theta_sweep",
+         lambda: run_decay_theta_sweep(sweep_scale).to_text()),
+        ("ablation_mechanisms",
+         lambda: run_mechanism_ablation(sweep_scale).to_text()),
+    ]
+
+    for name, job in jobs:
+        started = time.time()
+        print(f"[run_all_experiments] running {name} ...", flush=True)
+        text = job()
+        elapsed = time.time() - started
+        path = out_dir / f"{name}.txt"
+        path.write_text(text + f"\n\n(generated in {elapsed:.1f} s)\n",
+                        encoding="utf-8")
+        print(f"[run_all_experiments] wrote {path} ({elapsed:.1f} s)", flush=True)
+
+    print("[run_all_experiments] done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Dependency-free terminal rendering (bar charts and heat maps).
+
+The reproduction deliberately avoids a plotting dependency; these helpers
+render the figures' data as plain text so the examples and the benchmark
+harness can show receptive fields, confusion matrices, and normalized-energy
+comparisons directly in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+#: Characters used for heat-map intensities, from empty to full.
+HEATMAP_RAMP = " .:-=+*#%@"
+
+
+def ascii_bar_chart(values: Mapping[str, float], *, width: int = 40,
+                    value_format: str = "{:.2f}") -> str:
+    """Render a mapping of labels to non-negative values as a bar chart.
+
+    Parameters
+    ----------
+    values:
+        ``{label: value}``; the largest value spans the full ``width``.
+    width:
+        Maximum bar length in characters.
+    value_format:
+        Format applied to the numeric value printed after each bar.
+    """
+    if not values:
+        raise ValueError("values must not be empty")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    numeric = {str(key): float(value) for key, value in values.items()}
+    if any(value < 0 for value in numeric.values()):
+        raise ValueError("bar-chart values must be non-negative")
+
+    peak = max(numeric.values())
+    label_width = max(len(label) for label in numeric)
+    lines = []
+    for label, value in numeric.items():
+        length = 0 if peak == 0 else int(round(value / peak * width))
+        bar = "#" * length
+        lines.append(
+            f"{label.ljust(label_width)} | {bar.ljust(width)} "
+            + value_format.format(value)
+        )
+    return "\n".join(lines)
+
+
+def ascii_heatmap(matrix: np.ndarray, *, row_labels: Optional[Sequence] = None,
+                  column_labels: Optional[Sequence] = None,
+                  ramp: str = HEATMAP_RAMP) -> str:
+    """Render a 2-D non-negative matrix as a character heat map.
+
+    Each cell is mapped to a character of ``ramp`` proportionally to its value
+    relative to the matrix maximum.  Useful for receptive fields (weight
+    images) and confusion matrices.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if matrix.size == 0:
+        raise ValueError("matrix must not be empty")
+    if np.any(matrix < 0):
+        raise ValueError("heat-map values must be non-negative")
+    if len(ramp) < 2:
+        raise ValueError("the character ramp needs at least two levels")
+    if row_labels is not None and len(row_labels) != matrix.shape[0]:
+        raise ValueError("row_labels length must match the number of rows")
+    if column_labels is not None and len(column_labels) != matrix.shape[1]:
+        raise ValueError("column_labels length must match the number of columns")
+
+    peak = matrix.max()
+    scaled = np.zeros_like(matrix, dtype=int) if peak == 0 else np.minimum(
+        (matrix / peak * (len(ramp) - 1)).round().astype(int), len(ramp) - 1
+    )
+
+    label_width = 0
+    if row_labels is not None:
+        label_width = max(len(str(label)) for label in row_labels)
+
+    lines = []
+    if column_labels is not None:
+        header = " " * (label_width + 1) + "".join(
+            str(label)[0] for label in column_labels
+        )
+        lines.append(header)
+    for row_index in range(matrix.shape[0]):
+        prefix = ""
+        if row_labels is not None:
+            prefix = str(row_labels[row_index]).rjust(label_width) + " "
+        cells = "".join(ramp[level] for level in scaled[row_index])
+        lines.append(prefix + cells)
+    return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Pareto-front utilities for the model-search results (Alg. 1).
+
+The paper's search keeps the *largest feasible* model; in practice a designer
+often wants to see the whole memory/energy/size trade-off.  These helpers
+compute Pareto fronts over arbitrary objective tuples and over the
+:class:`~repro.core.model_search.ModelSearchResult` candidates directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.model_search import ModelCandidate, ModelSearchResult
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point considered by the Pareto filter.
+
+    Attributes
+    ----------
+    objectives:
+        Objective values; by convention every objective is minimized, so
+        callers negate quantities they want to maximize.
+    payload:
+        Arbitrary object carried along (e.g. a :class:`ModelCandidate`).
+    """
+
+    objectives: Tuple[float, ...]
+    payload: object = None
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether objective vector ``a`` dominates ``b`` (all <=, at least one <)."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def pareto_front(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Non-dominated subset of ``points`` (all objectives minimized).
+
+    Ties (identical objective vectors) are all kept.  The result preserves the
+    input order.
+    """
+    if not points:
+        return []
+    dimensions = {len(point.objectives) for point in points}
+    if len(dimensions) != 1:
+        raise ValueError("every point must have the same number of objectives")
+
+    front: List[ParetoPoint] = []
+    for candidate in points:
+        dominated = any(
+            _dominates(other.objectives, candidate.objectives)
+            for other in points if other is not candidate
+        )
+        if not dominated:
+            front.append(candidate)
+    return front
+
+
+def search_result_pareto(result: ModelSearchResult,
+                         *, feasible_only: bool = True) -> List[ModelCandidate]:
+    """Pareto-optimal candidates of an Alg. 1 sweep.
+
+    The objectives are (memory footprint, training energy, **negated** model
+    size): a candidate is kept if no other candidate is simultaneously
+    smaller in memory, cheaper to train, and at least as large.
+
+    Parameters
+    ----------
+    result:
+        The search result to filter.
+    feasible_only:
+        Restrict the front to candidates that satisfied every constraint.
+    """
+    candidates = (result.feasible_candidates if feasible_only
+                  else list(result.candidates))
+    points = []
+    for candidate in candidates:
+        training_joules = (candidate.training_energy.joules
+                           if candidate.training_energy is not None else float("inf"))
+        points.append(ParetoPoint(
+            objectives=(candidate.memory_bytes, training_joules,
+                        -float(candidate.n_exc)),
+            payload=candidate,
+        ))
+    return [point.payload for point in pareto_front(points)]

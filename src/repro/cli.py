@@ -1,0 +1,329 @@
+"""Command-line interface for the SpikeDyn reproduction.
+
+The CLI wraps the library's main entry points so the common workflows can be
+driven without writing Python:
+
+``spikedyn-repro info``
+    Library version, available models, devices, and experiment drivers.
+``spikedyn-repro train``
+    Train one of the three models on a dynamic (class-sequential) or
+    non-dynamic synthetic-digit stream and optionally save it.
+``spikedyn-repro evaluate``
+    Load a saved model and evaluate its accuracy on fresh samples.
+``spikedyn-repro search``
+    Run the Alg. 1 memory/energy-constrained model search.
+``spikedyn-repro energy``
+    Per-sample energy of the three models, normalized to the baseline, on a
+    chosen GPU profile.
+``spikedyn-repro reproduce``
+    Run one of the paper-experiment drivers and print its report.
+
+Every subcommand prints plain text to stdout; exit code 0 means success.
+Install the package (``pip install -e .``) to get the ``spikedyn-repro``
+entry point, or run ``python -m repro.cli ...`` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.config import SpikeDynConfig
+from repro.core.model_search import search_snn_model
+from repro.datasets.streams import dynamic_task_stream, nondynamic_stream
+from repro.datasets.synthetic_mnist import SyntheticDigits
+from repro.estimation.energy import EnergyModel
+from repro.estimation.hardware import default_devices, get_device
+from repro.evaluation.reporting import format_table
+from repro.experiments import (
+    gpu_specification_table,
+    run_analytical_validation,
+    run_architecture_reduction,
+    run_confusion_study,
+    run_decay_theta_sweep,
+    run_dynamic_accuracy_comparison,
+    run_energy_comparison,
+    run_mechanism_ablation,
+    run_model_search_study,
+    run_motivation_study,
+    run_nondynamic_accuracy_comparison,
+    run_processing_time_study,
+)
+from repro.experiments.common import MODEL_BUILDERS, ExperimentScale, build_model
+
+#: Experiment drivers exposed by ``spikedyn-repro reproduce``.
+EXPERIMENT_DRIVERS: Dict[str, Callable[[ExperimentScale], str]] = {
+    "table1": lambda scale: gpu_specification_table(),
+    "table2": lambda scale: run_processing_time_study(scale).to_text(),
+    "fig1": lambda scale: run_motivation_study(scale).to_text(),
+    "fig4": lambda scale: run_architecture_reduction(scale).to_text(),
+    "fig5": lambda scale: run_analytical_validation(scale).to_text(),
+    "fig6": lambda scale: run_decay_theta_sweep(scale).to_text(),
+    "fig9-dynamic": lambda scale: run_dynamic_accuracy_comparison(scale).to_text(),
+    "fig9-nondynamic": lambda scale: run_nondynamic_accuracy_comparison(scale).to_text(),
+    "fig10": lambda scale: run_confusion_study(scale).to_text(),
+    "fig11": lambda scale: run_energy_comparison(scale).to_text(),
+    "alg1": lambda scale: run_model_search_study(scale).to_text(),
+    "ablation": lambda scale: run_mechanism_ablation(scale).to_text(),
+}
+
+#: Named experiment scales selectable from the command line.
+SCALE_PRESETS = {
+    "tiny": ExperimentScale.tiny,
+    "small": ExperimentScale.small,
+    "paper": ExperimentScale.paper,
+}
+
+
+def _build_config(args: argparse.Namespace) -> SpikeDynConfig:
+    """Configuration shared by the train / evaluate / energy subcommands."""
+    return SpikeDynConfig.scaled_down(
+        n_input=args.image_size * args.image_size,
+        n_exc=args.n_exc,
+        t_sim=args.t_sim,
+        seed=args.seed,
+    )
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="spikedyn", choices=sorted(MODEL_BUILDERS),
+                        help="which comparison partner to use")
+    parser.add_argument("--n-exc", type=int, default=40,
+                        help="number of excitatory neurons")
+    parser.add_argument("--image-size", type=int, default=14,
+                        help="side length of the synthetic digit images")
+    parser.add_argument("--t-sim", type=float, default=60.0,
+                        help="presentation window per sample in ms")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"SpikeDyn reproduction, version {repro.__version__}")
+    print()
+    print("models     :", ", ".join(sorted(MODEL_BUILDERS)))
+    print("devices    :", ", ".join(device.name for device in default_devices()))
+    print("experiments:", ", ".join(sorted(EXPERIMENT_DRIVERS)))
+    print("scales     :", ", ".join(sorted(SCALE_PRESETS)))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    model = build_model(args.model, config)
+    source = SyntheticDigits(image_size=args.image_size, seed=args.seed)
+    classes = args.classes
+
+    if args.protocol == "dynamic":
+        stream = dynamic_task_stream(source, class_sequence=classes,
+                                     samples_per_task=args.samples_per_class,
+                                     rng=args.seed)
+    else:
+        stream = nondynamic_stream(source,
+                                   n_samples=args.samples_per_class * len(classes),
+                                   classes=classes, rng=args.seed)
+    print(f"training {args.model!r} on {len(stream)} samples "
+          f"({args.protocol} protocol, classes {classes})...")
+    model.train_stream(stream)
+
+    # Label the neurons and report training-set accuracy per class.
+    rng_seed = args.seed + 1
+    assign_images, assign_labels = [], []
+    for cls in classes:
+        for image in source.generate(cls, args.eval_per_class, rng=rng_seed):
+            assign_images.append(image)
+            assign_labels.append(cls)
+    model.assign_labels(assign_images, assign_labels)
+
+    rows = []
+    for cls in classes:
+        images = list(source.generate(cls, args.eval_per_class, rng=rng_seed + 1))
+        accuracy = model.evaluate_accuracy(images, [cls] * len(images))
+        rows.append([f"digit-{cls}", accuracy * 100.0])
+    print(format_table(["class", "accuracy_%"], rows))
+
+    if args.save:
+        path = model.save(args.save)
+        print(f"model saved to {path}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    model = build_model(args.model, config)
+    try:
+        model.load_state(args.model_dir)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: could not load the model from {args.model_dir!r}: {error}",
+              file=sys.stderr)
+        return 1
+
+    source = SyntheticDigits(image_size=args.image_size, seed=args.seed)
+    rows = []
+    total_correct, total = 0, 0
+    for cls in args.classes:
+        images = list(source.generate(cls, args.eval_per_class, rng=args.seed + 2))
+        predictions = model.predict(images)
+        correct = int((predictions == cls).sum())
+        rows.append([f"digit-{cls}", correct, len(images),
+                     100.0 * correct / len(images)])
+        total_correct += correct
+        total += len(images)
+    print(format_table(["class", "correct", "evaluated", "accuracy_%"], rows))
+    print(f"overall accuracy: {100.0 * total_correct / total:.1f}%")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    device = get_device(args.device)
+    result = search_snn_model(
+        config,
+        memory_budget_bytes=args.memory_kb * 1024.0,
+        training_energy_budget_joules=args.train_energy_j,
+        inference_energy_budget_joules=args.infer_energy_j,
+        n_training_samples=args.n_train,
+        n_inference_samples=args.n_infer,
+        n_add=args.n_add,
+        device=device,
+        rng=args.seed,
+    )
+    rows = []
+    for candidate in result.candidates:
+        rows.append([
+            candidate.n_exc,
+            candidate.memory_bytes / 1024.0,
+            "yes" if candidate.feasible else f"no ({candidate.rejection_reason})",
+        ])
+    print(format_table(["n_exc", "memory_KB", "feasible"], rows))
+    if result.selected is None:
+        print("no candidate satisfies every constraint")
+        return 1
+    print(f"selected model: {result.selected.n_exc} excitatory neurons")
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    device = get_device(args.device)
+    source = SyntheticDigits(image_size=args.image_size, seed=args.seed)
+    images = source.generate(0, args.samples, rng=args.seed)
+    energy_model = EnergyModel(device)
+
+    rows = []
+    baseline_joules: Optional[float] = None
+    for name in ("baseline", "asp", "spikedyn"):
+        model = build_model(name, config)
+        training = 0.0
+        inference = 0.0
+        for image in images:
+            before = model.counter.copy()
+            model.train_sample(image)
+            training += energy_model.estimate(model.counter - before).joules
+            before = model.counter.copy()
+            model.respond(image)
+            inference += energy_model.estimate(model.counter - before).joules
+        if name == "baseline":
+            baseline_joules = training
+        rows.append([name, training / len(images), inference / len(images),
+                     training / baseline_joules])
+    print(f"per-sample energy on the {device.name} "
+          f"(averaged over {len(images)} samples)")
+    print(format_table(
+        ["model", "training_J", "inference_J", "training_vs_baseline"], rows
+    ))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    scale = SCALE_PRESETS[args.scale]()
+    driver = EXPERIMENT_DRIVERS[args.experiment]
+    print(driver(scale))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="spikedyn-repro",
+        description="SpikeDyn (DAC 2021) reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    info = subparsers.add_parser("info", help="show library information")
+    info.set_defaults(handler=_cmd_info)
+
+    train = subparsers.add_parser("train", help="train a model on synthetic digits")
+    _add_model_arguments(train)
+    train.add_argument("--classes", type=int, nargs="+", default=[0, 1, 2],
+                       help="digit classes to train on")
+    train.add_argument("--protocol", choices=("dynamic", "nondynamic"),
+                       default="dynamic", help="task-ordering protocol")
+    train.add_argument("--samples-per-class", type=int, default=8,
+                       help="training samples per class")
+    train.add_argument("--eval-per-class", type=int, default=4,
+                       help="evaluation samples per class")
+    train.add_argument("--save", default=None,
+                       help="directory to save the trained model to")
+    train.set_defaults(handler=_cmd_train)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a saved model")
+    _add_model_arguments(evaluate)
+    evaluate.add_argument("model_dir", help="directory written by 'train --save'")
+    evaluate.add_argument("--classes", type=int, nargs="+", default=[0, 1, 2],
+                          help="digit classes to evaluate on")
+    evaluate.add_argument("--eval-per-class", type=int, default=4,
+                          help="evaluation samples per class")
+    evaluate.set_defaults(handler=_cmd_evaluate)
+
+    search = subparsers.add_parser("search",
+                                   help="run the Alg. 1 constrained model search")
+    _add_model_arguments(search)
+    search.add_argument("--memory-kb", type=float, default=256.0,
+                        help="memory budget in kilobytes")
+    search.add_argument("--train-energy-j", type=float, default=None,
+                        help="training energy budget in joules")
+    search.add_argument("--infer-energy-j", type=float, default=None,
+                        help="inference energy budget in joules")
+    search.add_argument("--n-train", type=int, default=60_000,
+                        help="training samples the deployment will process")
+    search.add_argument("--n-infer", type=int, default=10_000,
+                        help="inference samples the deployment will process")
+    search.add_argument("--n-add", type=int, default=25,
+                        help="search step in excitatory neurons")
+    search.add_argument("--device", default="GTX 1080 Ti",
+                        help="target device profile")
+    search.set_defaults(handler=_cmd_search)
+
+    energy = subparsers.add_parser("energy",
+                                   help="per-sample energy of the three models")
+    _add_model_arguments(energy)
+    energy.add_argument("--device", default="GTX 1080 Ti",
+                        help="target device profile")
+    energy.add_argument("--samples", type=int, default=2,
+                        help="samples averaged per measurement")
+    energy.set_defaults(handler=_cmd_energy)
+
+    reproduce = subparsers.add_parser(
+        "reproduce", help="run one paper-experiment driver and print its report"
+    )
+    reproduce.add_argument("experiment", choices=sorted(EXPERIMENT_DRIVERS),
+                           help="which table/figure to reproduce")
+    reproduce.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="tiny",
+                           help="experiment scale preset")
+    reproduce.set_defaults(handler=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

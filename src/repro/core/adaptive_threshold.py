@@ -1,0 +1,83 @@
+"""Adaptive membrane threshold potential (paper Section III-D).
+
+The firing threshold of an excitatory neuron is ``V_th + theta``.  SpikeDyn
+sizes the adaptation potential ``theta`` so that the network stays balanced
+in dynamic scenarios: some neurons remain available to learn new tasks while
+others retain previously learned information.  The paper defines
+
+    ``theta = c_theta * theta_decay * t_sim``
+
+i.e. the adaptation potential is proportional to its own decay rate and to
+the presentation time of one sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.snn.neurons import AdaptiveLIFGroup
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def adaptation_potential(c_theta: float, theta_decay: float, t_sim: float) -> float:
+    """Adaptation potential ``theta = c_theta * theta_decay * t_sim``.
+
+    Parameters
+    ----------
+    c_theta:
+        Adaptation constant (dimensionless).
+    theta_decay:
+        Decay rate of the adaptation potential, i.e. ``1 / tau_theta`` in
+        1/ms.
+    t_sim:
+        Presentation time of one input sample in milliseconds.
+    """
+    check_non_negative(c_theta, "c_theta")
+    check_non_negative(theta_decay, "theta_decay")
+    check_positive(t_sim, "t_sim")
+    return c_theta * theta_decay * t_sim
+
+
+@dataclass
+class AdaptiveThresholdPolicy:
+    """Policy that configures an excitatory group's threshold adaptation.
+
+    The policy computes the adaptation potential from the configured
+    constants and installs it as the per-spike threshold increment
+    (``theta_plus``) of an :class:`~repro.snn.neurons.AdaptiveLIFGroup`,
+    leaving the exponential decay (rate ``theta_decay``) to the group itself.
+
+    Parameters
+    ----------
+    c_theta:
+        Adaptation constant ``c_theta``.
+    theta_decay:
+        Decay rate of the adaptation potential (1/ms).
+    t_sim:
+        Presentation time of a sample (ms).
+    """
+
+    c_theta: float = 1.0
+    theta_decay: float = 1.0e-3
+    t_sim: float = 350.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.c_theta, "c_theta")
+        check_non_negative(self.theta_decay, "theta_decay")
+        check_positive(self.t_sim, "t_sim")
+
+    @property
+    def theta(self) -> float:
+        """The adaptation potential produced by this policy."""
+        return adaptation_potential(self.c_theta, self.theta_decay, self.t_sim)
+
+    def configure_group(self, group: AdaptiveLIFGroup) -> AdaptiveLIFGroup:
+        """Install the policy on an adaptive LIF group and return it."""
+        if not isinstance(group, AdaptiveLIFGroup):
+            raise TypeError(
+                "AdaptiveThresholdPolicy requires an AdaptiveLIFGroup, "
+                f"got {type(group).__name__}"
+            )
+        group.theta_plus = self.theta
+        group.tau_theta = 1.0 / self.theta_decay if self.theta_decay > 0 else group.tau_theta
+        return group

@@ -1,0 +1,146 @@
+"""The SpikeDyn framework facade (paper Fig. 3).
+
+:class:`SpikeDynFramework` ties the three mechanisms together behind a small
+API that mirrors the paper's tool flow:
+
+1. take the design constraints (memory, training/inference energy) and the
+   number of samples the deployed system is expected to process;
+2. run the model-search algorithm to pick the largest SNN model that fits;
+3. build that model (optimized architecture + improved learning algorithm);
+4. train it continually on a task stream and evaluate it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.config import SpikeDynConfig
+from repro.core.model_search import ModelSearchResult, search_snn_model
+from repro.estimation.energy import EnergyEstimate, EnergyModel
+from repro.estimation.hardware import DeviceProfile, GTX_1080_TI
+from repro.estimation.memory import architecture_parameter_counts
+from repro.evaluation.protocols import (
+    DynamicProtocolResult,
+    NonDynamicProtocolResult,
+    run_dynamic_protocol,
+    run_nondynamic_protocol,
+)
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class SpikeDynFramework:
+    """End-to-end facade over model search, training, and evaluation.
+
+    Parameters
+    ----------
+    config:
+        Base configuration; ``n_exc`` acts as the default model size when no
+        model search is performed.
+    device:
+        GPU profile used for all energy conversions.
+    rng:
+        Seed or generator shared by model construction and the protocols.
+    """
+
+    def __init__(self, config: SpikeDynConfig, *,
+                 device: DeviceProfile = GTX_1080_TI,
+                 rng: SeedLike = None) -> None:
+        self.config = config
+        self.device = device
+        self.rng = ensure_rng(rng if rng is not None else config.seed)
+        self.energy_model = EnergyModel(device)
+        self.search_result: Optional[ModelSearchResult] = None
+
+    # -- model search -----------------------------------------------------------
+
+    def search_model(self, *, memory_budget_bytes: float,
+                     training_energy_budget_joules: Optional[float] = None,
+                     inference_energy_budget_joules: Optional[float] = None,
+                     n_training_samples: int = 60_000,
+                     n_inference_samples: int = 10_000,
+                     n_add: int = 100) -> ModelSearchResult:
+        """Run Alg. 1 with the given constraints and remember the result."""
+        self.search_result = search_snn_model(
+            self.config,
+            memory_budget_bytes=memory_budget_bytes,
+            training_energy_budget_joules=training_energy_budget_joules,
+            inference_energy_budget_joules=inference_energy_budget_joules,
+            n_training_samples=n_training_samples,
+            n_inference_samples=n_inference_samples,
+            n_add=n_add,
+            device=self.device,
+            rng=self.rng,
+        )
+        return self.search_result
+
+    def selected_network_size(self) -> int:
+        """Excitatory-layer size chosen by the last search (or the default)."""
+        if self.search_result is not None and self.search_result.selected is not None:
+            return self.search_result.selected.n_exc
+        return self.config.n_exc
+
+    # -- model construction -------------------------------------------------------
+
+    def build_model(self, n_exc: Optional[int] = None):
+        """Build a :class:`~repro.models.spikedyn_model.SpikeDynModel`.
+
+        Parameters
+        ----------
+        n_exc:
+            Excitatory-layer size; defaults to the size selected by the last
+            model search (or the configuration's size when no search ran).
+        """
+        from repro.models.spikedyn_model import SpikeDynModel
+
+        size = n_exc if n_exc is not None else self.selected_network_size()
+        check_positive_int(size, "n_exc")
+        return SpikeDynModel(self.config.with_network_size(size), rng=self.rng)
+
+    # -- training and evaluation ----------------------------------------------------
+
+    def run_dynamic(self, model, source, *,
+                    class_sequence: Optional[Sequence[int]] = None,
+                    samples_per_task: int = 10,
+                    eval_samples_per_class: int = 5) -> DynamicProtocolResult:
+        """Train/evaluate ``model`` under the dynamic-environment protocol."""
+        return run_dynamic_protocol(
+            model, source,
+            class_sequence=class_sequence,
+            samples_per_task=samples_per_task,
+            eval_samples_per_class=eval_samples_per_class,
+            rng=self.rng,
+        )
+
+    def run_nondynamic(self, model, source, *,
+                       checkpoints: Sequence[int] = (20, 50, 100),
+                       classes: Optional[Sequence[int]] = None,
+                       eval_samples_per_class: int = 5) -> NonDynamicProtocolResult:
+        """Train/evaluate ``model`` under the non-dynamic protocol."""
+        return run_nondynamic_protocol(
+            model, source,
+            checkpoints=checkpoints,
+            classes=classes,
+            eval_samples_per_class=eval_samples_per_class,
+            rng=self.rng,
+        )
+
+    # -- estimation ---------------------------------------------------------------
+
+    def estimate_memory_bytes(self, n_exc: Optional[int] = None) -> float:
+        """Analytical memory footprint of the (selected) SpikeDyn model."""
+        size = n_exc if n_exc is not None else self.selected_network_size()
+        counts = architecture_parameter_counts("spikedyn", self.config.n_input, size)
+        return counts.memory_bytes(self.config.bit_precision)
+
+    def estimate_phase_energy(self, model, image, *, learning: bool,
+                              n_samples: int) -> EnergyEstimate:
+        """Analytical phase energy ``E = E1 * N`` measured from one sample."""
+        check_positive_int(n_samples, "n_samples")
+        before = model.counter.copy()
+        if learning:
+            model.train_sample(image)
+        else:
+            model.respond(image)
+        counter = model.counter - before
+        return self.energy_model.estimate(counter).scaled(float(n_samples))

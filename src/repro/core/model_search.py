@@ -1,0 +1,248 @@
+"""Memory- and energy-constrained SNN model search (paper Alg. 1).
+
+The search sweeps the number of excitatory neurons in steps of ``n_add``.
+For every candidate it
+
+1. estimates the memory footprint analytically (``mem = (Pw + Pn) * BP``) and
+   stops the sweep once the memory constraint is exceeded;
+2. trains the candidate on a single sample, converts the measured operations
+   into the single-sample training energy ``E1t``, and extrapolates the full
+   training energy ``Et = E1t * N`` (the analytical energy model);
+3. if the training energy fits the budget, repeats the measurement for one
+   inference sample and checks the inference energy budget;
+4. keeps every candidate that satisfies all three constraints.
+
+The selected model is the **largest** feasible candidate, "since larger
+networks usually achieve higher accuracy" (Section III-C).  Because each
+candidate only processes a single sample instead of the full dataset, the
+exploration is orders of magnitude faster than actually running every
+configuration — the saving reported in Fig. 5(d,e).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import SpikeDynConfig
+from repro.estimation.energy import EnergyEstimate, EnergyModel
+from repro.estimation.hardware import DeviceProfile, GTX_1080_TI
+from repro.estimation.memory import architecture_parameter_counts
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass
+class ModelCandidate:
+    """One explored SNN model size and its estimated costs.
+
+    Attributes
+    ----------
+    n_exc:
+        Number of excitatory neurons of this candidate.
+    memory_bytes:
+        Analytical memory footprint.
+    training_energy, inference_energy:
+        Extrapolated full-phase energies (``E = E1 * N``); ``None`` when the
+        candidate was rejected before the corresponding measurement.
+    sample_training_energy, sample_inference_energy:
+        The measured single-sample energies (``E1``).
+    feasible:
+        Whether the candidate satisfies every provided constraint.
+    rejection_reason:
+        Human-readable reason when infeasible.
+    """
+
+    n_exc: int
+    memory_bytes: float
+    training_energy: Optional[EnergyEstimate] = None
+    inference_energy: Optional[EnergyEstimate] = None
+    sample_training_energy: Optional[EnergyEstimate] = None
+    sample_inference_energy: Optional[EnergyEstimate] = None
+    feasible: bool = False
+    rejection_reason: str = ""
+
+
+@dataclass
+class ModelSearchResult:
+    """Outcome of one Alg. 1 sweep.
+
+    Attributes
+    ----------
+    candidates:
+        Every explored candidate, in sweep order.
+    selected:
+        The largest feasible candidate, or ``None`` if no candidate fits.
+    constraints:
+        The constraint values the sweep was run with.
+    """
+
+    candidates: List[ModelCandidate] = field(default_factory=list)
+    selected: Optional[ModelCandidate] = None
+    constraints: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def feasible_candidates(self) -> List[ModelCandidate]:
+        """All candidates that satisfy every constraint."""
+        return [candidate for candidate in self.candidates if candidate.feasible]
+
+    def exploration_time_seconds(self) -> float:
+        """Wall-clock estimate of the search itself (one sample per phase)."""
+        total = 0.0
+        for candidate in self.candidates:
+            if candidate.sample_training_energy is not None:
+                total += candidate.sample_training_energy.seconds
+            if candidate.sample_inference_energy is not None:
+                total += candidate.sample_inference_energy.seconds
+        return total
+
+    def actual_run_time_seconds(self, n_train_samples: int,
+                                n_inference_samples: int) -> float:
+        """Wall-clock estimate of actually running every configuration fully."""
+        check_positive_int(n_train_samples, "n_train_samples")
+        check_positive_int(n_inference_samples, "n_inference_samples")
+        total = 0.0
+        for candidate in self.candidates:
+            if candidate.sample_training_energy is not None:
+                total += candidate.sample_training_energy.seconds * n_train_samples
+            if candidate.sample_inference_energy is not None:
+                total += candidate.sample_inference_energy.seconds * n_inference_samples
+        return total
+
+
+def _default_model_factory(config: SpikeDynConfig, rng):
+    """Build a SpikeDyn model (imported lazily to avoid a circular import)."""
+    from repro.models.spikedyn_model import SpikeDynModel
+
+    return SpikeDynModel(config, rng=rng)
+
+
+def _default_sample_image(config: SpikeDynConfig, rng) -> np.ndarray:
+    """A synthetic digit image matching the configuration's input size."""
+    from repro.datasets.synthetic_mnist import SyntheticDigits
+
+    side = int(round(np.sqrt(config.n_input)))
+    if side * side != config.n_input:
+        # Non-square input sizes fall back to a random intensity image.
+        return ensure_rng(rng).random(config.n_input)
+    source = SyntheticDigits(image_size=side, seed=rng)
+    return source.generate(0, 1, rng=rng)[0]
+
+
+def search_snn_model(
+    base_config: SpikeDynConfig,
+    *,
+    memory_budget_bytes: float,
+    training_energy_budget_joules: Optional[float] = None,
+    inference_energy_budget_joules: Optional[float] = None,
+    n_training_samples: int = 60_000,
+    n_inference_samples: int = 10_000,
+    n_add: int = 100,
+    device: DeviceProfile = GTX_1080_TI,
+    model_factory: Optional[Callable] = None,
+    sample_image: Optional[np.ndarray] = None,
+    rng: SeedLike = None,
+) -> ModelSearchResult:
+    """Run the Alg. 1 sweep and return the explored candidates.
+
+    Parameters
+    ----------
+    base_config:
+        Configuration whose ``n_exc`` is swept; all other fields are reused.
+    memory_budget_bytes:
+        Memory constraint ``mem_c``.
+    training_energy_budget_joules, inference_energy_budget_joules:
+        Energy constraints ``Ect`` / ``Eci``; ``None`` disables the check.
+    n_training_samples, n_inference_samples:
+        Sample counts ``N`` used by the analytical energy model.
+    n_add:
+        Sweep step ``n_add`` (number of neurons added per iteration).
+    device:
+        Device profile used to convert operations into energy.
+    model_factory:
+        ``f(config, rng) -> model`` used to build each candidate; defaults to
+        :class:`~repro.models.spikedyn_model.SpikeDynModel`.
+    sample_image:
+        Image used for the single-sample measurements; a synthetic digit of
+        the right size is generated when omitted.
+    rng:
+        Seed or generator for model construction and sample generation.
+    """
+    check_positive(memory_budget_bytes, "memory_budget_bytes")
+    check_positive_int(n_training_samples, "n_training_samples")
+    check_positive_int(n_inference_samples, "n_inference_samples")
+    check_positive_int(n_add, "n_add")
+    if training_energy_budget_joules is not None:
+        check_positive(training_energy_budget_joules, "training_energy_budget_joules")
+    if inference_energy_budget_joules is not None:
+        check_positive(inference_energy_budget_joules, "inference_energy_budget_joules")
+
+    generator = ensure_rng(rng)
+    factory = model_factory if model_factory is not None else _default_model_factory
+    image = sample_image if sample_image is not None else _default_sample_image(
+        base_config, generator
+    )
+    energy_model = EnergyModel(device)
+
+    result = ModelSearchResult(
+        constraints={
+            "memory_budget_bytes": float(memory_budget_bytes),
+            "training_energy_budget_joules": float(training_energy_budget_joules or 0.0),
+            "inference_energy_budget_joules": float(inference_energy_budget_joules or 0.0),
+            "n_training_samples": float(n_training_samples),
+            "n_inference_samples": float(n_inference_samples),
+        },
+    )
+
+    n_exc = n_add
+    while True:
+        counts = architecture_parameter_counts("spikedyn", base_config.n_input, n_exc)
+        memory_bytes = counts.memory_bytes(base_config.bit_precision)
+        if memory_bytes > memory_budget_bytes:
+            # Alg. 1 stops as soon as the memory estimate exceeds the budget.
+            break
+
+        candidate = ModelCandidate(n_exc=n_exc, memory_bytes=memory_bytes)
+        config = base_config.with_network_size(n_exc)
+        model = factory(config, generator)
+
+        # Training with one sample -> E1t -> Et = E1t * N (Alg. 1 lines 5-8).
+        before = model.counter.copy()
+        model.train_sample(image)
+        train_counter = model.counter - before
+        candidate.sample_training_energy = energy_model.estimate(train_counter)
+        candidate.training_energy = candidate.sample_training_energy.scaled(
+            float(n_training_samples)
+        )
+        if (training_energy_budget_joules is not None
+                and candidate.training_energy.joules > training_energy_budget_joules):
+            candidate.rejection_reason = "training energy exceeds budget"
+            result.candidates.append(candidate)
+            n_exc += n_add
+            continue
+
+        # Inference with one sample -> E1i -> Ei = E1i * N (Alg. 1 lines 9-12).
+        before = model.counter.copy()
+        model.respond(image)
+        inference_counter = model.counter - before
+        candidate.sample_inference_energy = energy_model.estimate(inference_counter)
+        candidate.inference_energy = candidate.sample_inference_energy.scaled(
+            float(n_inference_samples)
+        )
+        if (inference_energy_budget_joules is not None
+                and candidate.inference_energy.joules > inference_energy_budget_joules):
+            candidate.rejection_reason = "inference energy exceeds budget"
+            result.candidates.append(candidate)
+            n_exc += n_add
+            continue
+
+        candidate.feasible = True
+        result.candidates.append(candidate)
+        n_exc += n_add
+
+    feasible = result.feasible_candidates
+    if feasible:
+        result.selected = max(feasible, key=lambda candidate: candidate.n_exc)
+    return result

@@ -1,0 +1,33 @@
+"""Datasets and task streams.
+
+The paper evaluates on MNIST.  Because this reproduction must run fully
+offline, the default digit source is :class:`SyntheticDigits` — a procedural
+generator of MNIST-like 28x28 digit images (stroke-based prototypes per
+class, random geometric jitter, stroke-intensity variation, and pixel noise).
+A loader for real MNIST IDX files is provided in :mod:`repro.datasets.mnist`
+and is picked up automatically when the files are available on disk.
+
+:mod:`repro.datasets.streams` builds the two evaluation protocols of the
+paper's Section IV: *dynamic environments* (consecutive task changes without
+re-feeding previous tasks) and *non-dynamic environments* (randomly
+distributed tasks).
+"""
+
+from repro.datasets.mnist import load_digit_source, load_mnist_idx
+from repro.datasets.streams import (
+    ArrayDigitSource,
+    StreamSample,
+    dynamic_task_stream,
+    nondynamic_stream,
+)
+from repro.datasets.synthetic_mnist import SyntheticDigits
+
+__all__ = [
+    "ArrayDigitSource",
+    "StreamSample",
+    "SyntheticDigits",
+    "dynamic_task_stream",
+    "load_digit_source",
+    "load_mnist_idx",
+    "nondynamic_stream",
+]

@@ -1,0 +1,114 @@
+"""MNIST IDX loading with a synthetic fallback.
+
+The paper's experiments use MNIST.  When the standard IDX files
+(``train-images-idx3-ubyte`` etc.) are available on disk this module loads
+them; otherwise :func:`load_digit_source` transparently falls back to the
+procedural :class:`~repro.datasets.synthetic_mnist.SyntheticDigits`
+generator so the whole pipeline remains runnable offline.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.datasets.synthetic_mnist import SyntheticDigits
+from repro.utils.rng import SeedLike
+
+PathLike = Union[str, Path]
+
+_IDX_IMAGE_MAGIC = 2051
+_IDX_LABEL_MAGIC = 2049
+
+#: Conventional file names of the MNIST training set.
+TRAIN_IMAGES_FILE = "train-images-idx3-ubyte"
+TRAIN_LABELS_FILE = "train-labels-idx1-ubyte"
+
+
+def load_mnist_idx(images_path: PathLike, labels_path: PathLike
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Load an MNIST IDX image/label file pair.
+
+    Returns
+    -------
+    (images, labels):
+        ``images`` is a float array in [0, 1] of shape ``(n, rows, cols)``;
+        ``labels`` is an ``(n,)`` integer array.
+
+    Raises
+    ------
+    FileNotFoundError
+        If either file is missing.
+    ValueError
+        If the files are not valid IDX files or their lengths disagree.
+    """
+    images_path = Path(images_path)
+    labels_path = Path(labels_path)
+
+    with open(images_path, "rb") as handle:
+        magic, count, rows, cols = struct.unpack(">IIII", handle.read(16))
+        if magic != _IDX_IMAGE_MAGIC:
+            raise ValueError(f"{images_path} is not an IDX image file")
+        raw = np.frombuffer(handle.read(), dtype=np.uint8)
+    if raw.size != count * rows * cols:
+        raise ValueError(f"{images_path} is truncated")
+    images = raw.reshape(count, rows, cols).astype(float) / 255.0
+
+    with open(labels_path, "rb") as handle:
+        magic, label_count = struct.unpack(">II", handle.read(8))
+        if magic != _IDX_LABEL_MAGIC:
+            raise ValueError(f"{labels_path} is not an IDX label file")
+        labels = np.frombuffer(handle.read(), dtype=np.uint8).astype(int)
+    if labels.size != label_count:
+        raise ValueError(f"{labels_path} is truncated")
+    if label_count != count:
+        raise ValueError(
+            f"image count ({count}) and label count ({label_count}) disagree"
+        )
+    return images, labels
+
+
+def load_digit_source(
+    data_dir: Optional[PathLike] = None,
+    *,
+    image_size: int = 28,
+    seed: SeedLike = 0,
+):
+    """Return a digit source, preferring real MNIST when available.
+
+    Parameters
+    ----------
+    data_dir:
+        Directory expected to contain the MNIST IDX files.  When ``None`` or
+        when the files are missing/corrupt, a
+        :class:`~repro.datasets.synthetic_mnist.SyntheticDigits` generator of
+        the requested ``image_size`` is returned instead.
+    image_size:
+        Image side length used for the synthetic fallback.
+    seed:
+        Seed for the synthetic fallback.
+
+    Returns
+    -------
+    object
+        Either an :class:`~repro.datasets.streams.ArrayDigitSource` wrapping
+        the real MNIST arrays, or a :class:`SyntheticDigits` generator.
+    """
+    # Imported here to avoid a circular import at module load time.
+    from repro.datasets.streams import ArrayDigitSource
+
+    if data_dir is not None:
+        data_dir = Path(data_dir)
+        images_path = data_dir / TRAIN_IMAGES_FILE
+        labels_path = data_dir / TRAIN_LABELS_FILE
+        if images_path.exists() and labels_path.exists():
+            try:
+                images, labels = load_mnist_idx(images_path, labels_path)
+            except (ValueError, OSError):
+                pass
+            else:
+                return ArrayDigitSource(images, labels, seed=seed)
+    return SyntheticDigits(image_size=image_size, seed=seed)

@@ -1,0 +1,167 @@
+"""Task streams for dynamic and non-dynamic environments (paper Section IV).
+
+*Dynamic environments* feed the network consecutive task (class) changes —
+first a stream of digit-0 samples, then digit-1, and so on — without ever
+re-feeding previous tasks, each task contributing the same number of samples.
+*Non-dynamic environments* feed samples whose classes are randomly
+distributed.
+
+Both stream builders operate on a *digit source*: any object exposing
+``generate(digit, n, rng=None) -> (n, size, size) array`` and a ``classes``
+attribute.  :class:`~repro.datasets.synthetic_mnist.SyntheticDigits` and
+:class:`ArrayDigitSource` (a wrapper around real image/label arrays) both
+satisfy this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class StreamSample:
+    """One element of a task stream.
+
+    Attributes
+    ----------
+    image:
+        The 2-D intensity image.
+    label:
+        The ground-truth class of the image.
+    task_index:
+        Position of the sample's task within the stream's task sequence
+        (every sample of a non-dynamic stream has task index 0).
+    """
+
+    image: np.ndarray
+    label: int
+    task_index: int
+
+
+class ArrayDigitSource:
+    """Digit source backed by pre-existing image and label arrays.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(n, rows, cols)`` with intensities in [0, 1].
+    labels:
+        Integer labels of shape ``(n,)``.
+    seed:
+        Seed for sampling without replacement within a class.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray,
+                 seed: SeedLike = None) -> None:
+        images = np.asarray(images, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if images.ndim != 3:
+            raise ValueError(f"images must be 3-D (n, rows, cols), got {images.shape}")
+        if labels.shape != (images.shape[0],):
+            raise ValueError(
+                f"labels must have shape ({images.shape[0]},), got {labels.shape}"
+            )
+        self.images = images
+        self.labels = labels
+        self.classes: Tuple[int, ...] = tuple(sorted(np.unique(labels).tolist()))
+        self._rng = ensure_rng(seed)
+        self._by_class = {
+            digit: np.flatnonzero(labels == digit) for digit in self.classes
+        }
+
+    @property
+    def image_size(self) -> int:
+        """Side length of the (square) images."""
+        return int(self.images.shape[1])
+
+    @property
+    def n_pixels(self) -> int:
+        """Number of pixels per image."""
+        return int(self.images.shape[1] * self.images.shape[2])
+
+    def generate(self, digit: int, n: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw ``n`` images of class ``digit`` (with replacement if needed)."""
+        check_positive_int(n, "n")
+        if digit not in self._by_class:
+            raise ValueError(f"class {digit} is not present in the dataset")
+        generator = ensure_rng(rng) if rng is not None else self._rng
+        pool = self._by_class[digit]
+        replace = n > pool.size
+        chosen = generator.choice(pool, size=n, replace=replace)
+        return self.images[chosen]
+
+
+def dynamic_task_stream(
+    source,
+    *,
+    class_sequence: Optional[Sequence[int]] = None,
+    samples_per_task: int = 10,
+    rng: SeedLike = None,
+) -> List[StreamSample]:
+    """Build a dynamic-environment stream of consecutive task changes.
+
+    Parameters
+    ----------
+    source:
+        Digit source (``generate(digit, n, rng)`` plus ``classes``).
+    class_sequence:
+        Order in which tasks are presented; defaults to the source's classes
+        in ascending order (digit-0 first, as in the paper's case study).
+    samples_per_task:
+        Number of samples presented for each task (equal for every task).
+    rng:
+        Seed or generator for the image draws.
+    """
+    check_positive_int(samples_per_task, "samples_per_task")
+    generator = ensure_rng(rng)
+    sequence = list(source.classes if class_sequence is None else class_sequence)
+    if not sequence:
+        raise ValueError("class_sequence must not be empty")
+
+    stream: List[StreamSample] = []
+    for task_index, digit in enumerate(sequence):
+        images = source.generate(int(digit), samples_per_task, rng=generator)
+        for image in images:
+            stream.append(StreamSample(image=image, label=int(digit),
+                                       task_index=task_index))
+    return stream
+
+
+def nondynamic_stream(
+    source,
+    *,
+    n_samples: int = 100,
+    classes: Optional[Sequence[int]] = None,
+    rng: SeedLike = None,
+) -> List[StreamSample]:
+    """Build a non-dynamic stream whose classes are randomly distributed.
+
+    Parameters
+    ----------
+    source:
+        Digit source (``generate(digit, n, rng)`` plus ``classes``).
+    n_samples:
+        Total number of samples in the stream.
+    classes:
+        Classes to draw from (defaults to all of the source's classes).
+    rng:
+        Seed or generator for the class and image draws.
+    """
+    check_positive_int(n_samples, "n_samples")
+    generator = ensure_rng(rng)
+    available = list(source.classes if classes is None else classes)
+    if not available:
+        raise ValueError("classes must not be empty")
+
+    labels = generator.choice(available, size=n_samples)
+    stream: List[StreamSample] = []
+    for label in labels:
+        image = source.generate(int(label), 1, rng=generator)[0]
+        stream.append(StreamSample(image=image, label=int(label), task_index=0))
+    return stream

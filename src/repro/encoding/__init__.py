@@ -1,0 +1,23 @@
+"""Spike encoders that convert static inputs into spike trains.
+
+The paper uses Poisson rate coding (Section II / IV); the remaining coding
+schemes it cites (temporal/latency, rank-order, phase, and burst coding) are
+also provided so that downstream users can experiment with alternative
+front-ends without changing the rest of the pipeline.
+"""
+
+from repro.encoding.base import SpikeEncoder
+from repro.encoding.burst import BurstEncoder
+from repro.encoding.phase import PhaseEncoder
+from repro.encoding.rank_order import RankOrderEncoder
+from repro.encoding.rate import PoissonRateEncoder
+from repro.encoding.temporal import LatencyEncoder
+
+__all__ = [
+    "BurstEncoder",
+    "LatencyEncoder",
+    "PhaseEncoder",
+    "PoissonRateEncoder",
+    "RankOrderEncoder",
+    "SpikeEncoder",
+]

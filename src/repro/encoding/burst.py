@@ -1,0 +1,60 @@
+"""Burst coding.
+
+Each input element emits a short burst of spikes whose length grows with the
+input intensity; stronger inputs produce longer, denser bursts (Park et al.,
+DAC 2019, cited in the paper's Section II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import SpikeEncoder
+from repro.utils.validation import check_positive_int
+
+
+class BurstEncoder(SpikeEncoder):
+    """Encode intensities as bursts of consecutive spikes.
+
+    Parameters
+    ----------
+    duration, dt:
+        Presentation window and timestep in milliseconds.
+    max_burst_length:
+        Number of spikes in the burst emitted for a maximum-intensity input.
+    inter_spike_interval:
+        Gap between consecutive spikes of a burst, in timesteps.
+    epsilon:
+        Intensities below this threshold never spike.
+    """
+
+    def __init__(self, duration: float = 350.0, dt: float = 1.0,
+                 *, max_burst_length: int = 5, inter_spike_interval: int = 2,
+                 epsilon: float = 1e-3) -> None:
+        super().__init__(duration, dt)
+        self.max_burst_length = check_positive_int(max_burst_length, "max_burst_length")
+        self.inter_spike_interval = check_positive_int(
+            inter_spike_interval, "inter_spike_interval"
+        )
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def burst_lengths(self, values: np.ndarray) -> np.ndarray:
+        """Number of spikes in each element's burst."""
+        intensities = self._normalize_intensities(values)
+        lengths = np.ceil(intensities * self.max_burst_length).astype(int)
+        lengths[intensities < self.epsilon] = 0
+        return lengths
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        lengths = self.burst_lengths(values)
+        steps = self.timesteps
+        train = np.zeros((steps, lengths.size), dtype=bool)
+        for element, length in enumerate(lengths):
+            if length <= 0:
+                continue
+            spike_steps = np.arange(length) * self.inter_spike_interval
+            spike_steps = spike_steps[spike_steps < steps]
+            train[spike_steps, element] = True
+        return train

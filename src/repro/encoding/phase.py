@@ -1,0 +1,58 @@
+"""Phase coding.
+
+Spikes are emitted periodically, at a phase within each oscillation cycle
+determined by the input intensity: strong inputs fire early in the cycle,
+weak inputs late (Kayser et al., cited in the paper's Section II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import SpikeEncoder
+from repro.utils.validation import check_positive
+
+
+class PhaseEncoder(SpikeEncoder):
+    """Encode intensities as per-cycle spike phases.
+
+    Parameters
+    ----------
+    duration, dt:
+        Presentation window and timestep in milliseconds.
+    period:
+        Length of one oscillation cycle in milliseconds.
+    epsilon:
+        Intensities below this threshold never spike.
+    """
+
+    def __init__(self, duration: float = 350.0, dt: float = 1.0,
+                 *, period: float = 10.0, epsilon: float = 1e-3) -> None:
+        super().__init__(duration, dt)
+        self.period = check_positive(period, "period")
+        if self.period < self.dt:
+            raise ValueError(
+                f"period ({period}) must be at least one timestep ({dt})"
+            )
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    @property
+    def steps_per_cycle(self) -> int:
+        """Number of timesteps in one oscillation cycle."""
+        return max(1, int(round(self.period / self.dt)))
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        intensities = self._normalize_intensities(values)
+        steps = self.timesteps
+        cycle = self.steps_per_cycle
+        # Strong inputs fire at the start of each cycle, weak ones at the end.
+        phase = np.round((1.0 - intensities) * (cycle - 1)).astype(int)
+        train = np.zeros((steps, intensities.size), dtype=bool)
+        active = np.flatnonzero(intensities >= self.epsilon)
+        for start in range(0, steps, cycle):
+            spike_steps = start + phase[active]
+            in_range = spike_steps < steps
+            train[spike_steps[in_range], active[in_range]] = True
+        return train

@@ -1,0 +1,49 @@
+"""Rank-order coding.
+
+Input elements spike exactly once, ordered by decreasing intensity: the
+strongest input spikes in the first timestep, the second strongest in the
+second, and so on (Thorpe & Gautrais, cited in the paper's Section II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import SpikeEncoder
+
+
+class RankOrderEncoder(SpikeEncoder):
+    """Encode intensities by their rank; earlier spikes mean stronger inputs.
+
+    Parameters
+    ----------
+    duration, dt:
+        Presentation window and timestep in milliseconds.
+    epsilon:
+        Intensities below this threshold do not spike.
+    """
+
+    def __init__(self, duration: float = 350.0, dt: float = 1.0,
+                 *, epsilon: float = 1e-3) -> None:
+        super().__init__(duration, dt)
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def spike_order(self, values: np.ndarray) -> np.ndarray:
+        """Rank of each element (0 = first to spike, -1 = never spikes)."""
+        intensities = self._normalize_intensities(values)
+        order = np.full(intensities.size, -1, dtype=int)
+        active = np.flatnonzero(intensities >= self.epsilon)
+        # Sort active elements by decreasing intensity (stable for ties).
+        ranked = active[np.argsort(-intensities[active], kind="stable")]
+        order[ranked] = np.arange(ranked.size)
+        return order
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        order = self.spike_order(values)
+        steps = self.timesteps
+        train = np.zeros((steps, order.size), dtype=bool)
+        valid = (order >= 0) & (order < steps)
+        train[order[valid], np.flatnonzero(valid)] = True
+        return train

@@ -1,0 +1,47 @@
+"""Latency (time-to-first-spike) coding.
+
+Stronger inputs spike earlier; each input element emits exactly one spike
+within the presentation window (or none, if its intensity is zero).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.base import SpikeEncoder
+
+
+class LatencyEncoder(SpikeEncoder):
+    """Encode intensities as single spikes whose latency decreases with
+    intensity (temporal coding, cited in the paper's Section II).
+
+    Parameters
+    ----------
+    duration, dt:
+        Presentation window and timestep in milliseconds.
+    epsilon:
+        Intensities below this threshold produce no spike at all.
+    """
+
+    def __init__(self, duration: float = 350.0, dt: float = 1.0,
+                 *, epsilon: float = 1e-3) -> None:
+        super().__init__(duration, dt)
+        if epsilon < 0:
+            raise ValueError(f"epsilon must be >= 0, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def spike_times(self, values: np.ndarray) -> np.ndarray:
+        """Timestep index of each element's spike (-1 means no spike)."""
+        intensities = self._normalize_intensities(values)
+        steps = self.timesteps
+        # Intensity 1.0 -> step 0; intensity -> 0 approaches the end of the window.
+        times = np.round((1.0 - intensities) * (steps - 1)).astype(int)
+        times[intensities < self.epsilon] = -1
+        return times
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        times = self.spike_times(values)
+        train = np.zeros((self.timesteps, times.size), dtype=bool)
+        valid = times >= 0
+        train[times[valid], np.flatnonzero(valid)] = True
+        return train

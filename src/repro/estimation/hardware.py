@@ -1,0 +1,124 @@
+"""GPU device profiles (paper Table I) and their simulation cost model.
+
+The paper evaluates on one embedded GPU (Nvidia Jetson Nano) and two GPGPUs
+(GTX 1080 Ti, RTX 2080 Ti).  Since this reproduction has no physical GPUs, a
+:class:`DeviceProfile` models each device with two calibration constants:
+
+``effective_throughput``
+    Weighted simulation operations the Python/GPU pipeline sustains per
+    second.  Calibrated so that the full-MNIST processing times of the
+    paper's Table II are approximately recovered.
+``simulation_power_watts``
+    Average power draw reported by ``nvidia-smi`` (GPGPUs) or a power meter
+    (embedded GPU) while running the SNN simulation.  This is well below the
+    board TDP and calibrated so that the full-dataset energies of Fig. 5
+    land in the paper's range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Specification and cost model of one evaluation device.
+
+    The first six fields mirror the paper's Table I; the last two are the
+    calibration constants described in the module docstring.
+    """
+
+    name: str
+    architecture: str
+    cuda_cores: int
+    memory: str
+    interface_width_bits: int
+    tdp_watts: float
+    effective_throughput: float
+    simulation_power_watts: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.cuda_cores, "cuda_cores")
+        check_positive(self.tdp_watts, "tdp_watts")
+        check_positive(self.effective_throughput, "effective_throughput")
+        check_positive(self.simulation_power_watts, "simulation_power_watts")
+
+    def seconds_for_operations(self, weighted_ops: float) -> float:
+        """Wall-clock seconds needed for ``weighted_ops`` simulation operations."""
+        if weighted_ops < 0:
+            raise ValueError(f"weighted_ops must be >= 0, got {weighted_ops}")
+        return weighted_ops / self.effective_throughput
+
+    def energy_for_operations(self, weighted_ops: float) -> float:
+        """Energy in joules consumed by ``weighted_ops`` simulation operations."""
+        return self.seconds_for_operations(weighted_ops) * self.simulation_power_watts
+
+    def table_row(self) -> Dict[str, object]:
+        """Row of the Table I reproduction."""
+        return {
+            "device": self.name,
+            "architecture": self.architecture,
+            "cuda_cores": self.cuda_cores,
+            "memory": self.memory,
+            "interface_width": f"{self.interface_width_bits}-bit",
+            "power": f"{self.tdp_watts:g}W",
+        }
+
+
+#: Nvidia Jetson Nano — the embedded GPU of Table I.
+JETSON_NANO = DeviceProfile(
+    name="Jetson Nano",
+    architecture="Maxwell",
+    cuda_cores=128,
+    memory="4GB LPDDR4",
+    interface_width_bits=64,
+    tdp_watts=10.0,
+    effective_throughput=1.3e8,
+    simulation_power_watts=5.0,
+)
+
+#: Nvidia GTX 1080 Ti — first GPGPU of Table I.
+GTX_1080_TI = DeviceProfile(
+    name="GTX 1080 Ti",
+    architecture="Pascal",
+    cuda_cores=3584,
+    memory="11GB GDDR5X",
+    interface_width_bits=352,
+    tdp_watts=250.0,
+    effective_throughput=9.0e8,
+    simulation_power_watts=45.0,
+)
+
+#: Nvidia RTX 2080 Ti — second GPGPU of Table I.
+RTX_2080_TI = DeviceProfile(
+    name="RTX 2080 Ti",
+    architecture="Turing",
+    cuda_cores=4352,
+    memory="11GB GDDR6",
+    interface_width_bits=352,
+    tdp_watts=250.0,
+    effective_throughput=1.15e9,
+    simulation_power_watts=55.0,
+)
+
+_REGISTRY: Dict[str, DeviceProfile] = {
+    device.name.lower(): device
+    for device in (JETSON_NANO, GTX_1080_TI, RTX_2080_TI)
+}
+
+
+def default_devices() -> List[DeviceProfile]:
+    """The three devices of the paper's Table I, in paper order."""
+    return [JETSON_NANO, GTX_1080_TI, RTX_2080_TI]
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device profile by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(device.name for device in _REGISTRY.values()))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}")
+    return _REGISTRY[key]

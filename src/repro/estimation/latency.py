@@ -1,0 +1,115 @@
+"""Processing-time model (paper Table II).
+
+The processing time of a phase on a device is derived from the weighted
+operation count of a single sample and the device's effective throughput::
+
+    t_phase = (weighted_ops_per_sample / throughput) * n_samples
+
+:func:`processing_time_report` assembles the rows of Table II: full-MNIST
+training and inference hours plus the per-image inference latency, for each
+network size and device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.estimation.energy import DEFAULT_OP_ENERGY_COSTS, weighted_operations
+from repro.estimation.hardware import DeviceProfile, default_devices
+from repro.snn.simulation import OperationCounter
+from repro.utils.validation import check_positive_int
+
+#: Sample counts of the full MNIST dataset used by the paper's Table II.
+MNIST_TRAIN_SAMPLES = 60_000
+MNIST_TEST_SAMPLES = 10_000
+
+
+def time_per_sample_seconds(counter: OperationCounter, device: DeviceProfile,
+                            op_costs: Optional[Mapping[str, float]] = None) -> float:
+    """Seconds needed to process one sample whose operations are ``counter``."""
+    ops = weighted_operations(counter, op_costs or DEFAULT_OP_ENERGY_COSTS)
+    return device.seconds_for_operations(ops)
+
+
+@dataclass
+class ProcessingTimeReport:
+    """Table II style processing-time report.
+
+    Attributes
+    ----------
+    rows:
+        One dictionary per (process, device, network-size) combination with
+        keys ``process``, ``device``, ``network``, ``hours`` and, for the
+        inference rows, ``seconds_per_image``.
+    """
+
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def hours(self, process: str, device: str, network: str) -> float:
+        """Look up the total hours of one (process, device, network) cell."""
+        for row in self.rows:
+            if (row["process"], row["device"], row["network"]) == (process, device, network):
+                return float(row["hours"])
+        raise KeyError(f"no row for ({process!r}, {device!r}, {network!r})")
+
+    def to_text(self) -> str:
+        """Human-readable rendering of the report."""
+        lines = ["process      network  device          hours   s/image"]
+        for row in self.rows:
+            per_image = row.get("seconds_per_image")
+            per_image_text = f"{per_image:7.2f}" if per_image is not None else "      -"
+            lines.append(
+                f"{row['process']:<12} {row['network']:<8} {row['device']:<15} "
+                f"{row['hours']:6.1f}  {per_image_text}"
+            )
+        return "\n".join(lines)
+
+
+def processing_time_report(
+    per_sample_counters: Mapping[str, Mapping[str, OperationCounter]],
+    *,
+    devices: Optional[Sequence[DeviceProfile]] = None,
+    n_train: int = MNIST_TRAIN_SAMPLES,
+    n_test: int = MNIST_TEST_SAMPLES,
+    op_costs: Optional[Mapping[str, float]] = None,
+) -> ProcessingTimeReport:
+    """Build a Table II style report.
+
+    Parameters
+    ----------
+    per_sample_counters:
+        ``{network_label: {"training": counter, "inference": counter}}`` with
+        one-sample operation counters (e.g. ``{"N200": {...}, "N400": {...}}``).
+    devices:
+        Device profiles to evaluate on (defaults to the paper's three GPUs).
+    n_train, n_test:
+        Number of samples in the training and inference phases.
+    op_costs:
+        Optional per-operation-class cost overrides.
+    """
+    check_positive_int(n_train, "n_train")
+    check_positive_int(n_test, "n_test")
+    devices = list(devices) if devices is not None else default_devices()
+
+    report = ProcessingTimeReport()
+    for process, n_samples in (("training", n_train), ("inference", n_test)):
+        for network_label, counters in per_sample_counters.items():
+            if process not in counters:
+                raise KeyError(
+                    f"per_sample_counters[{network_label!r}] lacks a {process!r} counter"
+                )
+            for device in devices:
+                per_sample = time_per_sample_seconds(
+                    counters[process], device, op_costs
+                )
+                row: Dict[str, object] = {
+                    "process": process,
+                    "network": network_label,
+                    "device": device.name,
+                    "hours": per_sample * n_samples / 3600.0,
+                }
+                if process == "inference":
+                    row["seconds_per_image"] = per_sample
+                report.rows.append(row)
+    return report

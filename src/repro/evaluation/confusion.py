@@ -1,0 +1,59 @@
+"""Confusion matrices (paper Fig. 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+def confusion_matrix(labels: np.ndarray, predictions: np.ndarray,
+                     n_classes: int) -> np.ndarray:
+    """Confusion matrix with target labels as rows and predictions as columns.
+
+    Parameters
+    ----------
+    labels:
+        Ground-truth classes, shape ``(n_samples,)``.
+    predictions:
+        Predicted classes, shape ``(n_samples,)``.
+    n_classes:
+        Number of classes; both inputs must lie in ``[0, n_classes)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer matrix ``C`` of shape ``(n_classes, n_classes)`` where
+        ``C[i, j]`` counts samples of class ``i`` predicted as class ``j``.
+    """
+    labels = np.asarray(labels, dtype=int)
+    predictions = np.asarray(predictions, dtype=int)
+    check_positive_int(n_classes, "n_classes")
+    if labels.shape != predictions.shape:
+        raise ValueError(
+            f"labels {labels.shape} and predictions {predictions.shape} must match"
+        )
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError("labels contain values outside [0, n_classes)")
+    if predictions.size and (predictions.min() < 0 or predictions.max() >= n_classes):
+        raise ValueError("predictions contain values outside [0, n_classes)")
+
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def most_confused_pair(matrix: np.ndarray) -> tuple:
+    """The off-diagonal (target, predicted) pair with the most confusions.
+
+    Used to verify the paper's observation that digit-4 is predominantly
+    misclassified as digit-9 in the dynamic scenario (Fig. 10, label 1).
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+    off_diagonal = matrix.astype(float).copy()
+    np.fill_diagonal(off_diagonal, -1.0)
+    target, predicted = np.unravel_index(int(np.argmax(off_diagonal)),
+                                         off_diagonal.shape)
+    return int(target), int(predicted)

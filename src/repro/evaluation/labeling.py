@@ -1,0 +1,103 @@
+"""Neuron labelling and response-based prediction.
+
+After (or during) unsupervised training, every excitatory neuron is assigned
+the class for which it spiked most strongly on a labelled assignment set.
+Predictions are then made by summing, per class, the responses of the neurons
+assigned to that class and picking the class with the highest average
+response — exactly the readout used by the Diehl & Cook pipeline the paper
+builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+def assign_neuron_labels(responses: np.ndarray, labels: np.ndarray,
+                         n_classes: int) -> np.ndarray:
+    """Assign each neuron the class it responds to most strongly.
+
+    Parameters
+    ----------
+    responses:
+        Spike-count responses of shape ``(n_samples, n_neurons)``.
+    labels:
+        Ground-truth class of each sample, shape ``(n_samples,)``.
+    n_classes:
+        Total number of classes.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer array of shape ``(n_neurons,)``; a neuron that never spiked
+        on the assignment set is labelled ``-1``.
+    """
+    responses = np.asarray(responses, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    check_positive_int(n_classes, "n_classes")
+    if responses.ndim != 2:
+        raise ValueError(f"responses must be 2-D, got shape {responses.shape}")
+    if labels.shape != (responses.shape[0],):
+        raise ValueError(
+            f"labels must have shape ({responses.shape[0]},), got {labels.shape}"
+        )
+
+    n_neurons = responses.shape[1]
+    mean_response = np.zeros((n_classes, n_neurons), dtype=float)
+    for cls in range(n_classes):
+        mask = labels == cls
+        if mask.any():
+            mean_response[cls] = responses[mask].mean(axis=0)
+
+    assignments = np.argmax(mean_response, axis=0)
+    silent = mean_response.max(axis=0) <= 0.0
+    assignments = assignments.astype(int)
+    assignments[silent] = -1
+    return assignments
+
+
+def predict_from_responses(responses: np.ndarray, assignments: np.ndarray,
+                           n_classes: int,
+                           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Predict sample classes from neuron responses and assignments.
+
+    Parameters
+    ----------
+    responses:
+        Spike-count responses of shape ``(n_samples, n_neurons)``.
+    assignments:
+        Per-neuron class assignments from :func:`assign_neuron_labels`.
+    n_classes:
+        Total number of classes.
+    rng:
+        Unused hook kept for API stability (ties are broken deterministically
+        towards the smaller class index).
+
+    Returns
+    -------
+    numpy.ndarray
+        Predicted class per sample, shape ``(n_samples,)``.
+    """
+    responses = np.asarray(responses, dtype=float)
+    assignments = np.asarray(assignments, dtype=int)
+    check_positive_int(n_classes, "n_classes")
+    if responses.ndim != 2:
+        raise ValueError(f"responses must be 2-D, got shape {responses.shape}")
+    if assignments.shape != (responses.shape[1],):
+        raise ValueError(
+            f"assignments must have shape ({responses.shape[1]},), "
+            f"got {assignments.shape}"
+        )
+
+    n_samples = responses.shape[0]
+    class_scores = np.zeros((n_samples, n_classes), dtype=float)
+    for cls in range(n_classes):
+        members = assignments == cls
+        count = int(members.sum())
+        if count:
+            class_scores[:, cls] = responses[:, members].sum(axis=1) / count
+    return np.argmax(class_scores, axis=1)

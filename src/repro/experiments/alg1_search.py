@@ -1,0 +1,121 @@
+"""Alg. 1 — memory- and energy-constrained SNN model search.
+
+The study runs the search algorithm with a sweep of memory budgets (and
+optional energy budgets), records which candidate sizes are explored, which
+are feasible, and which one is selected, and compares the exploration time of
+the analytical search against actually running every configuration on the
+full phases — the benefit Fig. 5(d,e) reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.model_search import ModelSearchResult, search_snn_model
+from repro.estimation.hardware import DeviceProfile, GTX_1080_TI
+from repro.evaluation.reporting import format_table
+from repro.experiments.common import ExperimentScale
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class ModelSearchStudy:
+    """Structured output of the Alg. 1 study.
+
+    Attributes
+    ----------
+    scale:
+        The experiment scale the study was run at.
+    device:
+        Device used for the energy estimates.
+    results:
+        ``{memory_budget_bytes: ModelSearchResult}`` for every swept budget.
+    """
+
+    scale: ExperimentScale
+    device: str
+    results: Dict[float, ModelSearchResult] = field(default_factory=dict)
+
+    def selected_sizes(self) -> Dict[float, Optional[int]]:
+        """``{memory budget: selected n_exc}`` (``None`` when nothing fits)."""
+        return {
+            budget: (result.selected.n_exc if result.selected is not None else None)
+            for budget, result in self.results.items()
+        }
+
+    def to_text(self) -> str:
+        """Render the search outcomes as a plain-text table."""
+        lines: List[str] = [f"Alg. 1 — constrained model search (device: {self.device})"]
+        rows = []
+        for budget, result in self.results.items():
+            selected = result.selected
+            rows.append([
+                budget / 1024.0,
+                len(result.candidates),
+                len(result.feasible_candidates),
+                selected.n_exc if selected is not None else "-",
+                result.exploration_time_seconds(),
+                result.actual_run_time_seconds(
+                    self.scale.n_training_samples, self.scale.n_inference_samples
+                ),
+            ])
+        lines.append(format_table(
+            ["budget_KB", "explored", "feasible", "selected_n_exc",
+             "search_time_s", "actual_run_time_s"],
+            rows,
+        ))
+        return "\n".join(lines)
+
+
+def run_model_search_study(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    memory_budgets_bytes: Optional[Sequence[float]] = None,
+    training_energy_budget_joules: Optional[float] = None,
+    inference_energy_budget_joules: Optional[float] = None,
+    n_add: int = 10,
+    device: DeviceProfile = GTX_1080_TI,
+) -> ModelSearchStudy:
+    """Run the Alg. 1 sweep for a series of memory budgets.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale; defaults to :meth:`ExperimentScale.tiny`.
+    memory_budgets_bytes:
+        Memory budgets to sweep; when omitted, three budgets are derived from
+        the scale's largest network size (0.5x, 1x, and 2x its footprint).
+    training_energy_budget_joules, inference_energy_budget_joules:
+        Optional energy constraints forwarded to the search.
+    n_add:
+        Search step (number of excitatory neurons added per iteration).
+    device:
+        GPU profile used for the energy conversion.
+    """
+    scale = scale if scale is not None else ExperimentScale.tiny()
+    check_positive_int(n_add, "n_add")
+    base_config = scale.config(max(scale.network_sizes))
+
+    if memory_budgets_bytes is None:
+        from repro.estimation.memory import ARCH_SPIKEDYN, architecture_parameter_counts
+
+        reference = architecture_parameter_counts(
+            ARCH_SPIKEDYN, base_config.n_input, max(scale.network_sizes)
+        ).memory_bytes(base_config.bit_precision)
+        memory_budgets_bytes = (0.5 * reference, reference, 2.0 * reference)
+
+    study = ModelSearchStudy(scale=scale, device=device.name)
+    for budget in memory_budgets_bytes:
+        study.results[float(budget)] = search_snn_model(
+            base_config,
+            memory_budget_bytes=float(budget),
+            training_energy_budget_joules=training_energy_budget_joules,
+            inference_energy_budget_joules=inference_energy_budget_joules,
+            n_training_samples=scale.n_training_samples,
+            n_inference_samples=scale.n_inference_samples,
+            n_add=n_add,
+            device=device,
+            rng=scale.seed,
+        )
+    return study

@@ -1,0 +1,144 @@
+"""Fig. 1 — motivational case study (paper Section I-A).
+
+The study feeds consecutive task changes (digit-0, then digit-1, ...) to the
+baseline [Diehl & Cook 2015] and to the state-of-the-art ASP [Panda et al.
+2018] and reports
+
+* Fig. 1(b): the training and inference energy of ASP normalized to the
+  baseline, for two network sizes — ASP costs *more* energy than the baseline
+  because of its extra traces and per-timestep weight leak;
+* Fig. 1(c): the per-task accuracy of both techniques after the whole task
+  sequence — the baseline fails to learn tasks beyond the first ones, ASP
+  keeps learning new tasks at the cost of the energy overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.estimation.energy import EnergyModel
+from repro.estimation.hardware import DeviceProfile, GTX_1080_TI
+from repro.evaluation.protocols import DynamicProtocolResult, run_dynamic_protocol
+from repro.evaluation.reporting import format_table, normalize_to
+from repro.experiments.common import (
+    ExperimentScale,
+    build_model,
+    default_digit_source,
+    measure_sample_counters,
+    sample_images,
+)
+from repro.utils.rng import ensure_rng
+
+#: The two techniques compared in the motivational study.
+MOTIVATION_MODELS: Tuple[str, ...] = ("baseline", "asp")
+
+
+@dataclass
+class MotivationResult:
+    """Structured output of the Fig. 1 reproduction.
+
+    Attributes
+    ----------
+    scale:
+        The experiment scale the study was run at.
+    device:
+        Device name used for the energy conversion.
+    normalized_training_energy, normalized_inference_energy:
+        ``{network_label: {model: energy normalized to the baseline}}``
+        (Fig. 1b).
+    accuracy_per_task:
+        ``{model: DynamicProtocolResult}`` for the largest network size
+        (Fig. 1c reports the per-digit accuracy of N400).
+    """
+
+    scale: ExperimentScale
+    device: str
+    normalized_training_energy: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    normalized_inference_energy: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    accuracy_per_task: Dict[str, DynamicProtocolResult] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Render the Fig. 1(b) and Fig. 1(c) panels as plain-text tables."""
+        lines: List[str] = ["Fig. 1(b) — energy normalized to the baseline "
+                            f"(device: {self.device})"]
+        rows = []
+        for label in self.normalized_training_energy:
+            for model in MOTIVATION_MODELS:
+                rows.append([
+                    label,
+                    model,
+                    self.normalized_training_energy[label][model],
+                    self.normalized_inference_energy[label][model],
+                ])
+        lines.append(format_table(
+            ["network", "model", "training", "inference"], rows
+        ))
+
+        lines.append("")
+        lines.append("Fig. 1(c) — per-task accuracy after the dynamic sequence")
+        accuracy_rows = []
+        for model, result in self.accuracy_per_task.items():
+            for task in result.class_sequence:
+                accuracy_rows.append([
+                    model,
+                    f"digit-{task}",
+                    result.final_task_accuracy[task] * 100.0,
+                ])
+        lines.append(format_table(["model", "task", "accuracy_%"], accuracy_rows))
+        return "\n".join(lines)
+
+
+def run_motivation_study(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    device: DeviceProfile = GTX_1080_TI,
+    energy_measurement_samples: int = 2,
+) -> MotivationResult:
+    """Reproduce the motivational case study of Fig. 1.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale; defaults to :meth:`ExperimentScale.tiny`.
+    device:
+        GPU profile used to convert operation counts into energy.
+    energy_measurement_samples:
+        Number of samples averaged for the per-sample energy measurement.
+    """
+    scale = scale if scale is not None else ExperimentScale.tiny()
+    energy_model = EnergyModel(device)
+    result = MotivationResult(scale=scale, device=device.name)
+
+    images = sample_images(scale, energy_measurement_samples)
+
+    # Fig. 1(b): per-sample energy of ASP relative to the baseline.
+    for n_exc, label in zip(scale.network_sizes, scale.network_labels):
+        training_energy: Dict[str, float] = {}
+        inference_energy: Dict[str, float] = {}
+        for model_name in MOTIVATION_MODELS:
+            model = build_model(model_name, scale.config(n_exc))
+            counters = measure_sample_counters(model, images)
+            training_energy[model_name] = energy_model.estimate(counters.training).joules
+            inference_energy[model_name] = energy_model.estimate(counters.inference).joules
+        result.normalized_training_energy[label] = normalize_to(
+            training_energy, "baseline"
+        )
+        result.normalized_inference_energy[label] = normalize_to(
+            inference_energy, "baseline"
+        )
+
+    # Fig. 1(c): dynamic-environment accuracy of the largest evaluated network.
+    largest = max(scale.network_sizes)
+    for model_name in MOTIVATION_MODELS:
+        source = default_digit_source(scale)
+        model = build_model(model_name, scale.config(largest))
+        result.accuracy_per_task[model_name] = run_dynamic_protocol(
+            model,
+            source,
+            class_sequence=list(scale.class_sequence),
+            samples_per_task=scale.samples_per_task,
+            eval_samples_per_class=scale.eval_samples_per_class,
+            rng=ensure_rng(scale.seed),
+        )
+    return result

@@ -1,0 +1,212 @@
+"""Fig. 4 — eliminating the inhibitory layer (paper Section III-B).
+
+The driver compares the baseline architecture (excitatory + inhibitory
+layers) against SpikeDyn's optimized architecture (direct lateral inhibition)
+on three axes:
+
+* Fig. 4(b): analytical memory footprint of both architectures;
+* Fig. 4(c): per-sample inference energy of both architectures, normalized to
+  the baseline architecture;
+* Fig. 4(d): the accuracy profile of the optimized architecture in a dynamic
+  scenario, which should stay close to the baseline architecture's profile
+  (the learning rule is kept identical for this panel — only the architecture
+  changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.architecture import build_baseline_network, build_spikedyn_network
+from repro.core.config import SpikeDynConfig
+from repro.estimation.energy import EnergyModel
+from repro.estimation.hardware import DeviceProfile, GTX_1080_TI
+from repro.estimation.memory import (
+    ARCH_BASELINE,
+    ARCH_SPIKEDYN,
+    architecture_parameter_counts,
+)
+from repro.evaluation.protocols import DynamicProtocolResult, run_dynamic_protocol
+from repro.evaluation.reporting import format_table
+from repro.experiments.common import ExperimentScale, default_digit_source, sample_images
+from repro.learning.stdp import PairwiseSTDP
+from repro.models.base import UnsupervisedDigitClassifier
+from repro.snn.network import Network
+from repro.utils.rng import ensure_rng
+
+#: Reporting labels of the two compared architectures.
+LABEL_BASELINE_ARCH = "exc+inh layers"
+LABEL_OPTIMIZED_ARCH = "proposed arch."
+
+
+@dataclass
+class ArchitectureReductionResult:
+    """Structured output of the Fig. 4 reproduction.
+
+    Attributes
+    ----------
+    scale:
+        The experiment scale the study was run at.
+    device:
+        Device used for the energy conversion.
+    memory_bytes:
+        ``{network_label: {architecture: analytical memory in bytes}}``.
+    normalized_inference_energy:
+        ``{network_label: {architecture: per-sample inference energy
+        normalized to the baseline architecture}}``.
+    accuracy_profiles:
+        ``{architecture: DynamicProtocolResult}`` for the largest network
+        size, both architectures trained with the *same* (plain STDP)
+        learning rule.
+    """
+
+    scale: ExperimentScale
+    device: str
+    memory_bytes: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    normalized_inference_energy: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    accuracy_profiles: Dict[str, DynamicProtocolResult] = field(default_factory=dict)
+
+    def memory_savings(self, network_label: str) -> float:
+        """Fraction of memory saved by the optimized architecture."""
+        entry = self.memory_bytes[network_label]
+        return 1.0 - entry[LABEL_OPTIMIZED_ARCH] / entry[LABEL_BASELINE_ARCH]
+
+    def energy_savings(self, network_label: str) -> float:
+        """Fraction of inference energy saved by the optimized architecture."""
+        entry = self.normalized_inference_energy[network_label]
+        return 1.0 - entry[LABEL_OPTIMIZED_ARCH] / entry[LABEL_BASELINE_ARCH]
+
+    def to_text(self) -> str:
+        """Render the Fig. 4(b,c,d) panels as plain-text tables."""
+        lines: List[str] = ["Fig. 4(b) — analytical memory footprint [KB]"]
+        memory_rows = []
+        for label, entry in self.memory_bytes.items():
+            for arch, value in entry.items():
+                memory_rows.append([label, arch, value / 1024.0])
+        lines.append(format_table(["network", "architecture", "memory_KB"], memory_rows))
+
+        lines.append("")
+        lines.append(
+            "Fig. 4(c) — inference energy normalized to the exc+inh architecture "
+            f"(device: {self.device})"
+        )
+        energy_rows = []
+        for label, entry in self.normalized_inference_energy.items():
+            for arch, value in entry.items():
+                energy_rows.append([label, arch, value])
+        lines.append(format_table(
+            ["network", "architecture", "normalized_energy"], energy_rows
+        ))
+
+        lines.append("")
+        lines.append("Fig. 4(d) — accuracy profile parity (same STDP rule)")
+        accuracy_rows = []
+        for arch, result in self.accuracy_profiles.items():
+            for task in result.class_sequence:
+                accuracy_rows.append([
+                    arch, f"digit-{task}",
+                    result.final_task_accuracy[task] * 100.0,
+                ])
+        lines.append(format_table(["architecture", "task", "accuracy_%"], accuracy_rows))
+        return "\n".join(lines)
+
+
+class _ArchitectureProbe(UnsupervisedDigitClassifier):
+    """Digit classifier wrapping an arbitrary pre-built network.
+
+    Fig. 4(d) isolates the *architecture* change: both networks are trained
+    with the same plain pairwise-STDP rule, so neither SpikeDyn's learning
+    algorithm nor ASP's plasticity is involved.
+    """
+
+    def __init__(self, config: SpikeDynConfig, network: Network, name: str) -> None:
+        super().__init__(config, network, name=name)
+
+    def architecture_name(self) -> str:
+        return ARCH_SPIKEDYN if self.name == LABEL_OPTIMIZED_ARCH else ARCH_BASELINE
+
+
+def _build_probe(architecture: str, config: SpikeDynConfig) -> _ArchitectureProbe:
+    """Build a probe classifier for one of the two architectures."""
+    rule = PairwiseSTDP(
+        nu_pre=config.nu_pre,
+        nu_post=config.nu_post,
+        tau_pre=config.tau_pre,
+        tau_post=config.tau_post,
+        soft_bounds=config.soft_bounds,
+    )
+    if architecture == LABEL_BASELINE_ARCH:
+        network = build_baseline_network(config, learning_rule=rule, rng=config.seed)
+    else:
+        network = build_spikedyn_network(config, learning_rule=rule, rng=config.seed)
+    return _ArchitectureProbe(config, network, name=architecture)
+
+
+def run_architecture_reduction(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    device: DeviceProfile = GTX_1080_TI,
+    energy_measurement_samples: int = 2,
+    include_accuracy_profile: bool = True,
+) -> ArchitectureReductionResult:
+    """Reproduce the architecture-reduction study of Fig. 4.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale; defaults to :meth:`ExperimentScale.tiny`.
+    device:
+        GPU profile used for the energy conversion.
+    energy_measurement_samples:
+        Number of samples averaged for the per-sample energy measurement.
+    include_accuracy_profile:
+        Skip the (comparatively slow) Fig. 4(d) panel when ``False``.
+    """
+    scale = scale if scale is not None else ExperimentScale.tiny()
+    energy_model = EnergyModel(device)
+    result = ArchitectureReductionResult(scale=scale, device=device.name)
+    images = sample_images(scale, energy_measurement_samples)
+
+    for n_exc, label in zip(scale.network_sizes, scale.network_labels):
+        config = scale.config(n_exc)
+
+        baseline_counts = architecture_parameter_counts(
+            ARCH_BASELINE, config.n_input, n_exc
+        )
+        spikedyn_counts = architecture_parameter_counts(
+            ARCH_SPIKEDYN, config.n_input, n_exc
+        )
+        result.memory_bytes[label] = {
+            LABEL_BASELINE_ARCH: baseline_counts.memory_bytes(config.bit_precision),
+            LABEL_OPTIMIZED_ARCH: spikedyn_counts.memory_bytes(config.bit_precision),
+        }
+
+        energies: Dict[str, float] = {}
+        for arch in (LABEL_BASELINE_ARCH, LABEL_OPTIMIZED_ARCH):
+            probe = _build_probe(arch, config)
+            total = 0.0
+            for image in images:
+                before = probe.counter.copy()
+                probe.respond(image)
+                total += energy_model.estimate(probe.counter - before).joules
+            energies[arch] = total / len(images)
+        reference = energies[LABEL_BASELINE_ARCH]
+        result.normalized_inference_energy[label] = {
+            arch: value / reference for arch, value in energies.items()
+        }
+
+    if include_accuracy_profile:
+        largest = max(scale.network_sizes)
+        for arch in (LABEL_BASELINE_ARCH, LABEL_OPTIMIZED_ARCH):
+            probe = _build_probe(arch, scale.config(largest))
+            source = default_digit_source(scale)
+            result.accuracy_profiles[arch] = run_dynamic_protocol(
+                probe,
+                source,
+                class_sequence=list(scale.class_sequence),
+                samples_per_task=scale.samples_per_task,
+                eval_samples_per_class=scale.eval_samples_per_class,
+                rng=ensure_rng(scale.seed),
+            )
+    return result

@@ -1,0 +1,91 @@
+"""Fig. 10 — confusion matrices of SpikeDyn on previously learned tasks.
+
+After the dynamic task sequence, the SpikeDyn model is evaluated on every
+learned task and the (target, predicted) confusion matrix is assembled for
+each network size.  The paper highlights that digit-4 is predominantly
+misclassified as digit-9 because their learned features overlap and the
+digit-9 task is presented later in the sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.evaluation.confusion import most_confused_pair
+from repro.evaluation.protocols import DynamicProtocolResult, run_dynamic_protocol
+from repro.experiments.common import ExperimentScale, build_model, default_digit_source
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class ConfusionStudyResult:
+    """Structured output of the Fig. 10 reproduction.
+
+    Attributes
+    ----------
+    scale:
+        The experiment scale the study was run at.
+    protocol_results:
+        ``{network_label: DynamicProtocolResult}`` of the SpikeDyn model.
+    """
+
+    scale: ExperimentScale
+    protocol_results: Dict[str, DynamicProtocolResult] = field(default_factory=dict)
+
+    def confusion(self, network_label: str) -> np.ndarray:
+        """Confusion matrix of one network size (targets x predictions)."""
+        return self.protocol_results[network_label].confusion
+
+    def most_confused(self, network_label: str) -> Tuple[int, int]:
+        """The (target, predicted) pair with the most off-diagonal confusions."""
+        return most_confused_pair(self.confusion(network_label))
+
+    def to_text(self) -> str:
+        """Render every confusion matrix as a plain-text grid."""
+        lines: List[str] = []
+        for label, result in self.protocol_results.items():
+            lines.append(f"Fig. 10 ({label}) — SpikeDyn confusion matrix "
+                         "(rows: targets, columns: predictions)")
+            matrix = result.confusion
+            header = "      " + " ".join(f"{col:>5d}" for col in range(matrix.shape[1]))
+            lines.append(header)
+            for target in range(matrix.shape[0]):
+                row = " ".join(f"{int(value):>5d}" for value in matrix[target])
+                lines.append(f"{target:>5d} {row}")
+            confused = self.most_confused(label)
+            lines.append(
+                f"most confused pair: target digit-{confused[0]} "
+                f"predicted as digit-{confused[1]}"
+            )
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+
+def run_confusion_study(
+    scale: Optional[ExperimentScale] = None,
+) -> ConfusionStudyResult:
+    """Reproduce the confusion-matrix study of Fig. 10.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale; defaults to :meth:`ExperimentScale.tiny`.
+    """
+    scale = scale if scale is not None else ExperimentScale.tiny()
+    result = ConfusionStudyResult(scale=scale)
+
+    for n_exc, label in zip(scale.network_sizes, scale.network_labels):
+        model = build_model("spikedyn", scale.config(n_exc))
+        source = default_digit_source(scale)
+        result.protocol_results[label] = run_dynamic_protocol(
+            model,
+            source,
+            class_sequence=list(scale.class_sequence),
+            samples_per_task=scale.samples_per_task,
+            eval_samples_per_class=scale.eval_samples_per_class,
+            rng=ensure_rng(scale.seed),
+        )
+    return result

@@ -1,0 +1,32 @@
+"""Table I — GPU specifications of the paper's evaluation platforms."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.estimation.hardware import DeviceProfile, default_devices
+from repro.evaluation.reporting import format_table
+
+#: Column order of the paper's Table I.
+TABLE1_COLUMNS = (
+    "device", "architecture", "cuda_cores", "memory", "interface_width", "power",
+)
+
+
+def gpu_specification_table(
+    devices: Optional[Sequence[DeviceProfile]] = None,
+) -> str:
+    """Render the paper's Table I as a plain-text table.
+
+    Parameters
+    ----------
+    devices:
+        Device profiles to list; defaults to the paper's three GPUs in the
+        paper's order (Jetson Nano, GTX 1080 Ti, RTX 2080 Ti).
+    """
+    devices = list(devices) if devices is not None else default_devices()
+    rows: List[List[object]] = []
+    for device in devices:
+        row = device.table_row()
+        rows.append([row[column] for column in TABLE1_COLUMNS])
+    return format_table(list(TABLE1_COLUMNS), rows)

@@ -1,0 +1,103 @@
+"""Table II — SpikeDyn processing time on the full MNIST dataset.
+
+The processing time of a phase is extrapolated from the per-sample operation
+count of the SpikeDyn model through the device throughput model::
+
+    hours = weighted_ops_per_sample / throughput * n_samples / 3600
+
+The study reports, for every network size and every GPU of Table I, the
+training hours, the inference hours, and the per-image inference latency —
+exactly the rows of the paper's Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.estimation.hardware import DeviceProfile, default_devices
+from repro.estimation.latency import (
+    MNIST_TEST_SAMPLES,
+    MNIST_TRAIN_SAMPLES,
+    ProcessingTimeReport,
+    processing_time_report,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    build_model,
+    measure_sample_counters,
+    sample_images,
+)
+from repro.snn.simulation import OperationCounter
+
+
+@dataclass
+class ProcessingTimeStudy:
+    """Structured output of the Table II reproduction.
+
+    Attributes
+    ----------
+    scale:
+        The experiment scale the per-sample counters were measured at.
+    per_sample_counters:
+        ``{network_label: {"training": counter, "inference": counter}}``.
+    report:
+        The assembled :class:`~repro.estimation.latency.ProcessingTimeReport`.
+    """
+
+    scale: ExperimentScale
+    per_sample_counters: Dict[str, Dict[str, OperationCounter]] = field(default_factory=dict)
+    report: ProcessingTimeReport = field(default_factory=ProcessingTimeReport)
+
+    def hours(self, process: str, device: str, network: str) -> float:
+        """Table II cell lookup (e.g. ``hours("training", "Jetson Nano", "N400")``)."""
+        return self.report.hours(process, device, network)
+
+    def to_text(self) -> str:
+        """Render the Table II reproduction as plain text."""
+        return ("Table II — SpikeDyn processing time (extrapolated to full MNIST)\n"
+                + self.report.to_text())
+
+
+def run_processing_time_study(
+    scale: Optional[ExperimentScale] = None,
+    *,
+    devices: Optional[Sequence[DeviceProfile]] = None,
+    n_train: int = MNIST_TRAIN_SAMPLES,
+    n_test: int = MNIST_TEST_SAMPLES,
+    energy_measurement_samples: int = 2,
+) -> ProcessingTimeStudy:
+    """Reproduce the processing-time study of Table II.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale used to measure per-sample operation counters;
+        defaults to :meth:`ExperimentScale.tiny`.
+    devices:
+        GPU profiles; defaults to the paper's three devices.
+    n_train, n_test:
+        Phase sample counts (the paper uses the full MNIST 60k / 10k split).
+    energy_measurement_samples:
+        Number of samples averaged for the per-sample measurement.
+    """
+    scale = scale if scale is not None else ExperimentScale.tiny()
+    devices = list(devices) if devices is not None else default_devices()
+    study = ProcessingTimeStudy(scale=scale)
+    images = sample_images(scale, energy_measurement_samples)
+
+    for n_exc, label in zip(scale.network_sizes, scale.network_labels):
+        model = build_model("spikedyn", scale.config(n_exc))
+        counters = measure_sample_counters(model, images)
+        study.per_sample_counters[label] = {
+            "training": counters.training,
+            "inference": counters.inference,
+        }
+
+    study.report = processing_time_report(
+        study.per_sample_counters,
+        devices=devices,
+        n_train=n_train,
+        n_test=n_test,
+    )
+    return study

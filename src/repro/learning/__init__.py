@@ -1,0 +1,21 @@
+"""Synaptic learning rules.
+
+This package provides the comparison partners used in the paper's
+evaluation:
+
+* :class:`~repro.learning.stdp.PairwiseSTDP` — the classic trace-based STDP
+  of the Diehl & Cook (2015) baseline, which updates weights at every pre-
+  and postsynaptic spike event;
+* :class:`~repro.learning.asp.ASPLearningRule` — Adaptive Synaptic Plasticity
+  (Panda et al., IEEE JETCAS 2018), the state-of-the-art comparator, which
+  adds recency-modulated learning rates and an activity-dependent weight leak
+  ("learning to forget").
+
+SpikeDyn's own learning algorithm lives in :mod:`repro.core.learning`.
+"""
+
+from repro.learning.asp import ASPLearningRule
+from repro.learning.base import LearningRule
+from repro.learning.stdp import PairwiseSTDP
+
+__all__ = ["ASPLearningRule", "LearningRule", "PairwiseSTDP"]

@@ -1,0 +1,90 @@
+"""Base class shared by all learning rules.
+
+A learning rule is attached to a plastic :class:`~repro.snn.synapses.Connection`
+and driven by the network once per timestep.  The rule owns its own pre- and
+postsynaptic spike traces so that the connection object stays a passive
+weight container.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.simulation import OperationCounter
+from repro.snn.synapses import Connection
+from repro.snn.traces import SpikeTrace
+from repro.utils.validation import check_positive
+
+
+class LearningRule:
+    """Abstract learning rule with lazily initialized spike traces.
+
+    Parameters
+    ----------
+    tau_pre, tau_post:
+        Time constants (ms) of the presynaptic and postsynaptic traces.
+    trace_mode:
+        ``'set'`` or ``'add'`` — see :class:`~repro.snn.traces.SpikeTrace`.
+    """
+
+    def __init__(self, *, tau_pre: float = 20.0, tau_post: float = 20.0,
+                 trace_mode: str = "set") -> None:
+        self.tau_pre = check_positive(tau_pre, "tau_pre")
+        self.tau_post = check_positive(tau_post, "tau_post")
+        self.trace_mode = trace_mode
+        self.pre_trace: Optional[SpikeTrace] = None
+        self.post_trace: Optional[SpikeTrace] = None
+
+    # -- trace management ---------------------------------------------------
+
+    def _ensure_traces(self, connection: Connection) -> None:
+        """Create the spike traces on first use (sizes come from the connection)."""
+        if self.pre_trace is None or self.pre_trace.n != connection.pre.n:
+            self.pre_trace = SpikeTrace(connection.pre.n, tau=self.tau_pre,
+                                        mode=self.trace_mode)
+        if self.post_trace is None or self.post_trace.n != connection.post.n:
+            self.post_trace = SpikeTrace(connection.post.n, tau=self.tau_post,
+                                         mode=self.trace_mode)
+
+    def _update_traces(self, connection: Connection, dt: float,
+                       counter: Optional[OperationCounter]) -> None:
+        """Decay and bump both traces from the current spike vectors."""
+        self._ensure_traces(connection)
+        self.pre_trace.step(connection.pre.spikes, dt, counter)
+        self.post_trace.step(connection.post.spikes, dt, counter)
+
+    def reset(self) -> None:
+        """Clear all rule-internal state (traces and accumulators)."""
+        if self.pre_trace is not None:
+            self.pre_trace.reset()
+        if self.post_trace is not None:
+            self.post_trace.reset()
+
+    # -- hooks driven by the network ----------------------------------------
+
+    def on_sample_start(self, connection: Connection) -> None:
+        """Called before a sample presentation begins."""
+        self._ensure_traces(connection)
+        self.pre_trace.reset()
+        self.post_trace.reset()
+
+    def step(self, connection: Connection, dt: float, t_index: int,
+             counter: Optional[OperationCounter] = None) -> None:
+        """Called once per timestep while learning is enabled."""
+        raise NotImplementedError
+
+    def on_sample_end(self, connection: Connection,
+                      counter: Optional[OperationCounter] = None) -> None:
+        """Called after a sample presentation ends (weight normalization)."""
+        connection.normalize(counter)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+def outer_update(pre_vector: np.ndarray, post_vector: np.ndarray) -> np.ndarray:
+    """Outer product helper used by weight-update computations."""
+    return np.outer(np.asarray(pre_vector, dtype=float),
+                    np.asarray(post_vector, dtype=float))

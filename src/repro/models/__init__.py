@@ -1,0 +1,25 @@
+"""Reference network models used in the paper's evaluation.
+
+Three models share the same public interface
+(:class:`~repro.models.base.UnsupervisedDigitClassifier`):
+
+* :class:`~repro.models.diehl_cook.DiehlCookModel` — the **baseline** [2]:
+  excitatory + inhibitory layers trained with per-spike-event pairwise STDP;
+* :class:`~repro.models.asp_model.ASPModel` — the **state-of-the-art** [7]:
+  the same architecture trained with Adaptive Synaptic Plasticity;
+* :class:`~repro.models.spikedyn_model.SpikeDynModel` — the paper's
+  contribution: direct lateral inhibition plus the SpikeDyn continual and
+  unsupervised learning rule.
+"""
+
+from repro.models.asp_model import ASPModel
+from repro.models.base import UnsupervisedDigitClassifier
+from repro.models.diehl_cook import DiehlCookModel
+from repro.models.spikedyn_model import SpikeDynModel
+
+__all__ = [
+    "ASPModel",
+    "DiehlCookModel",
+    "SpikeDynModel",
+    "UnsupervisedDigitClassifier",
+]

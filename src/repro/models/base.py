@@ -1,0 +1,215 @@
+"""Shared model interface for unsupervised spiking digit classifiers.
+
+A model owns a network, a spike encoder, and the evaluation read-out state
+(per-neuron class assignments).  The three comparison partners of the paper
+(baseline, ASP, SpikeDyn) differ only in the network architecture and the
+learning rule they plug into this class.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import SpikeDynConfig
+from repro.datasets.streams import StreamSample
+from repro.encoding.rate import PoissonRateEncoder
+from repro.evaluation.labeling import assign_neuron_labels, predict_from_responses
+from repro.evaluation.metrics import accuracy as accuracy_metric
+from repro.snn.network import Network
+from repro.snn.simulation import OperationCounter
+from repro.utils.rng import ensure_rng
+from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
+
+PathLike = Union[str, Path]
+
+#: Number of digit classes in the (synthetic or real) MNIST task.
+N_CLASSES = 10
+
+
+class UnsupervisedDigitClassifier:
+    """Base class binding a network, an encoder, and the read-out together.
+
+    Parameters
+    ----------
+    config:
+        Hyperparameter bundle (sizes, timing, encoding, learning constants).
+    network:
+        The constructed spiking network; its input group must be named
+        ``"input"`` and its excitatory group ``"excitatory"``.
+    encoder:
+        Spike encoder converting images into input spike trains; built from
+        the configuration when omitted.
+    name:
+        Model identifier used in reports.
+    """
+
+    def __init__(self, config: SpikeDynConfig, network: Network,
+                 encoder: Optional[PoissonRateEncoder] = None,
+                 name: str = "model") -> None:
+        self.config = config
+        self.network = network
+        self.name = str(name)
+        self.encoder = encoder if encoder is not None else PoissonRateEncoder(
+            duration=config.t_sim,
+            dt=config.dt,
+            max_rate=config.max_rate,
+            intensity_scale=config.intensity_scale,
+            rng=ensure_rng(config.seed),
+        )
+        self.assignments = np.full(config.n_exc, -1, dtype=int)
+        self.samples_trained = 0
+
+    # -- basic properties -----------------------------------------------------
+
+    @property
+    def n_exc(self) -> int:
+        """Number of excitatory neurons."""
+        return self.config.n_exc
+
+    @property
+    def n_input(self) -> int:
+        """Number of input neurons (pixels)."""
+        return self.config.n_input
+
+    @property
+    def counter(self) -> OperationCounter:
+        """The network's cumulative operation counter."""
+        return self.network.counter
+
+    @property
+    def input_weights(self) -> np.ndarray:
+        """The learned input→excitatory weight matrix (a live view)."""
+        return self.network.connection("input_to_exc").weights
+
+    def architecture_name(self) -> str:
+        """Architecture identifier for the analytical estimators."""
+        raise NotImplementedError
+
+    # -- training and responses ------------------------------------------------
+
+    def _encode(self, image: np.ndarray) -> np.ndarray:
+        image = np.asarray(image, dtype=float)
+        if image.size != self.n_input:
+            raise ValueError(
+                f"image has {image.size} pixels but the model expects {self.n_input}"
+            )
+        return self.encoder.encode(image)
+
+    def train_sample(self, image: np.ndarray) -> np.ndarray:
+        """Present one image with plasticity enabled; returns exc. spike counts."""
+        result = self.network.run_sample(self._encode(image), learning=True)
+        self.samples_trained += 1
+        return result.counts("excitatory")
+
+    def respond(self, image: np.ndarray) -> np.ndarray:
+        """Present one image with plasticity disabled; returns exc. spike counts."""
+        result = self.network.run_sample(self._encode(image), learning=False)
+        return result.counts("excitatory")
+
+    def train_stream(self, stream: Iterable[StreamSample]) -> int:
+        """Train on every sample of a task stream; returns the sample count."""
+        count = 0
+        for sample in stream:
+            self.train_sample(sample.image)
+            count += 1
+        return count
+
+    def respond_batch(self, images: Sequence[np.ndarray]) -> np.ndarray:
+        """Responses (spike counts) for a batch of images, shape ``(n, n_exc)``."""
+        responses = np.zeros((len(images), self.n_exc), dtype=float)
+        for index, image in enumerate(images):
+            responses[index] = self.respond(image)
+        return responses
+
+    # -- read-out ---------------------------------------------------------------
+
+    def assign_labels(self, images: Sequence[np.ndarray],
+                      labels: Sequence[int]) -> np.ndarray:
+        """Assign neuron labels from a labelled assignment set."""
+        responses = self.respond_batch(images)
+        self.assignments = assign_neuron_labels(
+            responses, np.asarray(labels, dtype=int), N_CLASSES
+        )
+        return self.assignments
+
+    def predict(self, images: Sequence[np.ndarray]) -> np.ndarray:
+        """Predict classes for ``images`` using the current assignments."""
+        responses = self.respond_batch(images)
+        return predict_from_responses(responses, self.assignments, N_CLASSES)
+
+    def evaluate_accuracy(self, images: Sequence[np.ndarray],
+                          labels: Sequence[int]) -> float:
+        """Classification accuracy on a labelled evaluation set."""
+        predictions = self.predict(images)
+        return accuracy_metric(predictions, np.asarray(labels, dtype=int))
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def reset_counter(self) -> OperationCounter:
+        """Return a copy of the counter and reset it (for per-phase accounting)."""
+        snapshot = self.network.counter.copy()
+        self.network.counter.reset()
+        return snapshot
+
+    def describe(self) -> Dict[str, object]:
+        """Small summary dictionary used in reports and serialization."""
+        return {
+            "name": self.name,
+            "architecture": self.architecture_name(),
+            "n_input": self.n_input,
+            "n_exc": self.n_exc,
+            "samples_trained": self.samples_trained,
+        }
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, directory: PathLike) -> Path:
+        """Save the learned weights, assignments, and configuration.
+
+        Returns the directory the files were written to.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        arrays = {
+            "input_weights": self.input_weights,
+            "assignments": self.assignments,
+        }
+        excitatory = self.network.group("excitatory")
+        theta = getattr(excitatory, "theta", None)
+        if theta is not None:
+            arrays["theta"] = theta
+        save_arrays(arrays, directory / "state.npz")
+        save_json(
+            {"config": self.config.to_dict(), "meta": self.describe()},
+            directory / "model.json",
+        )
+        return directory
+
+    def load_state(self, directory: PathLike) -> None:
+        """Restore weights and assignments written by :meth:`save`."""
+        directory = Path(directory)
+        arrays = load_arrays(directory / "state.npz")
+        metadata = load_json(directory / "model.json")
+        stored_config = SpikeDynConfig.from_dict(metadata["config"])
+        if (stored_config.n_input, stored_config.n_exc) != (self.n_input, self.n_exc):
+            raise ValueError(
+                "stored model size "
+                f"({stored_config.n_input}x{stored_config.n_exc}) does not match "
+                f"this model ({self.n_input}x{self.n_exc})"
+            )
+        connection = self.network.connection("input_to_exc")
+        connection.weights[:] = arrays["input_weights"]
+        self.assignments = arrays["assignments"].astype(int)
+        excitatory = self.network.group("excitatory")
+        if "theta" in arrays and hasattr(excitatory, "theta"):
+            excitatory.theta[:] = arrays["theta"]
+        self.samples_trained = int(metadata["meta"].get("samples_trained", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(n_input={self.n_input}, n_exc={self.n_exc}, "
+            f"samples_trained={self.samples_trained})"
+        )

@@ -1,0 +1,90 @@
+"""Recording utilities for simulations.
+
+Monitors are attached to a :class:`~repro.snn.network.Network` and sampled
+once per timestep.  They are used by the evaluation protocols (spike-count
+responses for neuron labelling) and by tests that inspect internal dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.snn.neurons import NeuronGroup
+
+
+class SpikeMonitor:
+    """Accumulates spike counts (and optionally the full raster) of a group.
+
+    Parameters
+    ----------
+    group:
+        The neuron group to observe.
+    record_raster:
+        When ``True`` the full boolean spike raster is kept (one row per
+        timestep); otherwise only cumulative per-neuron counts are stored.
+    """
+
+    def __init__(self, group: NeuronGroup, record_raster: bool = False) -> None:
+        self.group = group
+        self.record_raster = bool(record_raster)
+        self.counts = np.zeros(group.n, dtype=np.int64)
+        self._raster: List[np.ndarray] = []
+
+    def observe(self) -> None:
+        """Sample the group's current spike vector."""
+        self.counts += self.group.spikes
+        if self.record_raster:
+            self._raster.append(self.group.spikes.copy())
+
+    def reset(self) -> None:
+        """Clear accumulated counts and raster."""
+        self.counts[:] = 0
+        self._raster.clear()
+
+    @property
+    def total_spikes(self) -> int:
+        """Total number of spikes observed since the last reset."""
+        return int(self.counts.sum())
+
+    @property
+    def raster(self) -> np.ndarray:
+        """Boolean raster of shape ``(timesteps, n)`` (empty if not recorded)."""
+        if not self._raster:
+            return np.zeros((0, self.group.n), dtype=bool)
+        return np.vstack(self._raster)
+
+
+class StateMonitor:
+    """Records a named numeric attribute of any simulation object each step."""
+
+    def __init__(self, target, attribute: str) -> None:
+        if not hasattr(target, attribute):
+            raise AttributeError(
+                f"{type(target).__name__} has no attribute {attribute!r}"
+            )
+        self.target = target
+        self.attribute = attribute
+        self._history: List[np.ndarray] = []
+
+    def observe(self) -> None:
+        """Append a copy of the observed attribute's current value."""
+        value = getattr(self.target, self.attribute)
+        self._history.append(np.array(value, dtype=float, copy=True))
+
+    def reset(self) -> None:
+        """Clear the recorded history."""
+        self._history.clear()
+
+    @property
+    def history(self) -> np.ndarray:
+        """Stacked history with shape ``(timesteps, *value_shape)``."""
+        if not self._history:
+            return np.zeros((0,), dtype=float)
+        return np.stack(self._history)
+
+    @property
+    def last(self) -> Optional[np.ndarray]:
+        """Most recently observed value, or ``None`` if nothing was recorded."""
+        return self._history[-1] if self._history else None

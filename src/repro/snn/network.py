@@ -1,0 +1,270 @@
+"""Network orchestration: groups, connections, monitors, and the run loop.
+
+A :class:`Network` owns an input group, any number of downstream neuron
+groups, and the connections between them.  :meth:`Network.run_sample`
+presents one rate-coded sample (a boolean spike train) to the input group,
+advances the whole network timestep by timestep, drives attached learning
+rules, and returns per-group spike counts.
+
+The ordering within one timestep is:
+
+1. the input group replays the next row of its spike train;
+2. every connection converts its presynaptic spikes (input spikes from this
+   timestep, recurrent/lateral spikes from the previous timestep) into
+   postsynaptic currents;
+3. every non-input group integrates its summed current and fires;
+4. plastic connections run their learning rule.
+
+All primitive operations are tallied in the network's
+:class:`~repro.snn.simulation.OperationCounter`, which feeds the energy and
+latency models in :mod:`repro.estimation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.snn.monitors import SpikeMonitor, StateMonitor
+from repro.snn.neurons import InputGroup, NeuronGroup
+from repro.snn.simulation import OperationCounter, SimulationParameters
+from repro.snn.synapses import Connection
+
+
+@dataclass
+class SampleResult:
+    """Outcome of presenting a single sample to the network.
+
+    Attributes
+    ----------
+    spike_counts:
+        Mapping from group name to the per-neuron spike-count vector
+        accumulated over the presentation window.
+    steps:
+        Number of simulation steps executed (presentation plus rest).
+    learning:
+        Whether plasticity was enabled during the presentation.
+    """
+
+    spike_counts: Dict[str, np.ndarray] = field(default_factory=dict)
+    steps: int = 0
+    learning: bool = True
+
+    def counts(self, group_name: str) -> np.ndarray:
+        """Spike counts of ``group_name`` (raises ``KeyError`` if unknown)."""
+        return self.spike_counts[group_name]
+
+
+class Network:
+    """A spiking neural network assembled from groups and connections.
+
+    Parameters
+    ----------
+    params:
+        Global simulation timing parameters.  Defaults to the paper's
+        350 ms presentation / 150 ms rest at a 1 ms timestep; experiments in
+        this repository typically scale these down.
+    name:
+        Identifier used in reports.
+    """
+
+    def __init__(self, params: Optional[SimulationParameters] = None,
+                 name: str = "snn") -> None:
+        self.params = params if params is not None else SimulationParameters()
+        self.name = str(name)
+        self.groups: Dict[str, NeuronGroup] = {}
+        self.connections: List[Connection] = []
+        self.spike_monitors: List[SpikeMonitor] = []
+        self.state_monitors: List[StateMonitor] = []
+        self.counter = OperationCounter()
+        self._input_group: Optional[InputGroup] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_group(self, group: NeuronGroup) -> NeuronGroup:
+        """Register a neuron group (its name must be unique)."""
+        if group.name in self.groups:
+            raise ValueError(f"a group named {group.name!r} already exists")
+        self.groups[group.name] = group
+        if isinstance(group, InputGroup):
+            if self._input_group is not None:
+                raise ValueError("network already has an input group")
+            self._input_group = group
+        return group
+
+    def add_connection(self, connection: Connection) -> Connection:
+        """Register a connection (both endpoint groups must be registered)."""
+        for endpoint in (connection.pre, connection.post):
+            if endpoint.name not in self.groups or self.groups[endpoint.name] is not endpoint:
+                raise ValueError(
+                    f"group {endpoint.name!r} must be added to the network "
+                    "before connections that use it"
+                )
+        self.connections.append(connection)
+        return connection
+
+    def add_spike_monitor(self, monitor: SpikeMonitor) -> SpikeMonitor:
+        """Attach a spike monitor that is sampled every timestep."""
+        self.spike_monitors.append(monitor)
+        return monitor
+
+    def add_state_monitor(self, monitor: StateMonitor) -> StateMonitor:
+        """Attach a state monitor that is sampled every timestep."""
+        self.state_monitors.append(monitor)
+        return monitor
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def input_group(self) -> InputGroup:
+        """The network's input group (raises if none was added)."""
+        if self._input_group is None:
+            raise RuntimeError("network has no InputGroup")
+        return self._input_group
+
+    def group(self, name: str) -> NeuronGroup:
+        """Look up a group by name."""
+        return self.groups[name]
+
+    def connection(self, name: str) -> Connection:
+        """Look up a connection by name (raises ``KeyError`` if unknown)."""
+        for conn in self.connections:
+            if conn.name == name:
+                return conn
+        raise KeyError(f"no connection named {name!r}")
+
+    @property
+    def weight_count(self) -> int:
+        """Total number of synaptic weights across all connections."""
+        return sum(conn.weight_count for conn in self.connections)
+
+    @property
+    def neuron_parameter_count(self) -> int:
+        """Total number of per-neuron state parameters across all groups."""
+        return sum(group.parameter_count for group in self.groups.values())
+
+    # -- simulation ----------------------------------------------------------
+
+    def reset_transient_state(self) -> None:
+        """Reset per-sample state (potentials, conductances, input cursors)."""
+        for group in self.groups.values():
+            group.reset_state(full=False)
+        for connection in self.connections:
+            connection.reset_state(full=False)
+
+    def reset(self, full: bool = False) -> None:
+        """Reset the network.
+
+        With ``full=True`` adaptation variables and learning-rule state are
+        also cleared; synaptic weights are never touched.
+        """
+        for group in self.groups.values():
+            group.reset_state(full=full)
+        for connection in self.connections:
+            connection.reset_state(full=full)
+        for monitor in self.spike_monitors:
+            monitor.reset()
+        for monitor in self.state_monitors:
+            monitor.reset()
+        self.counter.reset()
+
+    def _step(self, dt: float, learning: bool, t_index: int) -> None:
+        """Advance all groups and connections by one timestep."""
+        counter = self.counter
+
+        # 1. Input group replays the next spike-train row.
+        if self._input_group is not None:
+            self._input_group.step(np.zeros(self._input_group.n), dt, counter)
+
+        # 2. Gather currents per target group (one-step delay for recurrence).
+        currents: Dict[str, np.ndarray] = {
+            name: np.zeros(group.n, dtype=float)
+            for name, group in self.groups.items()
+            if not isinstance(group, InputGroup)
+        }
+        for connection in self.connections:
+            current = connection.propagate(dt, counter)
+            currents[connection.post.name] += current
+
+        # 3. Non-input groups integrate and fire.
+        for name, group in self.groups.items():
+            if isinstance(group, InputGroup):
+                continue
+            group.step(currents[name], dt, counter)
+
+        # 4. Plasticity.
+        if learning:
+            for connection in self.connections:
+                if connection.learning_rule is not None:
+                    connection.learning_rule.step(connection, dt, t_index, counter)
+
+        # 5. Monitors.
+        for monitor in self.spike_monitors:
+            monitor.observe()
+        for monitor in self.state_monitors:
+            monitor.observe()
+
+    def run_sample(self, spike_train: np.ndarray, *, learning: bool = True,
+                   include_rest: bool = False) -> SampleResult:
+        """Present one rate-coded sample to the network.
+
+        Parameters
+        ----------
+        spike_train:
+            Boolean array of shape ``(timesteps, n_input)``.
+        learning:
+            Enable plasticity on connections with learning rules.
+        include_rest:
+            When ``True``, simulate ``params.rest_steps`` additional steps
+            with no input after the presentation window.
+
+        Returns
+        -------
+        SampleResult
+            Per-group spike counts over the presentation window.
+        """
+        dt = self.params.dt
+        input_group = self.input_group
+        input_group.set_spike_train(spike_train)
+
+        spike_counts = {
+            name: np.zeros(group.n, dtype=np.int64)
+            for name, group in self.groups.items()
+        }
+
+        if learning:
+            for connection in self.connections:
+                if connection.learning_rule is not None:
+                    connection.learning_rule.on_sample_start(connection)
+
+        steps = int(np.asarray(spike_train).shape[0])
+        for t_index in range(steps):
+            self._step(dt, learning, t_index)
+            for name, group in self.groups.items():
+                spike_counts[name] += group.spikes
+
+        rest_steps = self.params.rest_steps if include_rest else 0
+        if rest_steps:
+            input_group.clear_spike_train()
+            for t_index in range(steps, steps + rest_steps):
+                self._step(dt, learning=False, t_index=t_index)
+
+        if learning:
+            for connection in self.connections:
+                if connection.learning_rule is not None:
+                    connection.learning_rule.on_sample_end(connection, self.counter)
+
+        self.reset_transient_state()
+        return SampleResult(
+            spike_counts=spike_counts,
+            steps=steps + rest_steps,
+            learning=learning,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Network(name={self.name!r}, groups={list(self.groups)}, "
+            f"connections={[c.name for c in self.connections]})"
+        )

@@ -1,0 +1,314 @@
+"""Neuron group models.
+
+Three neuron groups are provided:
+
+``InputGroup``
+    Replays a pre-computed spike train (e.g. a Poisson rate-coded image).
+``LIFGroup``
+    Leaky Integrate-and-Fire neurons with exponential membrane decay,
+    refractory period, and a fixed firing threshold.  Used for the inhibitory
+    layer of the baseline architecture.
+``AdaptiveLIFGroup``
+    LIF neurons with an adaptation potential ``theta`` added to the firing
+    threshold (``V_th + theta``), increased on every spike and exponentially
+    decaying otherwise.  Used for the excitatory layer, exactly as in
+    Diehl & Cook (2015) and in the SpikeDyn paper's Section II.
+
+All state is vectorized; a group of ``n`` neurons stores ``n``-element numpy
+arrays and advances one timestep per :meth:`step` call.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.simulation import OperationCounter
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+class NeuronGroup:
+    """Base class for all neuron groups.
+
+    Parameters
+    ----------
+    n:
+        Number of neurons in the group.
+    name:
+        Human-readable identifier used by the network and monitors.
+    """
+
+    def __init__(self, n: int, name: str = "group") -> None:
+        self.n = check_positive_int(n, "n")
+        self.name = str(name)
+        self.spikes = np.zeros(self.n, dtype=bool)
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def parameter_count(self) -> int:
+        """Number of per-neuron state parameters held in memory.
+
+        Used by the analytical memory model (Section III-C of the paper):
+        each neuron parameter contributes ``bit_precision`` bits.
+        """
+        return 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset_state(self, full: bool = False) -> None:
+        """Clear transient state between samples.
+
+        Parameters
+        ----------
+        full:
+            When ``True`` also clear slowly-varying adaptation state (e.g.
+            the threshold adaptation ``theta``), returning the group to its
+            construction-time state.
+        """
+        # Reassign instead of zeroing in place: ``spikes`` may alias external
+        # data (e.g. a row of the spike train an InputGroup is replaying).
+        self.spikes = np.zeros(self.n, dtype=bool)
+
+    def step(self, input_current: np.ndarray, dt: float,
+             counter: Optional[OperationCounter] = None) -> np.ndarray:
+        """Advance the group by one timestep and return the spike vector."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r}, n={self.n})"
+
+
+class InputGroup(NeuronGroup):
+    """Spike-source group that replays an externally supplied spike train."""
+
+    def __init__(self, n: int, name: str = "input") -> None:
+        super().__init__(n, name)
+        self._train: Optional[np.ndarray] = None
+        self._cursor = 0
+
+    @property
+    def parameter_count(self) -> int:
+        # Input neurons carry no persistent state parameters.
+        return 0
+
+    def set_spike_train(self, train: np.ndarray) -> None:
+        """Load a ``(timesteps, n)`` boolean spike train for replay."""
+        train = np.asarray(train)
+        if train.ndim != 2 or train.shape[1] != self.n:
+            raise ValueError(
+                f"spike train must have shape (timesteps, {self.n}), got {train.shape}"
+            )
+        self._train = train.astype(bool)
+        self._cursor = 0
+
+    def clear_spike_train(self) -> None:
+        """Remove the loaded spike train (the group then emits no spikes)."""
+        self._train = None
+        self._cursor = 0
+
+    @property
+    def remaining_steps(self) -> int:
+        """Number of not-yet-replayed timesteps in the loaded train."""
+        if self._train is None:
+            return 0
+        return max(0, self._train.shape[0] - self._cursor)
+
+    def reset_state(self, full: bool = False) -> None:
+        super().reset_state(full)
+        self._cursor = 0
+        if full:
+            self._train = None
+
+    def step(self, input_current: np.ndarray, dt: float,
+             counter: Optional[OperationCounter] = None) -> np.ndarray:
+        """Emit the next row of the loaded spike train (or silence)."""
+        if self._train is None or self._cursor >= self._train.shape[0]:
+            self.spikes = np.zeros(self.n, dtype=bool)
+        else:
+            self.spikes = self._train[self._cursor]
+            self._cursor += 1
+        return self.spikes
+
+
+class LIFGroup(NeuronGroup):
+    """Leaky Integrate-and-Fire neurons.
+
+    The membrane potential follows exponential decay towards ``v_rest`` and
+    integrates the synaptic input current::
+
+        v <- v_rest + (v - v_rest) * exp(-dt / tau_m) + I * dt
+
+    A neuron fires when ``v`` exceeds :meth:`firing_threshold`, after which
+    the potential is clamped to ``v_reset`` for ``refractory`` milliseconds.
+
+    Parameters
+    ----------
+    n:
+        Number of neurons.
+    v_rest, v_reset, v_thresh:
+        Resting, reset, and threshold potentials (mV).
+    tau_m:
+        Membrane time constant (ms).
+    refractory:
+        Absolute refractory period (ms).
+    name:
+        Group identifier.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        v_rest: float = -65.0,
+        v_reset: float = -65.0,
+        v_thresh: float = -52.0,
+        tau_m: float = 100.0,
+        refractory: float = 5.0,
+        name: str = "lif",
+    ) -> None:
+        super().__init__(n, name)
+        if v_thresh <= v_reset:
+            raise ValueError(
+                f"v_thresh ({v_thresh}) must be above v_reset ({v_reset})"
+            )
+        self.v_rest = float(v_rest)
+        self.v_reset = float(v_reset)
+        self.v_thresh = float(v_thresh)
+        self.tau_m = check_positive(tau_m, "tau_m")
+        self.refractory = check_non_negative(refractory, "refractory")
+
+        self.v = np.full(self.n, self.v_rest, dtype=float)
+        self.refrac_remaining = np.zeros(self.n, dtype=float)
+
+    @property
+    def parameter_count(self) -> int:
+        # Membrane potential and refractory timer per neuron.
+        return 2 * self.n
+
+    def firing_threshold(self) -> np.ndarray:
+        """Per-neuron firing threshold (``V_th`` for a plain LIF group)."""
+        return np.full(self.n, self.v_thresh, dtype=float)
+
+    def reset_state(self, full: bool = False) -> None:
+        super().reset_state(full)
+        self.v[:] = self.v_rest
+        self.refrac_remaining[:] = 0.0
+
+    def step(self, input_current: np.ndarray, dt: float,
+             counter: Optional[OperationCounter] = None) -> np.ndarray:
+        input_current = np.asarray(input_current, dtype=float)
+        if input_current.shape != (self.n,):
+            raise ValueError(
+                f"input_current must have shape ({self.n},), got {input_current.shape}"
+            )
+
+        # Exponential membrane decay towards the resting potential.
+        decay = np.exp(-dt / self.tau_m)
+        self.v = self.v_rest + (self.v - self.v_rest) * decay
+
+        # Integrate input only outside the refractory period.
+        active = self.refrac_remaining <= 0.0
+        self.v = np.where(active, self.v + input_current * dt, self.v)
+
+        # Spike generation against the (possibly adaptive) threshold.
+        threshold = self.firing_threshold()
+        self.spikes = active & (self.v >= threshold)
+
+        # Reset and refractory bookkeeping.
+        self.v = np.where(self.spikes, self.v_reset, self.v)
+        self.refrac_remaining = np.where(
+            self.spikes, self.refractory, np.maximum(self.refrac_remaining - dt, 0.0)
+        )
+
+        if counter is not None:
+            counter.add(
+                neuron_updates=self.n,
+                exponential_ops=self.n,
+                spike_events=int(self.spikes.sum()),
+            )
+        self._post_spike_update(dt, counter)
+        return self.spikes
+
+    def _post_spike_update(self, dt: float,
+                           counter: Optional[OperationCounter]) -> None:
+        """Hook for subclasses to update adaptation state after spiking."""
+
+
+class AdaptiveLIFGroup(LIFGroup):
+    """LIF neurons with an adaptive threshold potential ``V_th + theta``.
+
+    Each spike increases the neuron's adaptation potential ``theta`` by
+    ``theta_plus``; otherwise ``theta`` decays exponentially with time
+    constant ``tau_theta``.  This is the homeostatic mechanism that prevents
+    single neurons from dominating the spiking activity (paper Section II).
+
+    Parameters
+    ----------
+    theta_plus:
+        Increment added to ``theta`` on every spike (mV).
+    tau_theta:
+        Exponential decay time constant of ``theta`` (ms).  The paper calls
+        the corresponding decay rate ``theta_decay``.
+    theta_init:
+        Initial adaptation potential applied to all neurons (mV).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        v_rest: float = -65.0,
+        v_reset: float = -65.0,
+        v_thresh: float = -52.0,
+        tau_m: float = 100.0,
+        refractory: float = 5.0,
+        theta_plus: float = 0.05,
+        tau_theta: float = 1.0e7,
+        theta_init: float = 0.0,
+        name: str = "excitatory",
+    ) -> None:
+        super().__init__(
+            n,
+            v_rest=v_rest,
+            v_reset=v_reset,
+            v_thresh=v_thresh,
+            tau_m=tau_m,
+            refractory=refractory,
+            name=name,
+        )
+        self.theta_plus = check_non_negative(theta_plus, "theta_plus")
+        self.tau_theta = check_positive(tau_theta, "tau_theta")
+        self.theta_init = check_non_negative(theta_init, "theta_init")
+        self.theta = np.full(self.n, self.theta_init, dtype=float)
+        self.adapt_theta = True
+
+    @property
+    def parameter_count(self) -> int:
+        # Membrane potential, refractory timer, and theta per neuron.
+        return 3 * self.n
+
+    @property
+    def theta_decay_rate(self) -> float:
+        """Decay rate of the adaptation potential (``1 / tau_theta``)."""
+        return 1.0 / self.tau_theta
+
+    def firing_threshold(self) -> np.ndarray:
+        return self.v_thresh + self.theta
+
+    def reset_state(self, full: bool = False) -> None:
+        super().reset_state(full)
+        if full:
+            self.theta[:] = self.theta_init
+
+    def _post_spike_update(self, dt: float,
+                           counter: Optional[OperationCounter]) -> None:
+        if not self.adapt_theta:
+            return
+        # Exponential decay of theta, plus an additive boost on spikes.
+        self.theta = self.theta * np.exp(-dt / self.tau_theta)
+        if self.theta_plus > 0.0:
+            self.theta = self.theta + self.theta_plus * self.spikes
+        if counter is not None:
+            counter.add(exponential_ops=self.n, neuron_updates=self.n)

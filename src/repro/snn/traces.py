@@ -1,0 +1,83 @@
+"""Exponentially decaying spike traces.
+
+Trace-based STDP (used by the baseline, ASP, and SpikeDyn learning rules)
+keeps a low-pass-filtered record of recent spiking activity per neuron: a
+trace ``x`` is bumped whenever the neuron spikes and decays exponentially
+otherwise.  The trace value at the moment of the *other* side's spike
+determines the magnitude of the weight change.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.simulation import OperationCounter
+from repro.utils.validation import check_choice, check_positive, check_positive_int
+
+
+class SpikeTrace:
+    """Vector of exponentially decaying spike traces.
+
+    Parameters
+    ----------
+    n:
+        Number of trace elements (one per neuron).
+    tau:
+        Exponential decay time constant in milliseconds.
+    increment:
+        Amount added (``mode='add'``) or assigned (``mode='set'``) on a spike.
+    mode:
+        ``'add'`` accumulates increments (the trace can exceed ``increment``);
+        ``'set'`` clamps the trace to ``increment`` on each spike, which is
+        the behaviour used by Diehl & Cook style pipelines.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        tau: float = 20.0,
+        increment: float = 1.0,
+        mode: str = "set",
+    ) -> None:
+        self.n = check_positive_int(n, "n")
+        self.tau = check_positive(tau, "tau")
+        self.increment = float(increment)
+        self.mode = check_choice(mode, ("set", "add"), "mode")
+        self.values = np.zeros(self.n, dtype=float)
+
+    def reset(self) -> None:
+        """Zero all trace values."""
+        self.values[:] = 0.0
+
+    def decay(self, dt: float, counter: Optional[OperationCounter] = None) -> None:
+        """Apply one timestep of exponential decay."""
+        self.values *= np.exp(-dt / self.tau)
+        if counter is not None:
+            counter.add(exponential_ops=self.n, trace_updates=self.n)
+
+    def update(self, spikes: np.ndarray,
+               counter: Optional[OperationCounter] = None) -> None:
+        """Bump the traces of the neurons that spiked this timestep."""
+        spikes = np.asarray(spikes, dtype=bool)
+        if spikes.shape != (self.n,):
+            raise ValueError(
+                f"spikes must have shape ({self.n},), got {spikes.shape}"
+            )
+        if self.mode == "set":
+            self.values = np.where(spikes, self.increment, self.values)
+        else:
+            self.values = self.values + self.increment * spikes
+        if counter is not None:
+            counter.add(trace_updates=int(spikes.sum()))
+
+    def step(self, spikes: np.ndarray, dt: float,
+             counter: Optional[OperationCounter] = None) -> np.ndarray:
+        """Decay then update in one call; returns the current trace values."""
+        self.decay(dt, counter)
+        self.update(spikes, counter)
+        return self.values
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpikeTrace(n={self.n}, tau={self.tau}, mode={self.mode!r})"

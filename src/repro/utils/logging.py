@@ -1,0 +1,48 @@
+"""Lightweight run logging.
+
+The experiments in the benchmark harness can run for a while; a tiny logging
+facade keeps progress visible without pulling in heavyweight dependencies or
+configuring the root logger behind the user's back.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_LIBRARY_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a library logger, namespaced under ``repro``.
+
+    Parameters
+    ----------
+    name:
+        Optional child name (e.g. ``"core.model_search"``).
+    """
+    if name:
+        return logging.getLogger(f"{_LIBRARY_LOGGER_NAME}.{name}")
+    return logging.getLogger(_LIBRARY_LOGGER_NAME)
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a simple stream handler to the library logger.
+
+    Safe to call multiple times: previously attached handlers installed by
+    this function are replaced rather than duplicated.
+    """
+    logger = logging.getLogger(_LIBRARY_LOGGER_NAME)
+    logger.setLevel(level)
+    stream = stream if stream is not None else sys.stderr
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler._repro_handler = True
+    logger.addHandler(handler)
+    return logger

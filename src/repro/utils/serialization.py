@@ -1,0 +1,61 @@
+"""Serialization helpers for model weights and experiment configurations.
+
+Model state is stored as an ``.npz`` archive (arrays) next to a ``.json``
+file (scalar configuration), which keeps saved experiments human-inspectable
+and free of pickle security concerns.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _json_default(obj: Any):
+    """JSON encoder fallback that understands numpy scalars and arrays."""
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"Object of type {type(obj).__name__} is not JSON serializable")
+
+
+def save_json(data: Mapping[str, Any], path: PathLike) -> Path:
+    """Write ``data`` to ``path`` as pretty-printed JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(dict(data), handle, indent=2, sort_keys=True, default=_json_default)
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a JSON file written by :func:`save_json`."""
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_arrays(arrays: Mapping[str, np.ndarray], path: PathLike) -> Path:
+    """Save a mapping of named arrays to a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{key: np.asarray(val) for key, val in arrays.items()})
+    # numpy appends .npz when missing; normalise the returned path accordingly.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_arrays(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a ``.npz`` archive written by :func:`save_arrays` into a dict."""
+    with np.load(Path(path)) as archive:
+        return {key: archive[key].copy() for key in archive.files}

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, deterministic building blocks: a tiny
+configuration (14x14 input, a handful of excitatory neurons, short
+presentation window), a synthetic digit source, and pre-built models.  All
+stochastic components are seeded so test outcomes are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SpikeDynConfig
+from repro.datasets.synthetic_mnist import SyntheticDigits
+from repro.experiments.common import ExperimentScale
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic numpy generator."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_config() -> SpikeDynConfig:
+    """A laptop-scale configuration (14x14 input, 12 excitatory neurons)."""
+    return SpikeDynConfig.scaled_down(n_input=196, n_exc=12, t_sim=40.0, seed=0)
+
+
+@pytest.fixture
+def tiny_source() -> SyntheticDigits:
+    """A 14x14 synthetic digit source with a fixed seed."""
+    return SyntheticDigits(image_size=14, seed=0)
+
+
+@pytest.fixture
+def tiny_scale() -> ExperimentScale:
+    """The smallest experiment scale used by the experiment-driver tests."""
+    return ExperimentScale.tiny(
+        network_sizes=(8, 12),
+        class_sequence=(0, 1),
+        samples_per_task=2,
+        eval_samples_per_class=2,
+        nondynamic_checkpoints=(2, 4),
+        t_sim=30.0,
+    )
+
+
+@pytest.fixture
+def digit_image(tiny_source: SyntheticDigits,
+                rng: np.random.Generator) -> np.ndarray:
+    """One 14x14 synthetic digit-3 image."""
+    return tiny_source.generate(3, 1, rng=rng)[0]

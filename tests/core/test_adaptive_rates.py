@@ -1,0 +1,75 @@
+"""Tests for the adaptive learning-rate factors (paper Eq. 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.adaptive_rates import (
+    AdaptiveLearningRates,
+    depression_factor,
+    potentiation_factor,
+)
+
+
+class TestPotentiationFactor:
+    def test_matches_ceiling_formula(self):
+        # kp = ceil(maxSp_post / Sp_th)  (Eq. 1a)
+        assert potentiation_factor(7, 4.0) == math.ceil(7 / 4.0)
+        assert potentiation_factor(8, 4.0) == 2.0
+        assert potentiation_factor(9, 4.0) == 3.0
+
+    def test_zero_activity_gives_zero_factor(self):
+        assert potentiation_factor(0, 4.0) == 0.0
+
+    def test_small_activity_rounds_up_to_one(self):
+        assert potentiation_factor(1, 4.0) == 1.0
+
+    def test_grows_monotonically_with_activity(self):
+        values = [potentiation_factor(n, 4.0) for n in range(0, 30)]
+        assert values == sorted(values)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            potentiation_factor(3, 0.0)
+
+    def test_negative_activity_rejected(self):
+        with pytest.raises(ValueError):
+            potentiation_factor(-1, 4.0)
+
+
+class TestDepressionFactor:
+    def test_matches_ratio_formula(self):
+        # kd = maxSp_post / maxSp_pre  (Eq. 1b)
+        assert depression_factor(2, 8) == pytest.approx(0.25)
+        assert depression_factor(8, 8) == pytest.approx(1.0)
+
+    def test_zero_presynaptic_activity_gives_zero(self):
+        assert depression_factor(5, 0) == 0.0
+
+    def test_zero_postsynaptic_activity_gives_zero(self):
+        assert depression_factor(0, 10) == 0.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            depression_factor(-1, 5)
+        with pytest.raises(ValueError):
+            depression_factor(1, -5)
+
+
+class TestAdaptiveLearningRatesContainer:
+    def test_kp_uses_configured_threshold(self):
+        rates = AdaptiveLearningRates(spike_threshold=2.0)
+        assert rates.kp(5) == 3.0
+
+    def test_kd_delegates_to_ratio(self):
+        rates = AdaptiveLearningRates()
+        assert rates.kd(3, 12) == pytest.approx(0.25)
+
+    def test_default_threshold_matches_paper_config(self):
+        assert AdaptiveLearningRates().spike_threshold == 4.0
+
+    def test_rejects_non_positive_threshold(self):
+        with pytest.raises(ValueError):
+            AdaptiveLearningRates(spike_threshold=0.0)

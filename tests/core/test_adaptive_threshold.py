@@ -1,0 +1,62 @@
+"""Tests for the adaptive membrane threshold potential (paper Section III-D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive_threshold import AdaptiveThresholdPolicy, adaptation_potential
+from repro.snn.neurons import AdaptiveLIFGroup, LIFGroup
+
+
+class TestAdaptationPotential:
+    def test_formula(self):
+        # theta = c_theta * theta_decay * t_sim
+        assert adaptation_potential(1.0, 1e-3, 350.0) == pytest.approx(0.35)
+
+    def test_scales_linearly_in_each_factor(self):
+        base = adaptation_potential(1.0, 1e-3, 350.0)
+        assert adaptation_potential(2.0, 1e-3, 350.0) == pytest.approx(2 * base)
+        assert adaptation_potential(1.0, 2e-3, 350.0) == pytest.approx(2 * base)
+        assert adaptation_potential(1.0, 1e-3, 700.0) == pytest.approx(2 * base)
+
+    def test_zero_constant_disables_adaptation(self):
+        assert adaptation_potential(0.0, 1e-3, 350.0) == 0.0
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            adaptation_potential(-1.0, 1e-3, 350.0)
+        with pytest.raises(ValueError):
+            adaptation_potential(1.0, -1e-3, 350.0)
+        with pytest.raises(ValueError):
+            adaptation_potential(1.0, 1e-3, 0.0)
+
+
+class TestAdaptiveThresholdPolicy:
+    def test_theta_property(self):
+        policy = AdaptiveThresholdPolicy(c_theta=0.5, theta_decay=1e-2, t_sim=100.0)
+        assert policy.theta == pytest.approx(0.5 * 1e-2 * 100.0)
+
+    def test_configure_group_installs_theta_plus_and_decay(self):
+        group = AdaptiveLIFGroup(4, theta_plus=0.05, tau_theta=1e7)
+        policy = AdaptiveThresholdPolicy(c_theta=1.0, theta_decay=1e-3, t_sim=350.0)
+        configured = policy.configure_group(group)
+        assert configured is group
+        assert group.theta_plus == pytest.approx(0.35)
+        assert group.tau_theta == pytest.approx(1000.0)
+
+    def test_zero_decay_keeps_group_time_constant(self):
+        group = AdaptiveLIFGroup(4, tau_theta=1e7)
+        AdaptiveThresholdPolicy(theta_decay=0.0, c_theta=1.0).configure_group(group)
+        assert group.tau_theta == pytest.approx(1e7)
+        assert group.theta_plus == 0.0
+
+    def test_requires_an_adaptive_group(self):
+        policy = AdaptiveThresholdPolicy()
+        with pytest.raises(TypeError):
+            policy.configure_group(LIFGroup(4))
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPolicy(c_theta=-1.0)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPolicy(t_sim=0.0)

@@ -1,0 +1,130 @@
+"""Tests for the network-architecture builders (paper Section III-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import (
+    EXC_TO_INH_STRENGTH,
+    build_baseline_network,
+    build_spikedyn_network,
+)
+from repro.core.config import SpikeDynConfig
+from repro.core.learning import SpikeDynLearningRule
+from repro.learning.stdp import PairwiseSTDP
+from repro.snn.neurons import AdaptiveLIFGroup, InputGroup, LIFGroup
+from repro.snn.synapses import UniformLateralInhibition
+
+
+@pytest.fixture
+def config() -> SpikeDynConfig:
+    return SpikeDynConfig.scaled_down(n_input=16, n_exc=6, seed=0)
+
+
+class TestBaselineArchitecture:
+    def test_three_layers(self, config):
+        network = build_baseline_network(config, learning_rule=PairwiseSTDP())
+        assert set(network.groups) == {"input", "excitatory", "inhibitory"}
+        assert isinstance(network.group("input"), InputGroup)
+        assert isinstance(network.group("excitatory"), AdaptiveLIFGroup)
+        assert isinstance(network.group("inhibitory"), LIFGroup)
+
+    def test_layer_sizes(self, config):
+        network = build_baseline_network(config, learning_rule=PairwiseSTDP())
+        assert network.group("input").n == 16
+        assert network.group("excitatory").n == 6
+        assert network.group("inhibitory").n == 6
+
+    def test_three_connections(self, config):
+        network = build_baseline_network(config, learning_rule=PairwiseSTDP())
+        names = {connection.name for connection in network.connections}
+        assert names == {"input_to_exc", "exc_to_inh", "inh_to_exc"}
+
+    def test_exc_to_inh_is_one_to_one(self, config):
+        network = build_baseline_network(config, learning_rule=PairwiseSTDP())
+        weights = network.connection("exc_to_inh").weights
+        np.testing.assert_allclose(np.diag(weights), EXC_TO_INH_STRENGTH)
+        assert np.count_nonzero(weights) == config.n_exc
+
+    def test_inh_to_exc_is_dense_without_self(self, config):
+        network = build_baseline_network(config, learning_rule=PairwiseSTDP())
+        connection = network.connection("inh_to_exc")
+        assert connection.sign == -1
+        np.testing.assert_allclose(np.diag(connection.weights), 0.0)
+        assert np.count_nonzero(connection.weights) == config.n_exc * (config.n_exc - 1)
+
+    def test_learning_rule_is_attached_to_input_projection_only(self, config):
+        rule = PairwiseSTDP()
+        network = build_baseline_network(config, learning_rule=rule)
+        assert network.connection("input_to_exc").learning_rule is rule
+        assert network.connection("exc_to_inh").learning_rule is None
+        assert network.connection("inh_to_exc").learning_rule is None
+
+    def test_input_weights_are_seed_reproducible(self, config):
+        a = build_baseline_network(config, learning_rule=PairwiseSTDP(), rng=5)
+        b = build_baseline_network(config, learning_rule=PairwiseSTDP(), rng=5)
+        np.testing.assert_array_equal(
+            a.connection("input_to_exc").weights,
+            b.connection("input_to_exc").weights,
+        )
+
+    def test_custom_inhibition_strength(self, config):
+        network = build_baseline_network(
+            config, learning_rule=PairwiseSTDP(), inh_to_exc_strength=3.0
+        )
+        weights = network.connection("inh_to_exc").weights
+        assert weights.max() == pytest.approx(3.0)
+
+
+class TestSpikeDynArchitecture:
+    def test_no_inhibitory_layer(self, config):
+        network = build_spikedyn_network(config, learning_rule=SpikeDynLearningRule())
+        assert set(network.groups) == {"input", "excitatory"}
+
+    def test_two_connections_with_lateral_inhibition(self, config):
+        network = build_spikedyn_network(config, learning_rule=SpikeDynLearningRule())
+        names = {connection.name for connection in network.connections}
+        assert names == {"input_to_exc", "lateral_inhibition"}
+        lateral = network.connection("lateral_inhibition")
+        assert isinstance(lateral, UniformLateralInhibition)
+        assert lateral.strength == config.inhibition_strength
+
+    def test_threshold_policy_is_installed(self, config):
+        network = build_spikedyn_network(config, learning_rule=SpikeDynLearningRule())
+        excitatory = network.group("excitatory")
+        assert excitatory.theta_plus == pytest.approx(config.adaptation_potential)
+        assert excitatory.tau_theta == pytest.approx(config.tau_theta)
+
+    def test_fewer_parameters_than_the_baseline(self, config):
+        baseline = build_baseline_network(config, learning_rule=PairwiseSTDP())
+        spikedyn = build_spikedyn_network(config, learning_rule=SpikeDynLearningRule())
+        assert spikedyn.weight_count < baseline.weight_count
+        assert spikedyn.neuron_parameter_count < baseline.neuron_parameter_count
+
+    def test_input_projection_uses_configured_normalization(self, config):
+        network = build_spikedyn_network(config, learning_rule=SpikeDynLearningRule())
+        connection = network.connection("input_to_exc")
+        assert connection.norm == pytest.approx(config.effective_norm_total)
+
+    def test_same_seed_gives_same_input_weights_as_baseline(self, config):
+        """Both architectures share the input-projection initialisation."""
+        baseline = build_baseline_network(config, learning_rule=PairwiseSTDP(), rng=2)
+        spikedyn = build_spikedyn_network(
+            config, learning_rule=SpikeDynLearningRule(), rng=2
+        )
+        np.testing.assert_array_equal(
+            baseline.connection("input_to_exc").weights,
+            spikedyn.connection("input_to_exc").weights,
+        )
+
+    def test_networks_run_a_sample(self, config):
+        """Both architectures are runnable end to end."""
+        for build, rule in (
+            (build_baseline_network, PairwiseSTDP()),
+            (build_spikedyn_network, SpikeDynLearningRule()),
+        ):
+            network = build(config, learning_rule=rule)
+            train = np.random.default_rng(0).random((20, 16)) < 0.6
+            result = network.run_sample(train, learning=True)
+            assert result.counts("excitatory").shape == (6,)

@@ -1,0 +1,115 @@
+"""Tests for the SpikeDynFramework facade (paper Fig. 3 tool flow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SpikeDynConfig
+from repro.core.framework import SpikeDynFramework
+from repro.datasets.synthetic_mnist import SyntheticDigits
+from repro.estimation.hardware import JETSON_NANO
+from repro.estimation.memory import ARCH_SPIKEDYN, architecture_parameter_counts
+from repro.evaluation.protocols import DynamicProtocolResult, NonDynamicProtocolResult
+from repro.models.spikedyn_model import SpikeDynModel
+
+
+@pytest.fixture
+def config() -> SpikeDynConfig:
+    return SpikeDynConfig.scaled_down(n_input=64, n_exc=8, t_sim=20.0, seed=0)
+
+
+@pytest.fixture
+def framework(config) -> SpikeDynFramework:
+    return SpikeDynFramework(config, rng=0)
+
+
+@pytest.fixture
+def source() -> SyntheticDigits:
+    return SyntheticDigits(image_size=8, seed=0)
+
+
+def memory_of(config: SpikeDynConfig, n_exc: int) -> float:
+    return architecture_parameter_counts(
+        ARCH_SPIKEDYN, config.n_input, n_exc
+    ).memory_bytes(config.bit_precision)
+
+
+class TestModelSearchIntegration:
+    def test_default_size_without_search(self, framework, config):
+        assert framework.selected_network_size() == config.n_exc
+
+    def test_search_updates_the_selected_size(self, framework, config):
+        budget = memory_of(config, 12) * 1.01
+        result = framework.search_model(memory_budget_bytes=budget, n_add=4)
+        assert result is framework.search_result
+        assert framework.selected_network_size() == 12
+
+    def test_failed_search_falls_back_to_the_default(self, framework, config):
+        framework.search_model(memory_budget_bytes=16.0, n_add=4)
+        assert framework.selected_network_size() == config.n_exc
+
+    def test_build_model_uses_the_selected_size(self, framework, config):
+        budget = memory_of(config, 12) * 1.01
+        framework.search_model(memory_budget_bytes=budget, n_add=4)
+        model = framework.build_model()
+        assert isinstance(model, SpikeDynModel)
+        assert model.n_exc == 12
+
+    def test_build_model_with_explicit_size(self, framework):
+        assert framework.build_model(n_exc=5).n_exc == 5
+
+
+class TestProtocols:
+    def test_run_dynamic(self, framework, source):
+        model = framework.build_model(n_exc=6)
+        result = framework.run_dynamic(
+            model, source, class_sequence=[0, 1], samples_per_task=2,
+            eval_samples_per_class=2,
+        )
+        assert isinstance(result, DynamicProtocolResult)
+        assert result.class_sequence == [0, 1]
+        assert set(result.recent_task_accuracy) == {0, 1}
+
+    def test_run_nondynamic(self, framework, source):
+        model = framework.build_model(n_exc=6)
+        result = framework.run_nondynamic(
+            model, source, checkpoints=(2, 4), classes=[0, 1],
+            eval_samples_per_class=2,
+        )
+        assert isinstance(result, NonDynamicProtocolResult)
+        assert result.checkpoints == [2, 4]
+        assert set(result.accuracy_at_checkpoint) == {2, 4}
+
+
+class TestEstimation:
+    def test_estimate_memory_matches_the_analytical_model(self, framework, config):
+        assert framework.estimate_memory_bytes(n_exc=10) == pytest.approx(
+            memory_of(config, 10)
+        )
+
+    def test_estimate_phase_energy_scales_with_sample_count(self, framework, source):
+        model = framework.build_model(n_exc=6)
+        image = source.generate(0, 1, rng=0)[0]
+        small = framework.estimate_phase_energy(model, image, learning=False,
+                                                n_samples=10)
+        large = framework.estimate_phase_energy(model, image, learning=False,
+                                                n_samples=1000)
+        assert large.joules > small.joules
+
+    def test_device_selection_changes_the_energy_conversion(self, config, source):
+        gpu = SpikeDynFramework(config, rng=0)
+        embedded = SpikeDynFramework(config, device=JETSON_NANO, rng=0)
+        image = source.generate(0, 1, rng=0)[0]
+        gpu_estimate = gpu.estimate_phase_energy(
+            gpu.build_model(n_exc=6), image, learning=False, n_samples=10
+        )
+        embedded_estimate = embedded.estimate_phase_energy(
+            embedded.build_model(n_exc=6), image, learning=False, n_samples=10
+        )
+        assert embedded_estimate.seconds > gpu_estimate.seconds
+
+    def test_estimate_phase_energy_requires_positive_samples(self, framework, source):
+        model = framework.build_model(n_exc=6)
+        image = source.generate(0, 1, rng=0)[0]
+        with pytest.raises(ValueError):
+            framework.estimate_phase_energy(model, image, learning=True, n_samples=0)

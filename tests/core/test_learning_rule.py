@@ -1,0 +1,206 @@
+"""Tests for SpikeDyn's continual and unsupervised learning rule (Alg. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.learning import SpikeDynLearningRule
+from repro.core.weight_decay import SynapticWeightDecay
+from repro.snn.neurons import InputGroup, LIFGroup
+from repro.snn.simulation import OperationCounter
+from repro.snn.synapses import Connection
+
+
+def make_connection(n_pre=4, n_post=3, initial=0.5, *, rule=None):
+    pre = InputGroup(n_pre, name="pre")
+    post = LIFGroup(n_post, name="post")
+    connection = Connection(pre, post, np.full((n_pre, n_post), initial),
+                            learning_rule=rule)
+    return pre, post, connection
+
+
+def drive(rule, connection, pre, post, pre_pattern, post_pattern, steps,
+          start=0, counter=None):
+    """Drive the rule for ``steps`` timesteps with fixed spike patterns."""
+    for offset in range(steps):
+        pre.spikes = np.asarray(pre_pattern, dtype=bool)
+        post.spikes = np.asarray(post_pattern, dtype=bool)
+        rule.step(connection, 1.0, start + offset, counter)
+    return start + steps
+
+
+class TestTimestepGating:
+    def test_no_update_before_the_window_boundary(self):
+        rule = SpikeDynLearningRule(update_interval=10.0, weight_decay=None)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        drive(rule, connection, pre, post, [1, 1, 0, 0], [1, 0, 0], steps=9)
+        np.testing.assert_array_equal(connection.weights, before)
+
+    def test_update_happens_at_the_window_boundary(self):
+        rule = SpikeDynLearningRule(update_interval=10.0, weight_decay=None,
+                                    nu_post=0.1)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        drive(rule, connection, pre, post, [1, 1, 0, 0], [1, 0, 0], steps=10)
+        assert not np.array_equal(connection.weights, before)
+
+    def test_disabling_gating_updates_every_step(self):
+        rule = SpikeDynLearningRule(update_interval=10.0, weight_decay=None,
+                                    gate_updates=False, nu_post=0.1)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        drive(rule, connection, pre, post, [1, 0, 0, 0], [1, 0, 0], steps=1)
+        assert not np.array_equal(connection.weights, before)
+
+    def test_gating_reduces_weight_update_operations(self):
+        """The spurious-update reduction is where training energy is saved."""
+        def weight_update_ops(gate_updates: bool) -> int:
+            rule = SpikeDynLearningRule(update_interval=10.0, weight_decay=None,
+                                        gate_updates=gate_updates)
+            pre, post, connection = make_connection(rule=rule)
+            counter = OperationCounter()
+            rule.on_sample_start(connection)
+            rng = np.random.default_rng(0)
+            for t in range(40):
+                pre.spikes = rng.random(4) < 0.5
+                post.spikes = rng.random(3) < 0.3
+                rule.step(connection, 1.0, t, counter)
+            return counter.weight_updates
+
+        assert weight_update_ops(True) < weight_update_ops(False)
+
+
+class TestPotentiationAndDepression:
+    def test_window_with_postsynaptic_spikes_potentiates_the_winner(self):
+        rule = SpikeDynLearningRule(update_interval=4.0, weight_decay=None,
+                                    nu_post=0.1, nu_pre=0.1)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        # Postsynaptic neuron 1 is the most active.
+        drive(rule, connection, pre, post, [1, 1, 0, 0], [0, 1, 0], steps=4)
+        assert np.all(connection.weights[:2, 1] > before[:2, 1])
+        # The other columns are not potentiated at this boundary.
+        np.testing.assert_array_equal(connection.weights[:, 0], before[:, 0])
+        np.testing.assert_array_equal(connection.weights[:, 2], before[:, 2])
+
+    def test_window_without_postsynaptic_spikes_depresses_everything(self):
+        rule = SpikeDynLearningRule(update_interval=4.0, weight_decay=None,
+                                    nu_post=0.1, nu_pre=0.1)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        # First window: establish postsynaptic traces and accumulated counts.
+        t = drive(rule, connection, pre, post, [1, 1, 1, 1], [1, 1, 1], steps=4)
+        before = connection.weights.copy()
+        # Second window: presynaptic activity only -> depression of all synapses.
+        drive(rule, connection, pre, post, [1, 1, 1, 1], [0, 0, 0], steps=4,
+              start=t)
+        assert np.all(connection.weights <= before)
+        assert np.any(connection.weights < before)
+
+    def test_depression_requires_presynaptic_evidence(self):
+        """With no presynaptic spikes at all, kd = 0 and nothing is depressed."""
+        rule = SpikeDynLearningRule(update_interval=4.0, weight_decay=None,
+                                    nu_pre=0.1, nu_post=0.1)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        drive(rule, connection, pre, post, [0, 0, 0, 0], [0, 0, 0], steps=4)
+        np.testing.assert_array_equal(connection.weights, before)
+
+    def test_adaptive_rates_scale_potentiation(self):
+        """More postsynaptic activity -> larger kp -> larger weight change."""
+        def delta_after(post_rate_steps: int) -> float:
+            rule = SpikeDynLearningRule(update_interval=8.0, weight_decay=None,
+                                        nu_post=0.01, spike_threshold=2.0,
+                                        soft_bounds=False)
+            pre, post, connection = make_connection(rule=rule)
+            rule.on_sample_start(connection)
+            for t in range(8):
+                pre.spikes = np.array([True, False, False, False])
+                post.spikes = np.array([t < post_rate_steps, False, False])
+                rule.step(connection, 1.0, t)
+            return float(connection.weights[0, 0] - 0.5)
+
+        assert delta_after(8) > delta_after(1) > 0.0
+
+    def test_fixed_rates_ablation_pins_factors_to_one(self):
+        rule = SpikeDynLearningRule(update_interval=4.0, weight_decay=None,
+                                    adaptive_rates=False, nu_post=0.1,
+                                    soft_bounds=False)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        drive(rule, connection, pre, post, [1, 0, 0, 0], [1, 0, 0], steps=4)
+        # kp pinned to 1: the update equals nu_post * pre_trace at the boundary.
+        expected = 0.1 * rule.pre_trace.values[0]
+        assert connection.weights[0, 0] - 0.5 == pytest.approx(expected)
+
+
+class TestWeightDecayIntegration:
+    def test_decay_shrinks_weights_between_updates(self):
+        decay = SynapticWeightDecay(w_decay=5.0, tau_decay=10.0)
+        rule = SpikeDynLearningRule(update_interval=5.0, weight_decay=decay,
+                                    nu_post=0.0, nu_pre=0.0)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        drive(rule, connection, pre, post, [0, 0, 0, 0], [0, 0, 0], steps=5)
+        assert np.all(connection.weights < before)
+
+    def test_no_decay_object_means_no_decay(self):
+        rule = SpikeDynLearningRule(update_interval=5.0, weight_decay=None,
+                                    nu_post=0.0, nu_pre=0.0)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        drive(rule, connection, pre, post, [0, 0, 0, 0], [0, 0, 0], steps=5)
+        np.testing.assert_array_equal(connection.weights, before)
+
+
+class TestBookkeeping:
+    def test_accumulator_matches_connection_shape(self):
+        rule = SpikeDynLearningRule()
+        _, _, connection = make_connection(6, 5, rule=rule)
+        rule.on_sample_start(connection)
+        assert rule.accumulator.n_pre == 6
+        assert rule.accumulator.n_post == 5
+
+    def test_sample_end_resets_accumulator(self):
+        rule = SpikeDynLearningRule(update_interval=4.0)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        drive(rule, connection, pre, post, [1, 1, 1, 1], [1, 1, 1], steps=4)
+        rule.on_sample_end(connection)
+        assert rule.accumulator.max_pre == 0
+        assert rule.accumulator.max_post == 0
+
+    def test_reset_drops_the_accumulator(self):
+        rule = SpikeDynLearningRule()
+        _, _, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        rule.reset()
+        assert rule.accumulator is None
+
+    def test_weights_stay_within_bounds_under_random_drive(self):
+        rule = SpikeDynLearningRule(update_interval=5.0, nu_post=1.0, nu_pre=1.0,
+                                    weight_decay=SynapticWeightDecay(0.5, 10.0))
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        rng = np.random.default_rng(3)
+        for t in range(60):
+            pre.spikes = rng.random(4) < 0.5
+            post.spikes = rng.random(3) < 0.4
+            rule.step(connection, 1.0, t)
+        assert connection.weights.min() >= connection.w_min
+        assert connection.weights.max() <= connection.w_max
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SpikeDynLearningRule(update_interval=0.0)
+        with pytest.raises(ValueError):
+            SpikeDynLearningRule(nu_pre=-1.0)

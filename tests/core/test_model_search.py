@@ -1,0 +1,136 @@
+"""Tests for the memory- and energy-constrained model search (Alg. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SpikeDynConfig
+from repro.core.model_search import ModelSearchResult, search_snn_model
+from repro.estimation.hardware import GTX_1080_TI, JETSON_NANO
+from repro.estimation.memory import ARCH_SPIKEDYN, architecture_parameter_counts
+
+
+@pytest.fixture
+def base_config() -> SpikeDynConfig:
+    return SpikeDynConfig.scaled_down(n_input=64, n_exc=8, t_sim=20.0, seed=0)
+
+
+def memory_of(config: SpikeDynConfig, n_exc: int) -> float:
+    return architecture_parameter_counts(
+        ARCH_SPIKEDYN, config.n_input, n_exc
+    ).memory_bytes(config.bit_precision)
+
+
+class TestMemoryConstrainedSweep:
+    def test_explores_sizes_in_steps_of_n_add(self, base_config):
+        budget = memory_of(base_config, 16) * 1.01
+        result = search_snn_model(base_config, memory_budget_bytes=budget, n_add=4)
+        assert [candidate.n_exc for candidate in result.candidates] == [4, 8, 12, 16]
+
+    def test_stops_at_the_memory_budget(self, base_config):
+        budget = memory_of(base_config, 8) * 1.01
+        result = search_snn_model(base_config, memory_budget_bytes=budget, n_add=4)
+        assert all(candidate.memory_bytes <= budget for candidate in result.candidates)
+        assert max(candidate.n_exc for candidate in result.candidates) == 8
+
+    def test_selects_the_largest_feasible_candidate(self, base_config):
+        budget = memory_of(base_config, 12) * 1.01
+        result = search_snn_model(base_config, memory_budget_bytes=budget, n_add=4)
+        assert result.selected is not None
+        assert result.selected.n_exc == 12
+
+    def test_no_candidate_fits_a_tiny_budget(self, base_config):
+        result = search_snn_model(base_config, memory_budget_bytes=16.0, n_add=4)
+        assert result.candidates == []
+        assert result.selected is None
+
+    def test_candidates_record_both_phase_energies(self, base_config):
+        budget = memory_of(base_config, 8) * 1.01
+        result = search_snn_model(base_config, memory_budget_bytes=budget, n_add=4)
+        for candidate in result.candidates:
+            assert candidate.feasible
+            assert candidate.sample_training_energy is not None
+            assert candidate.sample_inference_energy is not None
+            assert candidate.training_energy.joules > 0
+            assert candidate.inference_energy.joules > 0
+
+    def test_total_energy_is_single_sample_times_n(self, base_config):
+        budget = memory_of(base_config, 4) * 1.01
+        result = search_snn_model(
+            base_config, memory_budget_bytes=budget, n_add=4,
+            n_training_samples=1000, n_inference_samples=100,
+        )
+        candidate = result.candidates[0]
+        assert candidate.training_energy.joules == pytest.approx(
+            candidate.sample_training_energy.joules * 1000
+        )
+        assert candidate.inference_energy.joules == pytest.approx(
+            candidate.sample_inference_energy.joules * 100
+        )
+
+
+class TestEnergyConstraints:
+    def test_training_budget_rejects_candidates(self, base_config):
+        budget = memory_of(base_config, 8) * 1.01
+        result = search_snn_model(
+            base_config, memory_budget_bytes=budget, n_add=4,
+            training_energy_budget_joules=1e-12,
+        )
+        assert result.selected is None
+        assert all(not candidate.feasible for candidate in result.candidates)
+        assert all("training" in candidate.rejection_reason
+                   for candidate in result.candidates)
+
+    def test_inference_budget_rejects_candidates(self, base_config):
+        budget = memory_of(base_config, 8) * 1.01
+        result = search_snn_model(
+            base_config, memory_budget_bytes=budget, n_add=4,
+            inference_energy_budget_joules=1e-12,
+        )
+        assert result.selected is None
+        assert all("inference" in candidate.rejection_reason
+                   for candidate in result.candidates)
+
+    def test_generous_budgets_accept_candidates(self, base_config):
+        budget = memory_of(base_config, 8) * 1.01
+        result = search_snn_model(
+            base_config, memory_budget_bytes=budget, n_add=4,
+            training_energy_budget_joules=1e12,
+            inference_energy_budget_joules=1e12,
+        )
+        assert result.selected is not None
+        assert result.feasible_candidates
+
+    def test_device_affects_energy_but_not_selection(self, base_config):
+        budget = memory_of(base_config, 8) * 1.01
+        slow = search_snn_model(base_config, memory_budget_bytes=budget, n_add=4,
+                                device=JETSON_NANO, rng=0)
+        fast = search_snn_model(base_config, memory_budget_bytes=budget, n_add=4,
+                                device=GTX_1080_TI, rng=0)
+        assert slow.selected.n_exc == fast.selected.n_exc
+        assert (slow.candidates[0].sample_training_energy.seconds
+                > fast.candidates[0].sample_training_energy.seconds)
+
+
+class TestSearchResultHelpers:
+    def test_exploration_time_is_much_cheaper_than_actual_runs(self, base_config):
+        budget = memory_of(base_config, 8) * 1.01
+        result = search_snn_model(base_config, memory_budget_bytes=budget, n_add=4)
+        exploration = result.exploration_time_seconds()
+        actual = result.actual_run_time_seconds(60_000, 10_000)
+        assert exploration > 0
+        assert actual > exploration * 1_000
+
+    def test_empty_result_has_no_feasible_candidates(self):
+        result = ModelSearchResult()
+        assert result.feasible_candidates == []
+        assert result.exploration_time_seconds() == 0.0
+
+    def test_invalid_budgets_are_rejected(self, base_config):
+        with pytest.raises(ValueError):
+            search_snn_model(base_config, memory_budget_bytes=0.0)
+        with pytest.raises(ValueError):
+            search_snn_model(base_config, memory_budget_bytes=1e6, n_add=0)
+        with pytest.raises(ValueError):
+            search_snn_model(base_config, memory_budget_bytes=1e6,
+                             training_energy_budget_joules=0.0)

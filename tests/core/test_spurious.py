@@ -1,0 +1,93 @@
+"""Tests for the spike accumulator used by spurious-update reduction (Alg. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.spurious import SpikeAccumulator
+
+
+class TestConstruction:
+    def test_starts_empty(self):
+        accumulator = SpikeAccumulator(4, 3)
+        assert accumulator.max_pre == 0
+        assert accumulator.max_post == 0
+        assert not accumulator.post_spiked_in_window
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            SpikeAccumulator(0, 3)
+        with pytest.raises(ValueError):
+            SpikeAccumulator(4, 0)
+
+
+class TestAccumulation:
+    def test_counts_accumulate_per_neuron(self):
+        accumulator = SpikeAccumulator(3, 2)
+        accumulator.update(np.array([1, 0, 1], bool), np.array([0, 1], bool))
+        accumulator.update(np.array([1, 0, 0], bool), np.array([0, 1], bool))
+        np.testing.assert_array_equal(accumulator.pre_counts, [2, 0, 1])
+        np.testing.assert_array_equal(accumulator.post_counts, [0, 2])
+
+    def test_max_statistics(self):
+        accumulator = SpikeAccumulator(3, 2)
+        for _ in range(5):
+            accumulator.update(np.array([1, 1, 0], bool), np.array([1, 0], bool))
+        assert accumulator.max_pre == 5
+        assert accumulator.max_post == 5
+
+    def test_most_active_post(self):
+        accumulator = SpikeAccumulator(2, 3)
+        accumulator.update(np.zeros(2, bool), np.array([0, 1, 1], bool))
+        accumulator.update(np.zeros(2, bool), np.array([0, 0, 1], bool))
+        assert accumulator.most_active_post == 2
+
+    def test_update_validates_shapes(self):
+        accumulator = SpikeAccumulator(3, 2)
+        with pytest.raises(ValueError):
+            accumulator.update(np.zeros(2, bool), np.zeros(2, bool))
+        with pytest.raises(ValueError):
+            accumulator.update(np.zeros(3, bool), np.zeros(3, bool))
+
+
+class TestWindowing:
+    def test_window_flag_tracks_postsynaptic_spikes(self):
+        accumulator = SpikeAccumulator(2, 2)
+        accumulator.update(np.ones(2, bool), np.zeros(2, bool))
+        assert not accumulator.post_spiked_in_window
+        accumulator.update(np.zeros(2, bool), np.array([1, 0], bool))
+        assert accumulator.post_spiked_in_window
+
+    def test_close_window_resets_only_window_counts(self):
+        accumulator = SpikeAccumulator(2, 2)
+        accumulator.update(np.ones(2, bool), np.ones(2, bool))
+        accumulator.close_window()
+        assert not accumulator.post_spiked_in_window
+        # Sample-level accumulated counts survive the window boundary.
+        assert accumulator.max_post == 1
+        assert accumulator.max_pre == 1
+
+    def test_reset_clears_everything(self):
+        accumulator = SpikeAccumulator(2, 2)
+        accumulator.update(np.ones(2, bool), np.ones(2, bool))
+        accumulator.reset()
+        assert accumulator.max_pre == 0
+        assert accumulator.max_post == 0
+        assert not accumulator.post_spiked_in_window
+
+    def test_paper_figure7_scenario(self):
+        """Fig. 7: a window with postsynaptic spikes potentiates, one without
+        depresses — the accumulator exposes exactly that decision signal."""
+        accumulator = SpikeAccumulator(4, 2)
+        # First window: both pre and post spikes occur.
+        for _ in range(3):
+            accumulator.update(np.array([1, 1, 0, 0], bool), np.array([1, 0], bool))
+        first_window_had_post = accumulator.post_spiked_in_window
+        accumulator.close_window()
+        # Second window: only presynaptic spikes.
+        for _ in range(3):
+            accumulator.update(np.array([1, 0, 1, 0], bool), np.zeros(2, bool))
+        second_window_had_post = accumulator.post_spiked_in_window
+        assert first_window_had_post
+        assert not second_window_had_post

@@ -1,0 +1,124 @@
+"""Tests for the MNIST IDX loader and its synthetic fallback."""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.datasets.mnist import (
+    TRAIN_IMAGES_FILE,
+    TRAIN_LABELS_FILE,
+    load_digit_source,
+    load_mnist_idx,
+)
+from repro.datasets.streams import ArrayDigitSource
+from repro.datasets.synthetic_mnist import SyntheticDigits
+
+
+def write_idx_files(directory: Path, images: np.ndarray, labels: np.ndarray,
+                    *, image_magic: int = 2051, label_magic: int = 2049,
+                    truncate_images: bool = False) -> tuple:
+    """Write a minimal MNIST-style IDX image/label pair for testing."""
+    directory.mkdir(parents=True, exist_ok=True)
+    images_path = directory / TRAIN_IMAGES_FILE
+    labels_path = directory / TRAIN_LABELS_FILE
+
+    count, rows, cols = images.shape
+    raw = (images * 255).astype(np.uint8).tobytes()
+    if truncate_images:
+        raw = raw[:-5]
+    with open(images_path, "wb") as handle:
+        handle.write(struct.pack(">IIII", image_magic, count, rows, cols))
+        handle.write(raw)
+    with open(labels_path, "wb") as handle:
+        handle.write(struct.pack(">II", label_magic, labels.size))
+        handle.write(labels.astype(np.uint8).tobytes())
+    return images_path, labels_path
+
+
+@pytest.fixture
+def idx_dataset(tmp_path):
+    rng = np.random.default_rng(0)
+    images = rng.random((12, 6, 6))
+    labels = np.arange(12) % 3
+    paths = write_idx_files(tmp_path, images, labels)
+    return images, labels, paths, tmp_path
+
+
+class TestLoadMnistIdx:
+    def test_round_trip(self, idx_dataset):
+        images, labels, (images_path, labels_path), _ = idx_dataset
+        loaded_images, loaded_labels = load_mnist_idx(images_path, labels_path)
+        assert loaded_images.shape == (12, 6, 6)
+        assert loaded_images.min() >= 0.0 and loaded_images.max() <= 1.0
+        np.testing.assert_array_equal(loaded_labels, labels)
+        expected = (images * 255).astype(np.uint8) / 255.0
+        np.testing.assert_allclose(loaded_images, expected, atol=1e-9)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_mnist_idx(tmp_path / "missing", tmp_path / "also_missing")
+
+    def test_bad_image_magic_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        paths = write_idx_files(tmp_path, rng.random((4, 3, 3)),
+                                np.zeros(4, dtype=int), image_magic=1234)
+        with pytest.raises(ValueError, match="not an IDX image file"):
+            load_mnist_idx(*paths)
+
+    def test_bad_label_magic_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        paths = write_idx_files(tmp_path, rng.random((4, 3, 3)),
+                                np.zeros(4, dtype=int), label_magic=1234)
+        with pytest.raises(ValueError, match="not an IDX label file"):
+            load_mnist_idx(*paths)
+
+    def test_truncated_images_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        paths = write_idx_files(tmp_path, rng.random((4, 3, 3)),
+                                np.zeros(4, dtype=int), truncate_images=True)
+        with pytest.raises(ValueError, match="truncated"):
+            load_mnist_idx(*paths)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        rng = np.random.default_rng(0)
+        images = rng.random((4, 3, 3))
+        write_idx_files(tmp_path, images, np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            load_mnist_idx(tmp_path / TRAIN_IMAGES_FILE, tmp_path / TRAIN_LABELS_FILE)
+
+
+class TestLoadDigitSource:
+    def test_prefers_real_mnist_when_present(self, idx_dataset):
+        _, _, _, directory = idx_dataset
+        source = load_digit_source(directory)
+        assert isinstance(source, ArrayDigitSource)
+        assert source.image_size == 6
+
+    def test_falls_back_to_synthetic_without_files(self, tmp_path):
+        source = load_digit_source(tmp_path / "empty", image_size=14, seed=0)
+        assert isinstance(source, SyntheticDigits)
+        assert source.image_size == 14
+
+    def test_falls_back_to_synthetic_without_directory(self):
+        source = load_digit_source(None, image_size=14, seed=0)
+        assert isinstance(source, SyntheticDigits)
+
+    def test_falls_back_on_corrupt_files(self, tmp_path):
+        rng = np.random.default_rng(0)
+        write_idx_files(tmp_path, rng.random((4, 3, 3)), np.zeros(4, dtype=int),
+                        image_magic=9999)
+        source = load_digit_source(tmp_path, image_size=14, seed=0)
+        assert isinstance(source, SyntheticDigits)
+
+    def test_both_source_kinds_share_the_generate_interface(self, idx_dataset):
+        _, _, _, directory = idx_dataset
+        real = load_digit_source(directory)
+        synthetic = load_digit_source(None, image_size=6, seed=0)
+        for source in (real, synthetic):
+            images = source.generate(1, 2, rng=0)
+            assert images.shape == (2, 6, 6)
+            assert hasattr(source, "classes")

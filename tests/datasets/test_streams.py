@@ -1,0 +1,147 @@
+"""Tests for the dynamic / non-dynamic task streams and the array source."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.streams import (
+    ArrayDigitSource,
+    StreamSample,
+    dynamic_task_stream,
+    nondynamic_stream,
+)
+from repro.datasets.synthetic_mnist import SyntheticDigits
+
+
+@pytest.fixture
+def source() -> SyntheticDigits:
+    return SyntheticDigits(image_size=8, seed=0)
+
+
+class TestDynamicTaskStream:
+    def test_tasks_appear_consecutively(self, source):
+        stream = dynamic_task_stream(source, class_sequence=[3, 1, 4],
+                                     samples_per_task=2, rng=0)
+        labels = [sample.label for sample in stream]
+        assert labels == [3, 3, 1, 1, 4, 4]
+
+    def test_task_indices_follow_the_sequence(self, source):
+        stream = dynamic_task_stream(source, class_sequence=[3, 1],
+                                     samples_per_task=2, rng=0)
+        assert [sample.task_index for sample in stream] == [0, 0, 1, 1]
+
+    def test_every_task_has_the_same_sample_count(self, source):
+        """The paper's dynamic protocol presents equal-sized tasks."""
+        stream = dynamic_task_stream(source, samples_per_task=3, rng=0)
+        labels = np.array([sample.label for sample in stream])
+        counts = {digit: int((labels == digit).sum()) for digit in source.classes}
+        assert set(counts.values()) == {3}
+
+    def test_defaults_to_all_classes_in_ascending_order(self, source):
+        stream = dynamic_task_stream(source, samples_per_task=1, rng=0)
+        assert [sample.label for sample in stream] == list(range(10))
+
+    def test_images_match_the_source_size(self, source):
+        stream = dynamic_task_stream(source, class_sequence=[0],
+                                     samples_per_task=2, rng=0)
+        assert all(sample.image.shape == (8, 8) for sample in stream)
+
+    def test_empty_sequence_rejected(self, source):
+        with pytest.raises(ValueError):
+            dynamic_task_stream(source, class_sequence=[], samples_per_task=2)
+
+    def test_invalid_sample_count_rejected(self, source):
+        with pytest.raises(ValueError):
+            dynamic_task_stream(source, class_sequence=[0], samples_per_task=0)
+
+    def test_seeded_streams_are_reproducible(self, source):
+        a = dynamic_task_stream(source, class_sequence=[0, 1],
+                                samples_per_task=2, rng=7)
+        b = dynamic_task_stream(source, class_sequence=[0, 1],
+                                samples_per_task=2, rng=7)
+        for sample_a, sample_b in zip(a, b):
+            np.testing.assert_array_equal(sample_a.image, sample_b.image)
+
+
+class TestNonDynamicStream:
+    def test_length_and_label_mixing(self, source):
+        stream = nondynamic_stream(source, n_samples=40, rng=0)
+        assert len(stream) == 40
+        labels = {sample.label for sample in stream}
+        assert len(labels) > 3  # classes are mixed, not consecutive
+
+    def test_all_task_indices_are_zero(self, source):
+        stream = nondynamic_stream(source, n_samples=10, rng=0)
+        assert all(sample.task_index == 0 for sample in stream)
+
+    def test_restricting_classes(self, source):
+        stream = nondynamic_stream(source, n_samples=30, classes=[2, 7], rng=0)
+        assert {sample.label for sample in stream}.issubset({2, 7})
+
+    def test_empty_class_list_rejected(self, source):
+        with pytest.raises(ValueError):
+            nondynamic_stream(source, n_samples=10, classes=[])
+
+    def test_invalid_sample_count_rejected(self, source):
+        with pytest.raises(ValueError):
+            nondynamic_stream(source, n_samples=0)
+
+
+class TestArrayDigitSource:
+    def make_source(self, n_per_class=4, classes=(0, 1, 2)) -> ArrayDigitSource:
+        rng = np.random.default_rng(0)
+        images, labels = [], []
+        for digit in classes:
+            for _ in range(n_per_class):
+                images.append(rng.random((6, 6)))
+                labels.append(digit)
+        return ArrayDigitSource(np.stack(images), np.array(labels), seed=0)
+
+    def test_classes_are_discovered_from_labels(self):
+        source = self.make_source(classes=(5, 2, 9))
+        assert source.classes == (2, 5, 9)
+
+    def test_image_size_and_pixels(self):
+        source = self.make_source()
+        assert source.image_size == 6
+        assert source.n_pixels == 36
+
+    def test_generate_draws_from_the_right_class(self):
+        source = self.make_source()
+        rng = np.random.default_rng(0)
+        images = source.generate(1, 3, rng=rng)
+        assert images.shape == (3, 6, 6)
+        class_pool = source.images[source.labels == 1]
+        for image in images:
+            assert any(np.array_equal(image, candidate) for candidate in class_pool)
+
+    def test_generate_with_replacement_when_pool_is_small(self):
+        source = self.make_source(n_per_class=2)
+        images = source.generate(0, 10, rng=0)
+        assert images.shape == (10, 6, 6)
+
+    def test_unknown_class_rejected(self):
+        source = self.make_source()
+        with pytest.raises(ValueError):
+            source.generate(9, 1)
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            ArrayDigitSource(np.zeros((4, 6)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            ArrayDigitSource(np.zeros((4, 6, 6)), np.zeros(3, dtype=int))
+
+    def test_works_with_the_dynamic_stream(self):
+        source = self.make_source()
+        stream = dynamic_task_stream(source, class_sequence=[0, 2],
+                                     samples_per_task=2, rng=0)
+        assert [sample.label for sample in stream] == [0, 0, 2, 2]
+
+
+class TestStreamSample:
+    def test_fields(self):
+        sample = StreamSample(image=np.zeros((2, 2)), label=3, task_index=1)
+        assert sample.label == 3
+        assert sample.task_index == 1
+        assert sample.image.shape == (2, 2)

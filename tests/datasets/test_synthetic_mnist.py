@@ -1,0 +1,132 @@
+"""Tests for the procedural MNIST-like digit generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic_mnist import SyntheticDigits
+
+
+class TestConstruction:
+    def test_exposes_ten_classes(self):
+        assert SyntheticDigits(seed=0).classes == tuple(range(10))
+
+    def test_n_pixels(self):
+        assert SyntheticDigits(image_size=14, seed=0).n_pixels == 196
+        assert SyntheticDigits(image_size=28, seed=0).n_pixels == 784
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SyntheticDigits(image_size=0)
+        with pytest.raises(ValueError):
+            SyntheticDigits(thickness=0.0)
+        with pytest.raises(ValueError):
+            SyntheticDigits(noise=-0.1)
+
+
+class TestPrototypes:
+    @pytest.mark.parametrize("digit", range(10))
+    def test_every_digit_has_a_nonempty_prototype(self, digit):
+        source = SyntheticDigits(image_size=14, seed=0)
+        prototype = source.prototype(digit)
+        assert prototype.shape == (14, 14)
+        # The soft pen peaks near (not exactly at) 1.0 on the stroke centres.
+        assert 0.9 < prototype.max() <= 1.0
+        assert prototype.sum() > 1.0
+
+    def test_prototypes_are_deterministic(self):
+        a = SyntheticDigits(image_size=14, seed=0).prototype(5)
+        b = SyntheticDigits(image_size=14, seed=99).prototype(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_prototypes_are_mutually_distinct(self):
+        source = SyntheticDigits(image_size=14, seed=0)
+        prototypes = [source.prototype(d).ravel() for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                difference = np.abs(prototypes[i] - prototypes[j]).mean()
+                assert difference > 0.01, f"digits {i} and {j} look identical"
+
+    def test_digits_4_and_9_share_features(self):
+        """The overlap behind the paper's Fig. 10 observation is built in:
+        digits 4 and 9 overlap more than digits 1 and 0 do."""
+        source = SyntheticDigits(image_size=28, seed=0)
+
+        def overlap(a: int, b: int) -> float:
+            pa, pb = source.prototype(a), source.prototype(b)
+            return float(np.minimum(pa, pb).sum() / np.maximum(pa, pb).sum())
+
+        assert overlap(4, 9) > overlap(1, 0)
+
+    def test_invalid_digit_rejected(self):
+        source = SyntheticDigits(seed=0)
+        with pytest.raises(ValueError):
+            source.prototype(10)
+
+
+class TestGenerate:
+    def test_shape_and_range(self):
+        source = SyntheticDigits(image_size=14, seed=0)
+        images = source.generate(3, 5)
+        assert images.shape == (5, 14, 14)
+        assert images.min() >= 0.0
+        assert images.max() <= 1.0
+
+    def test_samples_vary_within_a_class(self):
+        source = SyntheticDigits(image_size=14, seed=0)
+        images = source.generate(3, 2)
+        assert not np.array_equal(images[0], images[1])
+
+    def test_samples_resemble_their_prototype(self):
+        source = SyntheticDigits(image_size=14, seed=0, noise=0.02)
+        prototype = source.prototype(7).ravel()
+        sample = source.generate(7, 1)[0].ravel()
+        other = source.prototype(1).ravel()
+        corr_own = np.corrcoef(sample, prototype)[0, 1]
+        corr_other = np.corrcoef(sample, other)[0, 1]
+        assert corr_own > corr_other
+
+    def test_explicit_rng_is_reproducible(self):
+        source = SyntheticDigits(image_size=14, seed=0)
+        a = source.generate(2, 3, rng=5)
+        b = source.generate(2, 3, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_internal_rng_is_seed_reproducible(self):
+        a = SyntheticDigits(image_size=14, seed=11).generate(2, 3)
+        b = SyntheticDigits(image_size=14, seed=11).generate(2, 3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_arguments(self):
+        source = SyntheticDigits(seed=0)
+        with pytest.raises(ValueError):
+            source.generate(42, 1)
+        with pytest.raises(ValueError):
+            source.generate(1, 0)
+
+    def test_noise_free_generator(self):
+        source = SyntheticDigits(image_size=14, seed=0, noise=0.0,
+                                 jitter=0.0, scale_jitter=0.0,
+                                 intensity_jitter=0.0)
+        images = source.generate(6, 2)
+        np.testing.assert_array_equal(images[0], images[1])
+
+
+class TestSample:
+    def test_labels_come_from_requested_classes(self):
+        source = SyntheticDigits(image_size=14, seed=0)
+        images, labels = source.sample(20, classes=[1, 3, 5])
+        assert images.shape == (20, 14, 14)
+        assert set(np.unique(labels)).issubset({1, 3, 5})
+
+    def test_defaults_to_all_classes(self):
+        source = SyntheticDigits(image_size=14, seed=0)
+        _, labels = source.sample(50)
+        assert set(np.unique(labels)).issubset(set(range(10)))
+        assert len(set(np.unique(labels))) > 3
+
+    def test_invalid_class_rejected(self):
+        source = SyntheticDigits(seed=0)
+        with pytest.raises(ValueError):
+            source.sample(5, classes=[11])

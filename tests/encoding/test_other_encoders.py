@@ -1,0 +1,154 @@
+"""Tests for the latency, rank-order, phase, and burst encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding.base import SpikeEncoder
+from repro.encoding.burst import BurstEncoder
+from repro.encoding.phase import PhaseEncoder
+from repro.encoding.rank_order import RankOrderEncoder
+from repro.encoding.temporal import LatencyEncoder
+
+
+class TestSpikeEncoderBase:
+    def test_timesteps(self):
+        assert SpikeEncoder(duration=350.0, dt=1.0).timesteps == 350
+        assert SpikeEncoder(duration=100.0, dt=0.5).timesteps == 200
+
+    def test_duration_must_cover_one_timestep(self):
+        with pytest.raises(ValueError):
+            SpikeEncoder(duration=0.5, dt=1.0)
+
+    def test_encode_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            SpikeEncoder().encode(np.ones(3))
+
+
+class TestLatencyEncoder:
+    def test_each_active_element_spikes_once(self):
+        encoder = LatencyEncoder(duration=20.0, dt=1.0)
+        train = encoder.encode(np.array([1.0, 0.5, 0.2]))
+        np.testing.assert_array_equal(train.sum(axis=0), [1, 1, 1])
+
+    def test_stronger_inputs_spike_earlier(self):
+        encoder = LatencyEncoder(duration=20.0, dt=1.0)
+        times = encoder.spike_times(np.array([1.0, 0.5, 0.1]))
+        assert times[0] < times[1] < times[2]
+
+    def test_maximum_intensity_spikes_first_step(self):
+        encoder = LatencyEncoder(duration=20.0, dt=1.0)
+        assert encoder.spike_times(np.array([1.0, 0.2]))[0] == 0
+
+    def test_sub_threshold_intensity_never_spikes(self):
+        encoder = LatencyEncoder(duration=20.0, dt=1.0, epsilon=0.05)
+        train = encoder.encode(np.array([1.0, 0.0]))
+        assert train[:, 1].sum() == 0
+
+    def test_output_shape(self):
+        encoder = LatencyEncoder(duration=30.0, dt=1.0)
+        assert encoder.encode(np.ones(5)).shape == (30, 5)
+
+
+class TestRankOrderEncoder:
+    def test_ranks_follow_intensity_order(self):
+        encoder = RankOrderEncoder(duration=20.0, dt=1.0)
+        order = encoder.spike_order(np.array([0.3, 1.0, 0.6]))
+        assert order[1] == 0
+        assert order[2] == 1
+        assert order[0] == 2
+
+    def test_inactive_elements_get_no_rank(self):
+        encoder = RankOrderEncoder(duration=20.0, dt=1.0, epsilon=0.05)
+        order = encoder.spike_order(np.array([1.0, 0.0]))
+        assert order[1] == -1
+
+    def test_one_spike_per_active_element(self):
+        encoder = RankOrderEncoder(duration=20.0, dt=1.0)
+        train = encoder.encode(np.array([0.9, 0.5, 0.1]))
+        np.testing.assert_array_equal(train.sum(axis=0), [1, 1, 1])
+
+    def test_each_rank_occupies_its_own_timestep(self):
+        encoder = RankOrderEncoder(duration=20.0, dt=1.0)
+        train = encoder.encode(np.array([0.9, 0.5, 0.1]))
+        assert train[0, 0] and train[1, 1] and train[2, 2]
+
+    def test_elements_beyond_window_are_dropped(self):
+        encoder = RankOrderEncoder(duration=2.0, dt=1.0)
+        train = encoder.encode(np.array([1.0, 0.8, 0.6, 0.4]))
+        assert train.sum() == 2
+
+
+class TestPhaseEncoder:
+    def test_period_must_cover_one_timestep(self):
+        with pytest.raises(ValueError):
+            PhaseEncoder(duration=20.0, dt=1.0, period=0.5)
+
+    def test_strong_input_fires_at_cycle_start(self):
+        encoder = PhaseEncoder(duration=20.0, dt=1.0, period=10.0)
+        train = encoder.encode(np.array([1.0]))
+        spike_steps = np.flatnonzero(train[:, 0])
+        np.testing.assert_array_equal(spike_steps % 10, 0)
+
+    def test_weak_input_fires_late_in_cycle(self):
+        encoder = PhaseEncoder(duration=20.0, dt=1.0, period=10.0, epsilon=0.0)
+        train = encoder.encode(np.array([1.0, 1e-4]))
+        weak_steps = np.flatnonzero(train[:, 1])
+        assert np.all(weak_steps % 10 == 9)
+
+    def test_one_spike_per_cycle(self):
+        encoder = PhaseEncoder(duration=50.0, dt=1.0, period=10.0)
+        train = encoder.encode(np.array([0.8]))
+        assert train[:, 0].sum() == 5
+
+    def test_sub_threshold_never_spikes(self):
+        encoder = PhaseEncoder(duration=50.0, dt=1.0, period=10.0, epsilon=0.05)
+        train = encoder.encode(np.array([1.0, 0.0]))
+        assert train[:, 1].sum() == 0
+
+
+class TestBurstEncoder:
+    def test_burst_length_grows_with_intensity(self):
+        encoder = BurstEncoder(duration=50.0, dt=1.0, max_burst_length=5)
+        lengths = encoder.burst_lengths(np.array([1.0, 0.5, 0.1]))
+        assert lengths[0] == 5
+        assert lengths[1] == 3
+        assert lengths[2] == 1
+        assert lengths[0] > lengths[1] > lengths[2]
+
+    def test_zero_intensity_has_no_burst(self):
+        encoder = BurstEncoder(duration=50.0, dt=1.0)
+        lengths = encoder.burst_lengths(np.array([1.0, 0.0]))
+        assert lengths[1] == 0
+
+    def test_spike_count_equals_burst_length(self):
+        encoder = BurstEncoder(duration=50.0, dt=1.0, max_burst_length=4,
+                               inter_spike_interval=3)
+        train = encoder.encode(np.array([1.0, 0.5]))
+        np.testing.assert_array_equal(train.sum(axis=0),
+                                      encoder.burst_lengths(np.array([1.0, 0.5])))
+
+    def test_burst_respects_inter_spike_interval(self):
+        encoder = BurstEncoder(duration=50.0, dt=1.0, max_burst_length=3,
+                               inter_spike_interval=4)
+        train = encoder.encode(np.array([1.0]))
+        np.testing.assert_array_equal(np.flatnonzero(train[:, 0]), [0, 4, 8])
+
+    def test_burst_is_truncated_by_the_window(self):
+        encoder = BurstEncoder(duration=5.0, dt=1.0, max_burst_length=10,
+                               inter_spike_interval=2)
+        train = encoder.encode(np.array([1.0]))
+        assert train[:, 0].sum() == 3  # steps 0, 2, 4
+
+
+class TestAllEncodersShareTheInterface:
+    @pytest.mark.parametrize("encoder_cls", [
+        LatencyEncoder, RankOrderEncoder, PhaseEncoder, BurstEncoder,
+    ])
+    def test_shape_and_dtype(self, encoder_cls):
+        encoder = encoder_cls(duration=30.0, dt=1.0)
+        image = np.linspace(0.0, 1.0, 12).reshape(3, 4)
+        train = encoder.encode(image)
+        assert train.shape == (30, 12)
+        assert train.dtype == bool

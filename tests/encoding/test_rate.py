@@ -1,0 +1,85 @@
+"""Tests for the Poisson rate encoder (the paper's coding scheme)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding.rate import PoissonRateEncoder
+
+
+class TestSpikeProbabilities:
+    def test_peak_intensity_maps_to_max_rate(self):
+        encoder = PoissonRateEncoder(duration=100.0, dt=1.0, max_rate=100.0)
+        probabilities = encoder.spike_probabilities(np.array([1.0, 0.5, 0.0]))
+        assert probabilities[0] == pytest.approx(0.1)
+        assert probabilities[1] == pytest.approx(0.05)
+        assert probabilities[2] == pytest.approx(0.0)
+
+    def test_intensity_scale_multiplies_rates(self):
+        encoder = PoissonRateEncoder(duration=100.0, dt=1.0, max_rate=100.0,
+                                     intensity_scale=2.0)
+        probabilities = encoder.spike_probabilities(np.array([1.0]))
+        assert probabilities[0] == pytest.approx(0.2)
+
+    def test_probabilities_are_clipped_to_one(self):
+        encoder = PoissonRateEncoder(duration=10.0, dt=1.0, max_rate=5000.0)
+        probabilities = encoder.spike_probabilities(np.array([1.0]))
+        assert probabilities[0] == 1.0
+
+    def test_inputs_are_normalized_by_their_peak(self):
+        encoder = PoissonRateEncoder(duration=10.0, dt=1.0, max_rate=100.0)
+        a = encoder.spike_probabilities(np.array([2.0, 1.0]))
+        b = encoder.spike_probabilities(np.array([1.0, 0.5]))
+        np.testing.assert_allclose(a, b)
+
+    def test_negative_intensities_rejected(self):
+        encoder = PoissonRateEncoder()
+        with pytest.raises(ValueError):
+            encoder.spike_probabilities(np.array([-0.5, 1.0]))
+
+    def test_empty_input_rejected(self):
+        encoder = PoissonRateEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode(np.array([]))
+
+
+class TestEncode:
+    def test_output_shape_and_dtype(self):
+        encoder = PoissonRateEncoder(duration=50.0, dt=1.0, rng=0)
+        train = encoder.encode(np.linspace(0, 1, 9).reshape(3, 3))
+        assert train.shape == (50, 9)
+        assert train.dtype == bool
+
+    def test_zero_intensity_never_spikes(self):
+        encoder = PoissonRateEncoder(duration=200.0, dt=1.0, max_rate=500.0, rng=0)
+        train = encoder.encode(np.array([0.0, 1.0]))
+        assert train[:, 0].sum() == 0
+        assert train[:, 1].sum() > 0
+
+    def test_spike_count_tracks_intensity(self):
+        encoder = PoissonRateEncoder(duration=2000.0, dt=1.0, max_rate=200.0, rng=0)
+        train = encoder.encode(np.array([0.25, 1.0]))
+        assert train[:, 1].sum() > train[:, 0].sum()
+
+    def test_empirical_rate_matches_expectation(self):
+        encoder = PoissonRateEncoder(duration=5000.0, dt=1.0, max_rate=100.0, rng=1)
+        train = encoder.encode(np.array([1.0]))
+        empirical_rate_hz = train[:, 0].mean() * 1000.0
+        assert empirical_rate_hz == pytest.approx(100.0, rel=0.15)
+
+    def test_seeded_encoders_are_reproducible(self):
+        image = np.linspace(0, 1, 16)
+        a = PoissonRateEncoder(duration=100.0, rng=7).encode(image)
+        b = PoissonRateEncoder(duration=100.0, rng=7).encode(image)
+        np.testing.assert_array_equal(a, b)
+
+    def test_flattens_two_dimensional_images(self):
+        encoder = PoissonRateEncoder(duration=20.0, rng=0)
+        train = encoder.encode(np.ones((4, 4)))
+        assert train.shape == (20, 16)
+
+    def test_coarser_timestep_reduces_step_count(self):
+        encoder = PoissonRateEncoder(duration=100.0, dt=2.0, rng=0)
+        assert encoder.timesteps == 50
+        assert encoder.encode(np.ones(4)).shape == (50, 4)

@@ -1,0 +1,111 @@
+"""Tests for the instrumented actual-run estimator (the Fig. 5 reference)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SpikeDynConfig
+from repro.estimation.actual_run import (
+    actual_memory_bytes,
+    measure_sample_operations,
+    run_actual_measurement,
+)
+from repro.estimation.hardware import GTX_1080_TI, JETSON_NANO
+from repro.estimation.memory import ARCH_SPIKEDYN, architecture_parameter_counts
+from repro.models.spikedyn_model import SpikeDynModel
+
+
+@pytest.fixture
+def config() -> SpikeDynConfig:
+    return SpikeDynConfig.scaled_down(n_input=64, n_exc=8, t_sim=20.0, seed=0)
+
+
+@pytest.fixture
+def model(config) -> SpikeDynModel:
+    return SpikeDynModel(config)
+
+
+@pytest.fixture
+def spike_trains(model, config):
+    rng = np.random.default_rng(0)
+    return [rng.random((20, config.n_input)) < 0.3 for _ in range(3)]
+
+
+class TestActualMemory:
+    def test_exceeds_the_analytical_estimate(self, model, config):
+        """The measured footprint adds the transient state the analytical
+        model ignores, so it is strictly larger (Fig. 5a)."""
+        analytical = architecture_parameter_counts(
+            ARCH_SPIKEDYN, config.n_input, config.n_exc
+        ).memory_bytes(config.bit_precision)
+        measured = actual_memory_bytes(model.network, config.bit_precision)
+        assert measured > analytical
+        # ... but not by much: the transient state is a small fraction.
+        assert measured < analytical * 2.0
+
+    def test_scales_with_bit_precision(self, model):
+        assert actual_memory_bytes(model.network, 32) == pytest.approx(
+            2 * actual_memory_bytes(model.network, 16)
+        )
+
+
+class TestMeasureSampleOperations:
+    def test_counts_one_presentation_only(self, model, spike_trains):
+        first = measure_sample_operations(model.network, spike_trains[0])
+        assert first.total_ops() > 0
+        second = measure_sample_operations(model.network, spike_trains[1])
+        # Counters are deltas, not cumulative totals.
+        assert second.total_ops() < first.total_ops() * 3
+
+    def test_inference_costs_less_than_training(self, model, spike_trains):
+        training = measure_sample_operations(model.network, spike_trains[0],
+                                             learning=True)
+        inference = measure_sample_operations(model.network, spike_trains[0],
+                                              learning=False)
+        assert inference.weight_updates <= training.weight_updates
+        assert inference.total_ops() <= training.total_ops()
+
+
+class TestRunActualMeasurement:
+    def test_aggregates_all_samples(self, model, spike_trains):
+        measurement = run_actual_measurement(model.network, spike_trains,
+                                             learning=False)
+        assert measurement.n_samples == 3
+        assert measurement.counter.total_ops() > 0
+        assert measurement.memory_bytes > 0
+        assert measurement.energy.joules > 0
+
+    def test_per_sample_energy_is_the_mean(self, model, spike_trains):
+        measurement = run_actual_measurement(model.network, spike_trains,
+                                             learning=False)
+        assert measurement.per_sample_energy.joules == pytest.approx(
+            measurement.energy.joules / 3
+        )
+
+    def test_extrapolation_scales_the_mean(self, model, spike_trains):
+        measurement = run_actual_measurement(model.network, spike_trains,
+                                             learning=False)
+        assert measurement.extrapolated(300).joules == pytest.approx(
+            measurement.per_sample_energy.joules * 300
+        )
+
+    def test_device_changes_the_energy_but_not_the_counts(self, config, spike_trains):
+        fast = run_actual_measurement(SpikeDynModel(config).network, spike_trains,
+                                      learning=False, device=GTX_1080_TI)
+        slow = run_actual_measurement(SpikeDynModel(config).network, spike_trains,
+                                      learning=False, device=JETSON_NANO)
+        assert slow.counter == fast.counter
+        assert slow.energy.seconds > fast.energy.seconds
+
+    def test_empty_sample_list(self, model):
+        measurement = run_actual_measurement(model.network, [], learning=False)
+        assert measurement.n_samples == 0
+        assert measurement.energy.joules == 0.0
+        # With no samples, the per-sample energy falls back to the total.
+        assert measurement.per_sample_energy.joules == 0.0
+
+    def test_training_measurement_counts_weight_updates(self, model, spike_trains):
+        measurement = run_actual_measurement(model.network, spike_trains,
+                                             learning=True)
+        assert measurement.counter.weight_updates > 0

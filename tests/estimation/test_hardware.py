@@ -1,0 +1,97 @@
+"""Tests for the GPU device profiles (paper Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation.hardware import (
+    GTX_1080_TI,
+    JETSON_NANO,
+    RTX_2080_TI,
+    DeviceProfile,
+    default_devices,
+    get_device,
+)
+
+
+class TestTable1Values:
+    def test_jetson_nano_row(self):
+        assert JETSON_NANO.architecture == "Maxwell"
+        assert JETSON_NANO.cuda_cores == 128
+        assert JETSON_NANO.memory == "4GB LPDDR4"
+        assert JETSON_NANO.interface_width_bits == 64
+        assert JETSON_NANO.tdp_watts == 10.0
+
+    def test_gtx_1080_ti_row(self):
+        assert GTX_1080_TI.architecture == "Pascal"
+        assert GTX_1080_TI.cuda_cores == 3584
+        assert GTX_1080_TI.memory == "11GB GDDR5X"
+        assert GTX_1080_TI.interface_width_bits == 352
+        assert GTX_1080_TI.tdp_watts == 250.0
+
+    def test_rtx_2080_ti_row(self):
+        assert RTX_2080_TI.architecture == "Turing"
+        assert RTX_2080_TI.cuda_cores == 4352
+        assert RTX_2080_TI.memory == "11GB GDDR6"
+        assert RTX_2080_TI.interface_width_bits == 352
+        assert RTX_2080_TI.tdp_watts == 250.0
+
+    def test_table_row_rendering(self):
+        row = JETSON_NANO.table_row()
+        assert row["device"] == "Jetson Nano"
+        assert row["interface_width"] == "64-bit"
+        assert row["power"] == "10W"
+
+    def test_default_devices_order_matches_the_paper(self):
+        assert [device.name for device in default_devices()] == [
+            "Jetson Nano", "GTX 1080 Ti", "RTX 2080 Ti",
+        ]
+
+
+class TestCostModel:
+    def test_seconds_scale_linearly_with_operations(self):
+        assert GTX_1080_TI.seconds_for_operations(2e9) == pytest.approx(
+            2 * GTX_1080_TI.seconds_for_operations(1e9)
+        )
+
+    def test_energy_is_time_times_power(self):
+        ops = 1e9
+        assert GTX_1080_TI.energy_for_operations(ops) == pytest.approx(
+            GTX_1080_TI.seconds_for_operations(ops)
+            * GTX_1080_TI.simulation_power_watts
+        )
+
+    def test_zero_operations_cost_nothing(self):
+        assert JETSON_NANO.seconds_for_operations(0.0) == 0.0
+        assert JETSON_NANO.energy_for_operations(0.0) == 0.0
+
+    def test_negative_operations_rejected(self):
+        with pytest.raises(ValueError):
+            JETSON_NANO.seconds_for_operations(-1.0)
+
+    def test_embedded_gpu_is_slowest(self):
+        ops = 1e9
+        assert (JETSON_NANO.seconds_for_operations(ops)
+                > GTX_1080_TI.seconds_for_operations(ops)
+                > RTX_2080_TI.seconds_for_operations(ops))
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", architecture="X", cuda_cores=0,
+                          memory="1GB", interface_width_bits=64, tdp_watts=10.0,
+                          effective_throughput=1e6, simulation_power_watts=5.0)
+        with pytest.raises(ValueError):
+            DeviceProfile(name="bad", architecture="X", cuda_cores=10,
+                          memory="1GB", interface_width_bits=64, tdp_watts=10.0,
+                          effective_throughput=0.0, simulation_power_watts=5.0)
+
+
+class TestRegistry:
+    def test_lookup_is_case_insensitive(self):
+        assert get_device("jetson nano") is JETSON_NANO
+        assert get_device("GTX 1080 TI") is GTX_1080_TI
+        assert get_device("  rtx 2080 ti  ") is RTX_2080_TI
+
+    def test_unknown_device_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="Jetson Nano"):
+            get_device("TPU v4")

@@ -1,0 +1,106 @@
+"""Tests for the processing-time model (paper Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation.energy import weighted_operations
+from repro.estimation.hardware import GTX_1080_TI, JETSON_NANO, RTX_2080_TI
+from repro.estimation.latency import (
+    MNIST_TEST_SAMPLES,
+    MNIST_TRAIN_SAMPLES,
+    ProcessingTimeReport,
+    processing_time_report,
+    time_per_sample_seconds,
+)
+from repro.snn.simulation import OperationCounter
+
+
+def make_counters(scale: int = 1):
+    """Synthetic per-sample counters: training costs more than inference."""
+    training = OperationCounter(synaptic_events=100_000 * scale,
+                                neuron_updates=10_000 * scale,
+                                weight_updates=50_000 * scale)
+    inference = OperationCounter(synaptic_events=100_000 * scale,
+                                 neuron_updates=10_000 * scale)
+    return {"training": training, "inference": inference}
+
+
+class TestTimePerSample:
+    def test_matches_device_throughput(self):
+        counter = make_counters()["inference"]
+        expected = GTX_1080_TI.seconds_for_operations(weighted_operations(counter))
+        assert time_per_sample_seconds(counter, GTX_1080_TI) == pytest.approx(expected)
+
+    def test_devices_are_ordered_by_throughput(self):
+        counter = make_counters()["training"]
+        nano = time_per_sample_seconds(counter, JETSON_NANO)
+        gtx = time_per_sample_seconds(counter, GTX_1080_TI)
+        rtx = time_per_sample_seconds(counter, RTX_2080_TI)
+        assert nano > gtx > rtx
+
+
+class TestProcessingTimeReport:
+    def test_full_mnist_defaults(self):
+        assert MNIST_TRAIN_SAMPLES == 60_000
+        assert MNIST_TEST_SAMPLES == 10_000
+
+    def test_rows_cover_every_combination(self):
+        report = processing_time_report({"N200": make_counters(),
+                                         "N400": make_counters(2)})
+        # 2 processes x 2 networks x 3 devices.
+        assert len(report.rows) == 12
+
+    def test_hours_lookup(self):
+        report = processing_time_report({"N200": make_counters()})
+        counter = make_counters()["training"]
+        expected_hours = (time_per_sample_seconds(counter, JETSON_NANO)
+                          * MNIST_TRAIN_SAMPLES / 3600.0)
+        assert report.hours("training", "Jetson Nano", "N200") == pytest.approx(
+            expected_hours
+        )
+
+    def test_unknown_cell_raises(self):
+        report = processing_time_report({"N200": make_counters()})
+        with pytest.raises(KeyError):
+            report.hours("training", "TPU", "N200")
+
+    def test_inference_rows_include_per_image_latency(self):
+        report = processing_time_report({"N200": make_counters()})
+        for row in report.rows:
+            if row["process"] == "inference":
+                assert row["seconds_per_image"] > 0
+            else:
+                assert "seconds_per_image" not in row
+
+    def test_larger_network_takes_longer(self):
+        report = processing_time_report({"N200": make_counters(1),
+                                         "N400": make_counters(2)})
+        assert (report.hours("training", "GTX 1080 Ti", "N400")
+                > report.hours("training", "GTX 1080 Ti", "N200"))
+
+    def test_training_dominates_inference(self):
+        report = processing_time_report({"N200": make_counters()})
+        for device in ("Jetson Nano", "GTX 1080 Ti", "RTX 2080 Ti"):
+            assert (report.hours("training", device, "N200")
+                    > report.hours("inference", device, "N200"))
+
+    def test_custom_sample_counts(self):
+        counters = {"N200": make_counters()}
+        small = processing_time_report(counters, n_train=100, n_test=10)
+        large = processing_time_report(counters, n_train=1000, n_test=100)
+        assert (large.hours("training", "GTX 1080 Ti", "N200")
+                == pytest.approx(10 * small.hours("training", "GTX 1080 Ti", "N200")))
+
+    def test_missing_phase_counter_raises(self):
+        with pytest.raises(KeyError):
+            processing_time_report({"N200": {"training": OperationCounter()}})
+
+    def test_to_text_contains_every_device(self):
+        report = processing_time_report({"N200": make_counters()})
+        text = report.to_text()
+        for device in ("Jetson Nano", "GTX 1080 Ti", "RTX 2080 Ti"):
+            assert device in text
+
+    def test_empty_report_renders_header_only(self):
+        assert "process" in ProcessingTimeReport().to_text()

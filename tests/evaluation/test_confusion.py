@@ -1,0 +1,80 @@
+"""Tests for the confusion matrix (paper Fig. 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.confusion import confusion_matrix, most_confused_pair
+
+
+class TestConfusionMatrix:
+    def test_rows_are_targets_columns_are_predictions(self):
+        labels = np.array([0, 0, 1, 1])
+        predictions = np.array([0, 1, 1, 1])
+        matrix = confusion_matrix(labels, predictions, n_classes=2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_total_equals_sample_count(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 5, size=100)
+        predictions = rng.integers(0, 5, size=100)
+        matrix = confusion_matrix(labels, predictions, n_classes=5)
+        assert matrix.sum() == 100
+
+    def test_row_sums_match_class_counts(self):
+        labels = np.array([0, 0, 0, 2, 2, 4])
+        predictions = np.array([0, 1, 2, 2, 2, 4])
+        matrix = confusion_matrix(labels, predictions, n_classes=5)
+        np.testing.assert_array_equal(matrix.sum(axis=1), [3, 0, 2, 0, 1])
+
+    def test_perfect_prediction_is_diagonal(self):
+        labels = np.array([0, 1, 2, 3])
+        matrix = confusion_matrix(labels, labels, n_classes=4)
+        np.testing.assert_array_equal(matrix, np.eye(4, dtype=int))
+
+    def test_repeated_pairs_accumulate(self):
+        labels = np.array([4, 4, 4])
+        predictions = np.array([9, 9, 9])
+        matrix = confusion_matrix(labels, predictions, n_classes=10)
+        assert matrix[4, 9] == 3
+
+    def test_empty_inputs_give_a_zero_matrix(self):
+        matrix = confusion_matrix(np.array([], dtype=int), np.array([], dtype=int), 3)
+        assert matrix.shape == (3, 3)
+        assert matrix.sum() == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0]), 2)
+
+    def test_out_of_range_values_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 5]), np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0, 1]), np.array([0, -1]), 2)
+
+
+class TestMostConfusedPair:
+    def test_finds_the_largest_off_diagonal_entry(self):
+        matrix = np.array([
+            [10, 1, 0],
+            [0, 12, 2],
+            [7, 0, 5],
+        ])
+        assert most_confused_pair(matrix) == (2, 0)
+
+    def test_ignores_the_diagonal(self):
+        matrix = np.diag([100, 100, 100])
+        target, predicted = most_confused_pair(matrix)
+        assert target != predicted or matrix[target, predicted] == 0
+
+    def test_paper_style_four_vs_nine_confusion(self):
+        labels = np.array([4] * 10 + [9] * 10)
+        predictions = np.array([9] * 8 + [4] * 2 + [9] * 10)
+        matrix = confusion_matrix(labels, predictions, n_classes=10)
+        assert most_confused_pair(matrix) == (4, 9)
+
+    def test_rejects_non_square_input(self):
+        with pytest.raises(ValueError):
+            most_confused_pair(np.zeros((2, 3)))

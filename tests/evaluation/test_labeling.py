@@ -1,0 +1,105 @@
+"""Tests for neuron labelling and response-based prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.labeling import assign_neuron_labels, predict_from_responses
+
+
+class TestAssignNeuronLabels:
+    def test_assigns_the_strongest_class(self):
+        # Neuron 0 responds to class 0, neuron 1 to class 1.
+        responses = np.array([
+            [10.0, 0.0],   # sample of class 0
+            [12.0, 1.0],   # sample of class 0
+            [0.0, 9.0],    # sample of class 1
+            [1.0, 11.0],   # sample of class 1
+        ])
+        labels = np.array([0, 0, 1, 1])
+        assignments = assign_neuron_labels(responses, labels, n_classes=2)
+        np.testing.assert_array_equal(assignments, [0, 1])
+
+    def test_silent_neurons_stay_unassigned(self):
+        responses = np.array([[5.0, 0.0], [4.0, 0.0]])
+        labels = np.array([0, 1])
+        assignments = assign_neuron_labels(responses, labels, n_classes=2)
+        assert assignments[1] == -1
+
+    def test_uses_mean_not_total_response(self):
+        """A class with many weak samples must not beat one strong class."""
+        responses = np.array([
+            [1.0],  # class 0 (three samples, weak)
+            [1.0],
+            [1.0],
+            [9.0],  # class 1 (one sample, strong)
+        ])
+        labels = np.array([0, 0, 0, 1])
+        assignments = assign_neuron_labels(responses, labels, n_classes=2)
+        assert assignments[0] == 1
+
+    def test_classes_absent_from_the_assignment_set_are_ignored(self):
+        responses = np.array([[3.0, 1.0]])
+        labels = np.array([4])
+        assignments = assign_neuron_labels(responses, labels, n_classes=10)
+        np.testing.assert_array_equal(assignments, [4, 4])
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            assign_neuron_labels(np.zeros(3), np.zeros(3, dtype=int), 2)
+        with pytest.raises(ValueError):
+            assign_neuron_labels(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)
+
+
+class TestPredictFromResponses:
+    def test_predicts_the_class_of_the_most_active_assigned_group(self):
+        assignments = np.array([0, 0, 1])
+        responses = np.array([
+            [5.0, 6.0, 1.0],   # class-0 neurons dominate
+            [0.0, 1.0, 9.0],   # class-1 neuron dominates
+        ])
+        predictions = predict_from_responses(responses, assignments, n_classes=2)
+        np.testing.assert_array_equal(predictions, [0, 1])
+
+    def test_scores_are_averaged_per_class_group(self):
+        """Two weak class-0 neurons must not outvote one strong class-1 neuron."""
+        assignments = np.array([0, 0, 1])
+        responses = np.array([[2.0, 2.0, 5.0]])
+        predictions = predict_from_responses(responses, assignments, n_classes=2)
+        assert predictions[0] == 1
+
+    def test_unassigned_neurons_do_not_vote(self):
+        assignments = np.array([-1, 1])
+        responses = np.array([[100.0, 1.0]])
+        predictions = predict_from_responses(responses, assignments, n_classes=2)
+        assert predictions[0] == 1
+
+    def test_silent_sample_defaults_to_class_zero(self):
+        assignments = np.array([0, 1])
+        responses = np.zeros((1, 2))
+        predictions = predict_from_responses(responses, assignments, n_classes=2)
+        assert predictions[0] == 0
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError):
+            predict_from_responses(np.zeros((2, 3)), np.zeros(2, dtype=int), 2)
+        with pytest.raises(ValueError):
+            predict_from_responses(np.zeros(3), np.zeros(3, dtype=int), 2)
+
+    def test_round_trip_with_labelling(self):
+        """Labelling then predicting on the same well-separated responses
+        recovers the original labels."""
+        rng = np.random.default_rng(0)
+        n_per_class, n_neurons = 10, 12
+        responses, labels = [], []
+        for cls in range(3):
+            block = np.zeros((n_per_class, n_neurons))
+            block[:, cls * 4:(cls + 1) * 4] = 5.0 + rng.random((n_per_class, 4))
+            responses.append(block)
+            labels.extend([cls] * n_per_class)
+        responses = np.vstack(responses)
+        labels = np.array(labels)
+        assignments = assign_neuron_labels(responses, labels, n_classes=3)
+        predictions = predict_from_responses(responses, assignments, n_classes=3)
+        np.testing.assert_array_equal(predictions, labels)

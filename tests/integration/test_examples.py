@@ -1,0 +1,83 @@
+"""Smoke tests that run every example script end to end.
+
+Each example is executed in a subprocess with deliberately small settings so
+the whole module adds only a few tens of seconds to the suite.  The tests
+assert on the printed output, which is the example's user-facing contract.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(script: str, *arguments: str) -> str:
+    """Run one example script and return its stdout (fails on non-zero exit)."""
+    command = [sys.executable, str(EXAMPLES_DIR / script), *arguments]
+    completed = subprocess.run(
+        command, capture_output=True, text=True, timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script} exited with {completed.returncode}:\n{completed.stderr}"
+    )
+    return completed.stdout
+
+
+@pytest.mark.integration
+class TestExampleScripts:
+    def test_quickstart(self):
+        output = run_example(
+            "quickstart.py", "--classes", "0", "1", "--n-exc", "10",
+            "--train-per-class", "3", "--eval-per-class", "2",
+        )
+        assert "overall accuracy" in output
+        assert "estimated cost" in output
+
+    def test_continual_learning_dynamic(self):
+        output = run_example(
+            "continual_learning_dynamic.py", "--tasks", "0", "1",
+            "--n-exc", "10", "--samples-per-task", "2", "--eval-per-class", "2",
+            "--models", "baseline", "spikedyn",
+        )
+        assert "most recently learned task" in output
+        assert "previously learned tasks" in output
+        assert "Forgetting per task" in output
+        assert "spikedyn" in output
+
+    def test_model_search_constrained(self):
+        output = run_example(
+            "model_search_constrained.py", "--memory-kb", "40",
+            "--n-add", "10", "--image-size", "14",
+        )
+        assert "selected model" in output
+        assert "n_exc" in output
+
+    def test_model_search_infeasible_budget(self):
+        output = run_example(
+            "model_search_constrained.py", "--memory-kb", "1",
+            "--n-add", "10", "--image-size", "14",
+        )
+        assert "no candidate satisfies" in output
+
+    def test_energy_report(self):
+        output = run_example(
+            "energy_report.py", "--n-exc", "20", "40", "--image-size", "14",
+            "--t-sim", "40", "--samples", "1",
+        )
+        assert "mean SpikeDyn savings vs ASP" in output
+        assert "Table II" in output
+        assert "Jetson Nano" in output
+
+    def test_inspect_receptive_fields(self):
+        output = run_example(
+            "inspect_receptive_fields.py", "--classes", "0", "1",
+            "--n-exc", "6", "--train-per-class", "3",
+        )
+        assert "Receptive fields" in output
+        assert "Population statistics" in output
+        assert "normalized to the baseline" in output

@@ -1,0 +1,146 @@
+"""Tests for the ASP (adaptive synaptic plasticity) comparator rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.asp import ASPLearningRule
+from repro.learning.stdp import PairwiseSTDP
+from repro.snn.neurons import InputGroup, LIFGroup
+from repro.snn.simulation import OperationCounter
+from repro.snn.synapses import Connection
+
+
+def make_connection(n_pre=4, n_post=3, initial=0.5, *, rule=None):
+    pre = InputGroup(n_pre, name="pre")
+    post = LIFGroup(n_post, name="post")
+    connection = Connection(pre, post, np.full((n_pre, n_post), initial),
+                            learning_rule=rule)
+    return pre, post, connection
+
+
+class TestWeightLeak:
+    def test_weights_leak_towards_baseline_without_spikes(self):
+        rule = ASPLearningRule(nu_pre=0.0, nu_post=0.0, tau_leak=100.0,
+                               leak_activity_gain=0.0, w_baseline=0.0)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        for t in range(10):
+            rule.step(connection, 1.0, t)
+        assert np.all(connection.weights < before)
+        assert np.all(connection.weights > 0.0)
+
+    def test_leak_pulls_towards_configured_baseline(self):
+        rule = ASPLearningRule(nu_pre=0.0, nu_post=0.0, tau_leak=5.0,
+                               leak_activity_gain=0.0, w_baseline=0.3)
+        pre, post, connection = make_connection(initial=0.9, rule=rule)
+        rule.on_sample_start(connection)
+        for t in range(300):
+            rule.step(connection, 1.0, t)
+        np.testing.assert_allclose(connection.weights, 0.3, atol=1e-3)
+
+    def test_activity_accelerates_the_leak(self):
+        def final_weight(spiking: bool) -> float:
+            rule = ASPLearningRule(nu_pre=0.0, nu_post=0.0, tau_leak=100.0,
+                                   leak_activity_gain=5.0)
+            pre, post, connection = make_connection(rule=rule)
+            rule.on_sample_start(connection)
+            for t in range(20):
+                post.spikes = np.array([spiking, False, False])
+                rule.step(connection, 1.0, t)
+            return float(connection.weights[0, 0])
+
+        assert final_weight(True) < final_weight(False)
+
+    def test_leak_is_clamped_to_half_per_step(self):
+        rule = ASPLearningRule(nu_pre=0.0, nu_post=0.0, tau_leak=1e-3,
+                               leak_activity_gain=100.0)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        post.spikes = np.ones(3, dtype=bool)
+        rule.step(connection, 1.0, 0)
+        # Even with an absurd leak configuration, at most half of the weight
+        # (relative to the baseline) disappears in a single step.
+        assert np.all(connection.weights >= 0.25 - 1e-12)
+
+
+class TestAdaptiveLearningRate:
+    def test_recent_activity_boosts_potentiation(self):
+        def potentiation_delta(with_history: bool) -> float:
+            rule = ASPLearningRule(nu_pre=0.0, nu_post=0.1, soft_bounds=False,
+                                   learning_rate_gain=1.0, tau_leak=1e9)
+            pre, post, connection = make_connection(rule=rule)
+            rule.on_sample_start(connection)
+            # Optional history of postsynaptic activity for neuron 0.
+            for t in range(5):
+                pre.spikes = np.zeros(4, dtype=bool)
+                post.spikes = np.array([with_history, False, False])
+                rule.step(connection, 1.0, t)
+            # Build the presynaptic trace, then trigger one potentiation event.
+            pre.spikes = np.array([True, False, False, False])
+            post.spikes = np.zeros(3, dtype=bool)
+            rule.step(connection, 1.0, 5)
+            before = connection.weights[0, 0]
+            pre.spikes = np.zeros(4, dtype=bool)
+            post.spikes = np.array([True, False, False])
+            rule.step(connection, 1.0, 6)
+            return float(connection.weights[0, 0] - before)
+
+        assert potentiation_delta(True) > potentiation_delta(False)
+
+    def test_zero_gain_reduces_to_plain_stdp_potentiation(self):
+        asp = ASPLearningRule(nu_pre=0.0, nu_post=0.1, soft_bounds=False,
+                              learning_rate_gain=0.0, leak_activity_gain=0.0,
+                              tau_leak=1e12)
+        stdp = PairwiseSTDP(nu_pre=0.0, nu_post=0.1, soft_bounds=False)
+        results = []
+        for rule in (asp, stdp):
+            pre, post, connection = make_connection(rule=rule)
+            rule.on_sample_start(connection)
+            pre.spikes = np.array([True, False, False, False])
+            post.spikes = np.zeros(3, dtype=bool)
+            rule.step(connection, 1.0, 0)
+            pre.spikes = np.zeros(4, dtype=bool)
+            post.spikes = np.array([True, False, False])
+            rule.step(connection, 1.0, 1)
+            results.append(connection.weights[0, 0])
+        assert results[0] == pytest.approx(results[1], rel=1e-6)
+
+
+class TestBookkeeping:
+    def test_asp_counts_more_operations_than_stdp(self):
+        """ASP's extra traces and leak are the energy overhead of Fig. 1(b)."""
+        def operations(rule) -> int:
+            pre, post, connection = make_connection(rule=rule)
+            counter = OperationCounter()
+            rule.on_sample_start(connection)
+            rng = np.random.default_rng(0)
+            for t in range(20):
+                pre.spikes = rng.random(4) < 0.3
+                post.spikes = rng.random(3) < 0.3
+                rule.step(connection, 1.0, t, counter)
+            return counter.total_ops()
+
+        asp_ops = operations(ASPLearningRule())
+        stdp_ops = operations(PairwiseSTDP())
+        assert asp_ops > stdp_ops
+
+    def test_reset_clears_activity_trace(self):
+        rule = ASPLearningRule()
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        post.spikes = np.ones(3, dtype=bool)
+        rule.step(connection, 1.0, 0)
+        assert rule._activity is not None
+        rule.reset()
+        assert rule._activity is None
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ASPLearningRule(tau_leak=0.0)
+        with pytest.raises(ValueError):
+            ASPLearningRule(leak_activity_gain=-1.0)
+        with pytest.raises(ValueError):
+            ASPLearningRule(tau_activity=-5.0)

@@ -1,0 +1,77 @@
+"""Tests for the learning-rule base class."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.base import LearningRule, outer_update
+from repro.snn.neurons import InputGroup, LIFGroup
+from repro.snn.synapses import Connection
+
+
+def make_connection(n_pre=4, n_post=3, **kwargs) -> Connection:
+    pre = InputGroup(n_pre, name="pre")
+    post = LIFGroup(n_post, name="post")
+    return Connection(pre, post, np.full((n_pre, n_post), 0.5), **kwargs)
+
+
+class TestOuterUpdate:
+    def test_matches_numpy_outer(self):
+        pre = np.array([1.0, 2.0])
+        post = np.array([3.0, 4.0, 5.0])
+        np.testing.assert_allclose(outer_update(pre, post), np.outer(pre, post))
+
+    def test_boolean_inputs_are_cast(self):
+        result = outer_update(np.array([True, False]), np.array([1.0, 2.0]))
+        np.testing.assert_allclose(result, [[1.0, 2.0], [0.0, 0.0]])
+
+
+class TestLearningRuleBase:
+    def test_traces_are_lazily_created(self):
+        rule = LearningRule()
+        assert rule.pre_trace is None and rule.post_trace is None
+        connection = make_connection()
+        rule.on_sample_start(connection)
+        assert rule.pre_trace.n == 4
+        assert rule.post_trace.n == 3
+
+    def test_traces_are_rebuilt_when_sizes_change(self):
+        rule = LearningRule()
+        rule.on_sample_start(make_connection(4, 3))
+        rule.on_sample_start(make_connection(6, 5))
+        assert rule.pre_trace.n == 6
+        assert rule.post_trace.n == 5
+
+    def test_on_sample_start_resets_traces(self):
+        rule = LearningRule()
+        connection = make_connection()
+        rule.on_sample_start(connection)
+        rule.pre_trace.values[:] = 1.0
+        rule.on_sample_start(connection)
+        np.testing.assert_allclose(rule.pre_trace.values, 0.0)
+
+    def test_step_is_abstract(self):
+        rule = LearningRule()
+        with pytest.raises(NotImplementedError):
+            rule.step(make_connection(), 1.0, 0)
+
+    def test_on_sample_end_normalizes_the_connection(self):
+        rule = LearningRule()
+        connection = make_connection(norm=2.0, w_max=3.0)
+        rule.on_sample_end(connection)
+        np.testing.assert_allclose(connection.weights.sum(axis=0), 2.0)
+
+    def test_reset_clears_trace_values(self):
+        rule = LearningRule()
+        connection = make_connection()
+        rule.on_sample_start(connection)
+        rule.pre_trace.values[:] = 0.7
+        rule.reset()
+        np.testing.assert_allclose(rule.pre_trace.values, 0.0)
+
+    def test_rejects_non_positive_time_constants(self):
+        with pytest.raises(ValueError):
+            LearningRule(tau_pre=0.0)
+        with pytest.raises(ValueError):
+            LearningRule(tau_post=-1.0)

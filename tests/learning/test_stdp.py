@@ -1,0 +1,144 @@
+"""Tests for the pair-based trace STDP rule (the baseline's learning rule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.stdp import PairwiseSTDP
+from repro.snn.neurons import InputGroup, LIFGroup
+from repro.snn.simulation import OperationCounter
+from repro.snn.synapses import Connection
+
+
+def make_connection(n_pre=4, n_post=3, initial=0.5, *, rule=None, w_max=1.0):
+    pre = InputGroup(n_pre, name="pre")
+    post = LIFGroup(n_post, name="post")
+    connection = Connection(pre, post, np.full((n_pre, n_post), initial),
+                            w_max=w_max, learning_rule=rule)
+    return pre, post, connection
+
+
+class TestPotentiation:
+    def test_postsynaptic_spike_potentiates_recently_active_inputs(self):
+        rule = PairwiseSTDP(nu_post=0.1, nu_pre=0.0, soft_bounds=False)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+
+        # Step 1: presynaptic neuron 0 spikes (builds its trace).
+        pre.spikes = np.array([True, False, False, False])
+        post.spikes = np.zeros(3, dtype=bool)
+        rule.step(connection, 1.0, 0)
+        before = connection.weights.copy()
+
+        # Step 2: postsynaptic neuron 1 spikes.
+        pre.spikes = np.zeros(4, dtype=bool)
+        post.spikes = np.array([False, True, False])
+        rule.step(connection, 1.0, 1)
+
+        assert connection.weights[0, 1] > before[0, 1]
+        # Synapses from silent inputs to the spiking neuron are unchanged.
+        np.testing.assert_allclose(connection.weights[2:, 1], before[2:, 1])
+        # Synapses to silent postsynaptic neurons are unchanged.
+        np.testing.assert_allclose(connection.weights[:, 0], before[:, 0])
+
+    def test_potentiation_magnitude_scales_with_learning_rate(self):
+        deltas = []
+        for nu_post in (0.01, 0.1):
+            rule = PairwiseSTDP(nu_post=nu_post, nu_pre=0.0, soft_bounds=False)
+            pre, post, connection = make_connection(rule=rule)
+            rule.on_sample_start(connection)
+            pre.spikes = np.array([True, False, False, False])
+            post.spikes = np.zeros(3, dtype=bool)
+            rule.step(connection, 1.0, 0)
+            pre.spikes = np.zeros(4, dtype=bool)
+            post.spikes = np.array([True, False, False])
+            rule.step(connection, 1.0, 1)
+            deltas.append(connection.weights[0, 0] - 0.5)
+        assert deltas[1] > deltas[0] > 0.0
+
+    def test_soft_bounds_shrink_updates_near_w_max(self):
+        def delta_for_initial(initial):
+            rule = PairwiseSTDP(nu_post=0.1, nu_pre=0.0, soft_bounds=True)
+            pre, post, connection = make_connection(initial=initial, rule=rule)
+            rule.on_sample_start(connection)
+            pre.spikes = np.array([True, False, False, False])
+            post.spikes = np.zeros(3, dtype=bool)
+            rule.step(connection, 1.0, 0)
+            pre.spikes = np.zeros(4, dtype=bool)
+            post.spikes = np.array([True, False, False])
+            rule.step(connection, 1.0, 1)
+            return connection.weights[0, 0] - initial
+
+        assert delta_for_initial(0.9) < delta_for_initial(0.1)
+
+
+class TestDepression:
+    def test_presynaptic_spike_depresses_weights_of_active_outputs(self):
+        rule = PairwiseSTDP(nu_post=0.0, nu_pre=0.1, soft_bounds=False)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+
+        # Step 1: postsynaptic neuron 2 spikes (builds its trace).
+        pre.spikes = np.zeros(4, dtype=bool)
+        post.spikes = np.array([False, False, True])
+        rule.step(connection, 1.0, 0)
+        before = connection.weights.copy()
+
+        # Step 2: presynaptic neuron 0 spikes.
+        pre.spikes = np.array([True, False, False, False])
+        post.spikes = np.zeros(3, dtype=bool)
+        rule.step(connection, 1.0, 1)
+
+        assert connection.weights[0, 2] < before[0, 2]
+        np.testing.assert_allclose(connection.weights[1:, :], before[1:, :])
+
+    def test_weights_never_leave_bounds(self):
+        rule = PairwiseSTDP(nu_post=1.0, nu_pre=1.0, soft_bounds=False)
+        pre, post, connection = make_connection(rule=rule)
+        rng = np.random.default_rng(0)
+        rule.on_sample_start(connection)
+        for t in range(50):
+            pre.spikes = rng.random(4) < 0.5
+            post.spikes = rng.random(3) < 0.5
+            rule.step(connection, 1.0, t)
+        assert connection.weights.min() >= connection.w_min
+        assert connection.weights.max() <= connection.w_max
+
+
+class TestBookkeeping:
+    def test_no_spikes_no_weight_change(self):
+        rule = PairwiseSTDP()
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        for t in range(5):
+            rule.step(connection, 1.0, t)
+        np.testing.assert_array_equal(connection.weights, before)
+
+    def test_zero_learning_rates_freeze_weights(self):
+        rule = PairwiseSTDP(nu_pre=0.0, nu_post=0.0)
+        pre, post, connection = make_connection(rule=rule)
+        rule.on_sample_start(connection)
+        before = connection.weights.copy()
+        pre.spikes = np.ones(4, dtype=bool)
+        post.spikes = np.ones(3, dtype=bool)
+        rule.step(connection, 1.0, 0)
+        np.testing.assert_array_equal(connection.weights, before)
+
+    def test_counter_records_weight_updates(self):
+        rule = PairwiseSTDP(nu_post=0.1, soft_bounds=False)
+        pre, post, connection = make_connection(rule=rule)
+        counter = OperationCounter()
+        rule.on_sample_start(connection)
+        pre.spikes = np.ones(4, dtype=bool)
+        post.spikes = np.ones(3, dtype=bool)
+        rule.step(connection, 1.0, 0, counter)
+        assert counter.weight_updates > 0
+        assert counter.trace_updates > 0
+
+    def test_rejects_negative_learning_rates(self):
+        with pytest.raises(ValueError):
+            PairwiseSTDP(nu_pre=-1e-3)
+        with pytest.raises(ValueError):
+            PairwiseSTDP(nu_post=-1e-3)

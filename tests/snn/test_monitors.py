@@ -1,0 +1,90 @@
+"""Tests for spike and state monitors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.snn.monitors import SpikeMonitor, StateMonitor
+from repro.snn.neurons import LIFGroup
+
+
+class TestSpikeMonitor:
+    def test_accumulates_counts(self):
+        group = LIFGroup(3, name="g")
+        monitor = SpikeMonitor(group)
+        group.spikes = np.array([True, False, True])
+        monitor.observe()
+        group.spikes = np.array([True, False, False])
+        monitor.observe()
+        np.testing.assert_array_equal(monitor.counts, [2, 0, 1])
+        assert monitor.total_spikes == 3
+
+    def test_raster_disabled_by_default(self):
+        group = LIFGroup(3, name="g")
+        monitor = SpikeMonitor(group)
+        group.spikes = np.array([True, True, True])
+        monitor.observe()
+        assert monitor.raster.shape == (0, 3)
+
+    def test_raster_records_every_step(self):
+        group = LIFGroup(2, name="g")
+        monitor = SpikeMonitor(group, record_raster=True)
+        patterns = [np.array([True, False]), np.array([False, True])]
+        for pattern in patterns:
+            group.spikes = pattern
+            monitor.observe()
+        np.testing.assert_array_equal(monitor.raster, np.vstack(patterns))
+
+    def test_reset(self):
+        group = LIFGroup(2, name="g")
+        monitor = SpikeMonitor(group, record_raster=True)
+        group.spikes = np.array([True, True])
+        monitor.observe()
+        monitor.reset()
+        assert monitor.total_spikes == 0
+        assert monitor.raster.shape == (0, 2)
+
+
+class TestStateMonitor:
+    def test_requires_existing_attribute(self):
+        group = LIFGroup(2, name="g")
+        with pytest.raises(AttributeError):
+            StateMonitor(group, "does_not_exist")
+
+    def test_records_history(self):
+        group = LIFGroup(2, name="g")
+        monitor = StateMonitor(group, "v")
+        monitor.observe()
+        group.v[:] = -50.0
+        monitor.observe()
+        history = monitor.history
+        assert history.shape == (2, 2)
+        np.testing.assert_allclose(history[0], group.v_rest)
+        np.testing.assert_allclose(history[1], -50.0)
+
+    def test_history_stores_copies(self):
+        group = LIFGroup(2, name="g")
+        monitor = StateMonitor(group, "v")
+        monitor.observe()
+        group.v[:] = 0.0
+        np.testing.assert_allclose(monitor.history[0], group.v_rest)
+
+    def test_last_value(self):
+        group = LIFGroup(1, name="g")
+        monitor = StateMonitor(group, "v")
+        assert monitor.last is None
+        monitor.observe()
+        np.testing.assert_allclose(monitor.last, group.v_rest)
+
+    def test_empty_history_shape(self):
+        group = LIFGroup(2, name="g")
+        monitor = StateMonitor(group, "v")
+        assert monitor.history.shape == (0,)
+
+    def test_reset(self):
+        group = LIFGroup(2, name="g")
+        monitor = StateMonitor(group, "v")
+        monitor.observe()
+        monitor.reset()
+        assert monitor.last is None

@@ -1,0 +1,236 @@
+"""Tests for the neuron group models (input, LIF, adaptive LIF)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.snn.neurons import AdaptiveLIFGroup, InputGroup, LIFGroup, NeuronGroup
+from repro.snn.simulation import OperationCounter
+
+
+class TestNeuronGroupBase:
+    def test_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            NeuronGroup(0)
+
+    def test_spike_vector_starts_empty(self):
+        group = NeuronGroup(4)
+        assert group.spikes.shape == (4,)
+        assert not group.spikes.any()
+
+    def test_step_is_abstract(self):
+        group = NeuronGroup(2)
+        with pytest.raises(NotImplementedError):
+            group.step(np.zeros(2), 1.0)
+
+
+class TestInputGroup:
+    def test_replays_loaded_train(self):
+        group = InputGroup(3)
+        train = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=bool)
+        group.set_spike_train(train)
+        for expected in train:
+            spikes = group.step(np.zeros(3), 1.0)
+            np.testing.assert_array_equal(spikes, expected)
+
+    def test_silent_after_train_is_exhausted(self):
+        group = InputGroup(2)
+        group.set_spike_train(np.ones((1, 2), dtype=bool))
+        group.step(np.zeros(2), 1.0)
+        assert not group.step(np.zeros(2), 1.0).any()
+
+    def test_silent_without_a_train(self):
+        group = InputGroup(2)
+        assert not group.step(np.zeros(2), 1.0).any()
+
+    def test_remaining_steps(self):
+        group = InputGroup(2)
+        assert group.remaining_steps == 0
+        group.set_spike_train(np.zeros((5, 2), dtype=bool))
+        assert group.remaining_steps == 5
+        group.step(np.zeros(2), 1.0)
+        assert group.remaining_steps == 4
+
+    def test_set_spike_train_validates_shape(self):
+        group = InputGroup(3)
+        with pytest.raises(ValueError):
+            group.set_spike_train(np.zeros((4, 2), dtype=bool))
+        with pytest.raises(ValueError):
+            group.set_spike_train(np.zeros(3, dtype=bool))
+
+    def test_clear_spike_train(self):
+        group = InputGroup(2)
+        group.set_spike_train(np.ones((3, 2), dtype=bool))
+        group.clear_spike_train()
+        assert group.remaining_steps == 0
+        assert not group.step(np.zeros(2), 1.0).any()
+
+    def test_reset_rewinds_cursor(self):
+        group = InputGroup(2)
+        train = np.array([[1, 1], [0, 0]], dtype=bool)
+        group.set_spike_train(train)
+        group.step(np.zeros(2), 1.0)
+        group.reset_state()
+        np.testing.assert_array_equal(group.step(np.zeros(2), 1.0), train[0])
+
+    def test_full_reset_drops_train(self):
+        group = InputGroup(2)
+        group.set_spike_train(np.ones((3, 2), dtype=bool))
+        group.reset_state(full=True)
+        assert group.remaining_steps == 0
+
+    def test_reset_does_not_corrupt_the_loaded_train(self):
+        """Regression test: resetting must not zero the replayed train row
+        through the spike-vector alias."""
+        group = InputGroup(2)
+        train = np.ones((2, 2), dtype=bool)
+        group.set_spike_train(train)
+        group.step(np.zeros(2), 1.0)
+        group.reset_state()
+        np.testing.assert_array_equal(group.step(np.zeros(2), 1.0), [True, True])
+
+    def test_no_persistent_parameters(self):
+        assert InputGroup(10).parameter_count == 0
+
+
+class TestLIFGroup:
+    def make_group(self, n=3, **kwargs) -> LIFGroup:
+        defaults = dict(v_rest=-65.0, v_reset=-65.0, v_thresh=-52.0,
+                        tau_m=100.0, refractory=5.0)
+        defaults.update(kwargs)
+        return LIFGroup(n, **defaults)
+
+    def test_initial_potential_is_resting(self):
+        group = self.make_group()
+        np.testing.assert_allclose(group.v, -65.0)
+
+    def test_parameter_count(self):
+        assert self.make_group(n=7).parameter_count == 14
+
+    def test_threshold_must_exceed_reset(self):
+        with pytest.raises(ValueError):
+            LIFGroup(2, v_reset=-50.0, v_thresh=-60.0)
+
+    def test_step_validates_input_shape(self):
+        group = self.make_group(n=3)
+        with pytest.raises(ValueError):
+            group.step(np.zeros(4), 1.0)
+
+    def test_membrane_integrates_input(self):
+        group = self.make_group()
+        group.step(np.full(3, 1.0), 1.0)
+        assert np.all(group.v > -65.0)
+
+    def test_membrane_decays_towards_rest(self):
+        group = self.make_group(tau_m=10.0)
+        group.v[:] = -55.0
+        group.step(np.zeros(3), 1.0)
+        assert np.all(group.v < -55.0)
+        assert np.all(group.v > -65.0)
+
+    def test_strong_input_elicits_spike_and_reset(self):
+        group = self.make_group()
+        spikes = group.step(np.full(3, 100.0), 1.0)
+        assert spikes.all()
+        np.testing.assert_allclose(group.v, group.v_reset)
+
+    def test_refractory_period_blocks_integration(self):
+        group = self.make_group(refractory=5.0)
+        group.step(np.full(3, 100.0), 1.0)           # spike -> refractory
+        spikes = group.step(np.full(3, 100.0), 1.0)  # still refractory
+        assert not spikes.any()
+        np.testing.assert_allclose(group.v, group.v_rest, atol=1e-9)
+
+    def test_zero_refractory_allows_consecutive_spikes(self):
+        group = self.make_group(refractory=0.0)
+        assert group.step(np.full(3, 100.0), 1.0).all()
+        assert group.step(np.full(3, 100.0), 1.0).all()
+
+    def test_refractory_expires(self):
+        group = self.make_group(refractory=2.0)
+        group.step(np.full(3, 100.0), 1.0)
+        group.step(np.zeros(3), 1.0)
+        group.step(np.zeros(3), 1.0)
+        spikes = group.step(np.full(3, 100.0), 1.0)
+        assert spikes.all()
+
+    def test_counter_accounting(self):
+        group = self.make_group(n=4)
+        counter = OperationCounter()
+        group.step(np.full(4, 100.0), 1.0, counter)
+        assert counter.neuron_updates == 4
+        assert counter.exponential_ops == 4
+        assert counter.spike_events == 4
+
+    def test_reset_state(self):
+        group = self.make_group()
+        group.step(np.full(3, 100.0), 1.0)
+        group.reset_state()
+        np.testing.assert_allclose(group.v, group.v_rest)
+        assert np.all(group.refrac_remaining == 0.0)
+        assert not group.spikes.any()
+
+
+class TestAdaptiveLIFGroup:
+    def make_group(self, n=3, **kwargs) -> AdaptiveLIFGroup:
+        defaults = dict(theta_plus=0.5, tau_theta=100.0, refractory=0.0)
+        defaults.update(kwargs)
+        return AdaptiveLIFGroup(n, **defaults)
+
+    def test_parameter_count_includes_theta(self):
+        assert self.make_group(n=5).parameter_count == 15
+
+    def test_initial_threshold(self):
+        group = self.make_group(theta_init=1.0)
+        np.testing.assert_allclose(group.firing_threshold(), group.v_thresh + 1.0)
+
+    def test_theta_grows_on_spikes(self):
+        group = self.make_group()
+        group.step(np.full(3, 100.0), 1.0)
+        assert np.all(group.theta > 0.0)
+
+    def test_theta_decays_without_spikes(self):
+        group = self.make_group(tau_theta=10.0)
+        group.theta[:] = 1.0
+        group.step(np.zeros(3), 1.0)
+        assert np.all(group.theta < 1.0)
+        assert np.all(group.theta > 0.0)
+
+    def test_theta_raises_effective_threshold(self):
+        group = self.make_group(theta_plus=5.0)
+        # A current that spikes a fresh neuron but not one with elevated theta.
+        current = np.full(3, 14.0)
+        assert group.step(current, 1.0).all()
+        assert not group.step(current, 1.0).all()
+
+    def test_adaptation_can_be_disabled(self):
+        group = self.make_group()
+        group.adapt_theta = False
+        group.step(np.full(3, 100.0), 1.0)
+        np.testing.assert_allclose(group.theta, 0.0)
+
+    def test_theta_decay_rate_property(self):
+        group = self.make_group(tau_theta=200.0)
+        assert group.theta_decay_rate == pytest.approx(1.0 / 200.0)
+
+    def test_partial_reset_keeps_theta(self):
+        group = self.make_group()
+        group.step(np.full(3, 100.0), 1.0)
+        theta_before = group.theta.copy()
+        group.reset_state(full=False)
+        np.testing.assert_array_equal(group.theta, theta_before)
+
+    def test_full_reset_restores_theta_init(self):
+        group = self.make_group(theta_init=0.25)
+        group.step(np.full(3, 100.0), 1.0)
+        group.reset_state(full=True)
+        np.testing.assert_allclose(group.theta, 0.25)
+
+    def test_counter_counts_theta_update(self):
+        group = self.make_group(n=2)
+        counter = OperationCounter()
+        group.step(np.zeros(2), 1.0, counter)
+        # One membrane update + one theta update per neuron.
+        assert counter.neuron_updates == 4
+        assert counter.exponential_ops == 4

@@ -1,0 +1,94 @@
+"""Tests for exponentially decaying spike traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.snn.simulation import OperationCounter
+from repro.snn.traces import SpikeTrace
+
+
+class TestConstruction:
+    def test_starts_at_zero(self):
+        trace = SpikeTrace(5)
+        np.testing.assert_allclose(trace.values, 0.0)
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(ValueError):
+            SpikeTrace(5, mode="multiply")
+
+    def test_rejects_non_positive_tau(self):
+        with pytest.raises(ValueError):
+            SpikeTrace(5, tau=0.0)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            SpikeTrace(0)
+
+
+class TestDecay:
+    def test_exponential_decay_factor(self):
+        trace = SpikeTrace(3, tau=20.0)
+        trace.values[:] = 1.0
+        trace.decay(1.0)
+        np.testing.assert_allclose(trace.values, np.exp(-1.0 / 20.0))
+
+    def test_decay_counts_operations(self):
+        trace = SpikeTrace(4, tau=20.0)
+        counter = OperationCounter()
+        trace.decay(1.0, counter)
+        assert counter.exponential_ops == 4
+        assert counter.trace_updates == 4
+
+
+class TestUpdate:
+    def test_set_mode_clamps_to_increment(self):
+        trace = SpikeTrace(3, increment=1.0, mode="set")
+        trace.values[:] = 0.4
+        trace.update(np.array([True, False, True]))
+        np.testing.assert_allclose(trace.values, [1.0, 0.4, 1.0])
+
+    def test_add_mode_accumulates(self):
+        trace = SpikeTrace(2, increment=0.5, mode="add")
+        trace.update(np.array([True, True]))
+        trace.update(np.array([True, False]))
+        np.testing.assert_allclose(trace.values, [1.0, 0.5])
+
+    def test_update_validates_shape(self):
+        trace = SpikeTrace(3)
+        with pytest.raises(ValueError):
+            trace.update(np.array([True, False]))
+
+    def test_update_counts_spiking_elements_only(self):
+        trace = SpikeTrace(4)
+        counter = OperationCounter()
+        trace.update(np.array([True, False, True, False]), counter)
+        assert counter.trace_updates == 2
+
+
+class TestStepAndReset:
+    def test_step_decays_then_updates(self):
+        trace = SpikeTrace(2, tau=10.0, increment=1.0, mode="set")
+        trace.values[:] = 1.0
+        values = trace.step(np.array([False, True]), 1.0)
+        assert values[0] == pytest.approx(np.exp(-0.1))
+        assert values[1] == pytest.approx(1.0)
+
+    def test_step_returns_live_view(self):
+        trace = SpikeTrace(2)
+        values = trace.step(np.array([True, False]), 1.0)
+        assert values is trace.values
+
+    def test_reset(self):
+        trace = SpikeTrace(3)
+        trace.update(np.array([True, True, True]))
+        trace.reset()
+        np.testing.assert_allclose(trace.values, 0.0)
+
+    def test_trace_never_negative_under_decay(self):
+        trace = SpikeTrace(3, tau=1.0)
+        trace.update(np.array([True, True, True]))
+        for _ in range(50):
+            trace.decay(5.0)
+        assert np.all(trace.values >= 0.0)

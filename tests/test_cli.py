@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENT_DRIVERS, SCALE_PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_every_subcommand_is_registered(self):
+        parser = build_parser()
+        subparser_actions = [action for action in parser._actions
+                             if hasattr(action, "choices") and action.choices]
+        commands = set(subparser_actions[0].choices)
+        assert commands == {"info", "train", "evaluate", "search", "energy",
+                            "reproduce"}
+
+    def test_reproduce_knows_every_driver(self):
+        assert set(EXPERIMENT_DRIVERS) == {
+            "table1", "table2", "fig1", "fig4", "fig5", "fig6",
+            "fig9-dynamic", "fig9-nondynamic", "fig10", "fig11",
+            "alg1", "ablation",
+        }
+
+    def test_scale_presets(self):
+        assert set(SCALE_PRESETS) == {"tiny", "small", "paper"}
+
+    def test_missing_command_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "usage" in capsys.readouterr().err.lower()
+
+    def test_unknown_experiment_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])
+
+
+class TestInfo:
+    def test_lists_models_devices_and_experiments(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "spikedyn" in output
+        assert "Jetson Nano" in output
+        assert "fig11" in output
+
+
+class TestTrainAndEvaluate:
+    def test_train_prints_per_class_accuracy(self, capsys):
+        exit_code = main([
+            "train", "--model", "spikedyn", "--n-exc", "8", "--image-size", "8",
+            "--t-sim", "20", "--classes", "0", "1", "--samples-per-class", "2",
+            "--eval-per-class", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "digit-0" in output and "digit-1" in output
+        assert "accuracy_%" in output
+
+    def test_train_save_then_evaluate(self, tmp_path, capsys):
+        save_dir = str(tmp_path / "model")
+        assert main([
+            "train", "--model", "spikedyn", "--n-exc", "8", "--image-size", "8",
+            "--t-sim", "20", "--classes", "0", "1", "--samples-per-class", "2",
+            "--eval-per-class", "2", "--save", save_dir,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main([
+            "evaluate", save_dir, "--model", "spikedyn", "--n-exc", "8",
+            "--image-size", "8", "--t-sim", "20", "--classes", "0", "1",
+            "--eval-per-class", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "overall accuracy" in output
+
+    def test_nondynamic_protocol_option(self, capsys):
+        assert main([
+            "train", "--protocol", "nondynamic", "--n-exc", "8",
+            "--image-size", "8", "--t-sim", "20", "--classes", "0", "1",
+            "--samples-per-class", "2", "--eval-per-class", "2",
+        ]) == 0
+
+    def test_evaluate_missing_model_fails(self, tmp_path, capsys):
+        exit_code = main([
+            "evaluate", str(tmp_path / "does_not_exist"), "--n-exc", "8",
+            "--image-size", "8", "--t-sim", "20",
+        ])
+        assert exit_code == 1
+        assert "could not load" in capsys.readouterr().err
+
+
+class TestSearch:
+    def test_search_selects_a_model(self, capsys):
+        exit_code = main([
+            "search", "--image-size", "8", "--t-sim", "20", "--n-add", "4",
+            "--memory-kb", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "selected model" in output
+
+    def test_search_with_impossible_budget_fails(self, capsys):
+        exit_code = main([
+            "search", "--image-size", "8", "--t-sim", "20", "--n-add", "4",
+            "--memory-kb", "2", "--train-energy-j", "1e-12",
+        ])
+        assert exit_code == 1
+        assert "no candidate" in capsys.readouterr().out
+
+
+class TestEnergyAndReproduce:
+    def test_energy_reports_all_three_models(self, capsys):
+        assert main([
+            "energy", "--image-size", "8", "--n-exc", "8", "--t-sim", "20",
+            "--samples", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "baseline" in output and "asp" in output and "spikedyn" in output
+        assert "training_vs_baseline" in output
+
+    def test_reproduce_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        assert "Jetson Nano" in capsys.readouterr().out
+
+    def test_reproduce_fig5_at_tiny_scale(self, capsys):
+        assert main(["reproduce", "fig5", "--scale", "tiny"]) == 0
+        assert "analytical" in capsys.readouterr().out

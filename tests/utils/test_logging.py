@@ -1,0 +1,50 @@
+"""Tests for the lightweight logging facade."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+from repro.utils.logging import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_default_logger_is_library_namespaced(self):
+        assert get_logger().name == "repro"
+
+    def test_child_logger_name(self):
+        assert get_logger("core.model_search").name == "repro.core.model_search"
+
+    def test_child_logger_propagates_to_library_logger(self):
+        child = get_logger("some.child")
+        assert child.parent.name.startswith("repro")
+
+
+class TestConfigureLogging:
+    def test_attaches_stream_handler(self):
+        stream = io.StringIO()
+        logger = configure_logging(level=logging.INFO, stream=stream)
+        logger.info("hello from the test")
+        assert "hello from the test" in stream.getvalue()
+
+    def test_respects_level(self):
+        stream = io.StringIO()
+        logger = configure_logging(level=logging.WARNING, stream=stream)
+        logger.info("should be filtered")
+        logger.warning("should appear")
+        output = stream.getvalue()
+        assert "should be filtered" not in output
+        assert "should appear" in output
+
+    def test_repeated_configuration_does_not_duplicate_handlers(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        configure_logging(stream=stream)
+        logger = configure_logging(stream=stream)
+        library_handlers = [
+            handler for handler in logger.handlers
+            if getattr(handler, "_repro_handler", False)
+        ]
+        assert len(library_handlers) == 1
+        logger.warning("only once")
+        assert stream.getvalue().count("only once") == 1

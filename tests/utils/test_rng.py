@@ -1,0 +1,63 @@
+"""Tests for the random-number-generator helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).random(5)
+        b = ensure_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through_unchanged(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(7)).random(3)
+        b = ensure_rng(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("bad", ["seed", 1.5, [1, 2]])
+    def test_rejects_other_types(self, bad):
+        with pytest.raises(TypeError):
+            ensure_rng(bad)
+
+
+class TestSpawnRngs:
+    def test_returns_requested_count(self):
+        children = spawn_rngs(0, 4)
+        assert len(children) == 4
+        assert all(isinstance(child, np.random.Generator) for child in children)
+
+    def test_children_are_deterministic_in_seed(self):
+        first = [g.random(3) for g in spawn_rngs(0, 3)]
+        second = [g.random(3) for g in spawn_rngs(0, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_children_are_mutually_independent(self):
+        children = spawn_rngs(0, 2)
+        a = children[0].random(10)
+        b = children[1].random(10)
+        assert not np.array_equal(a, b)
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

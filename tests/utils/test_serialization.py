@@ -1,0 +1,71 @@
+"""Tests for the JSON / npz serialization helpers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
+
+
+class TestJsonRoundTrip:
+    def test_plain_dict_round_trip(self, tmp_path):
+        data = {"a": 1, "b": [1, 2, 3], "c": {"nested": "value"}}
+        path = save_json(data, tmp_path / "data.json")
+        assert load_json(path) == data
+
+    def test_numpy_scalars_are_converted(self, tmp_path):
+        data = {
+            "int": np.int64(3),
+            "float": np.float64(2.5),
+            "bool": np.bool_(True),
+            "array": np.arange(3),
+        }
+        path = save_json(data, tmp_path / "data.json")
+        loaded = load_json(path)
+        assert loaded == {"int": 3, "float": 2.5, "bool": True, "array": [0, 1, 2]}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_json({"x": 1}, tmp_path / "deep" / "nested" / "data.json")
+        assert path.exists()
+
+    def test_output_is_valid_json_text(self, tmp_path):
+        path = save_json({"b": 2, "a": 1}, tmp_path / "data.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            parsed = json.load(handle)
+        assert parsed == {"a": 1, "b": 2}
+
+    def test_unserializable_object_raises(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json({"x": object()}, tmp_path / "bad.json")
+
+
+class TestArrayRoundTrip:
+    def test_round_trip_preserves_values(self, tmp_path):
+        arrays = {
+            "weights": np.random.default_rng(0).random((4, 5)),
+            "labels": np.array([1, 2, 3]),
+        }
+        path = save_arrays(arrays, tmp_path / "state.npz")
+        loaded = load_arrays(path)
+        assert set(loaded) == {"weights", "labels"}
+        np.testing.assert_array_equal(loaded["weights"], arrays["weights"])
+        np.testing.assert_array_equal(loaded["labels"], arrays["labels"])
+
+    def test_suffix_is_normalized(self, tmp_path):
+        path = save_arrays({"a": np.zeros(2)}, tmp_path / "state")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_loaded_arrays_are_copies(self, tmp_path):
+        path = save_arrays({"a": np.arange(3)}, tmp_path / "state.npz")
+        loaded = load_arrays(path)
+        loaded["a"][0] = 99
+        reloaded = load_arrays(path)
+        assert reloaded["a"][0] == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_arrays(tmp_path / "missing.npz")
