@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""CI smoke benchmark: tiny-size timings of the repository's hot paths.
+
+Runs a handful of representative workloads at deliberately tiny sizes —
+batched vs sequential inference on the simulation engine, one training
+stream, and two paper-experiment drivers — and writes the wall-clock
+timings to a JSON file.  The CI pipeline uploads that file as an artifact
+on every push, seeding a performance trajectory across PRs without gating
+merges on noisy shared-runner timings.
+
+Usage::
+
+    python scripts/bench_smoke.py --output bench-smoke.json
+    python scripts/bench_smoke.py --batch-size 32 --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _time_best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn`` (min reduces noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_smoke(batch_size: int, repeats: int) -> Dict[str, object]:
+    """Execute every smoke workload and return the timing report."""
+    import numpy as np
+
+    import repro
+    from repro.core.config import SpikeDynConfig
+    from repro.datasets.synthetic_mnist import SyntheticDigits
+    from repro.experiments import (
+        run_architecture_reduction,
+        run_processing_time_study,
+    )
+    from repro.experiments.common import ExperimentScale
+    from repro.models.spikedyn_model import SpikeDynModel
+
+    config = SpikeDynConfig.scaled_down(n_input=196, n_exc=40, t_sim=40.0, seed=0)
+    source = SyntheticDigits(image_size=14, seed=0)
+    images = source.generate(3, batch_size, rng=0)
+
+    timings: Dict[str, float] = {}
+
+    model = SpikeDynModel(config)
+    trains = model.encode_batch(images)
+
+    def sequential_inference() -> None:
+        for train in trains:
+            model.network.run_sample(train, learning=False)
+
+    def batched_inference() -> None:
+        model.network.run_batch(trains, learning=False)
+
+    timings["inference_sequential_s"] = _time_best_of(sequential_inference, repeats)
+    timings["inference_batched_s"] = _time_best_of(batched_inference, repeats)
+    timings["inference_speedup_x"] = (
+        timings["inference_sequential_s"] / timings["inference_batched_s"]
+    )
+
+    def training_stream() -> None:
+        fresh = SpikeDynModel(config)
+        for image in images[: max(2, batch_size // 8)]:
+            fresh.train_sample(image)
+
+    timings["training_stream_s"] = _time_best_of(training_stream, repeats)
+
+    scale = ExperimentScale.tiny(network_sizes=(10,), class_sequence=(0, 1),
+                                 samples_per_task=2, eval_samples_per_class=2,
+                                 t_sim=30.0)
+    timings["experiment_table2_s"] = _time_best_of(
+        lambda: run_processing_time_study(scale), 1
+    )
+    timings["experiment_fig4_s"] = _time_best_of(
+        lambda: run_architecture_reduction(scale), 1
+    )
+
+    return {
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "timings": timings,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="bench-smoke.json",
+                        help="path of the timing JSON to write")
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="batch size of the inference workloads")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per workload (best-of timing)")
+    args = parser.parse_args(argv)
+
+    report = run_smoke(max(1, args.batch_size), max(1, args.repeats))
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for name, seconds in sorted(report["timings"].items()):
+        print(f"{name:30s} {seconds:10.4f}")
+    print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,8 @@ driven without writing Python:
     Run one of the paper-experiment drivers and print its report.
 
 Every subcommand prints plain text to stdout; exit code 0 means success.
-Install the package (``pip install -e .``) to get the ``spikedyn-repro``
-entry point, or run ``python -m repro.cli ...`` directly.
+Install the package (``pip install -e .``) to get the ``repro`` and
+``spikedyn-repro`` entry points, or run ``python -m repro.cli ...`` directly.
 """
 
 from __future__ import annotations
@@ -86,6 +86,26 @@ def _build_config(args: argparse.Namespace) -> SpikeDynConfig:
     )
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for strictly positive integers."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+# argparse names the type in its error message ("invalid <name> value").
+_positive_int.__name__ = "positive integer"
+
+
+def _configure_model(model, args: argparse.Namespace):
+    """Apply CLI-wide model knobs (currently the evaluation batch size)."""
+    batch_size = getattr(args, "eval_batch_size", None)
+    if batch_size is not None:
+        model.eval_batch_size = int(batch_size)
+    return model
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--model", default="spikedyn", choices=sorted(MODEL_BUILDERS),
                         help="which comparison partner to use")
@@ -96,6 +116,9 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--t-sim", type=float, default=60.0,
                         help="presentation window per sample in ms")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--eval-batch-size", type=_positive_int, default=32,
+                        help="samples advanced per vectorized engine step "
+                             "during evaluation (1 = sequential)")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -112,7 +135,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    model = build_model(args.model, config)
+    model = _configure_model(build_model(args.model, config), args)
     source = SyntheticDigits(image_size=args.image_size, seed=args.seed)
     classes = args.classes
 
@@ -152,7 +175,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    model = build_model(args.model, config)
+    model = _configure_model(build_model(args.model, config), args)
     try:
         model.load_state(args.model_dir)
     except (OSError, ValueError, KeyError) as error:

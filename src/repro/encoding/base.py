@@ -51,5 +51,19 @@ class SpikeEncoder:
         """Encode an intensity vector/image into a boolean spike train."""
         raise NotImplementedError
 
+    def encode_batch(self, batch) -> np.ndarray:
+        """Encode a sequence of inputs into a ``(B, timesteps, n)`` train.
+
+        The default implementation encodes each input in order with
+        :meth:`encode` and stacks the results, so it consumes any internal
+        random state exactly as a sequential loop would.  Subclasses may
+        override it with a vectorized implementation, provided the output
+        stays bit-for-bit identical to the sequential loop.
+        """
+        trains = [self.encode(values) for values in batch]
+        if not trains:
+            raise ValueError("cannot encode an empty batch")
+        return np.stack(trains)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(duration={self.duration}, dt={self.dt})"

@@ -59,3 +59,18 @@ class PoissonRateEncoder(SpikeEncoder):
         probabilities = self.spike_probabilities(values)
         draws = self._rng.random((self.timesteps, probabilities.size))
         return draws < probabilities[None, :]
+
+    def encode_batch(self, batch) -> np.ndarray:
+        """Return a boolean spike train of shape ``(B, timesteps, n_input)``.
+
+        One vectorized uniform draw covers the whole batch.  numpy fills the
+        ``(B, timesteps, n)`` buffer in C order, which is exactly the order a
+        sequential :meth:`encode` loop consumes the generator in, so the
+        batched trains are bit-for-bit identical to sequential encoding.
+        """
+        probabilities = [self.spike_probabilities(values) for values in batch]
+        if not probabilities:
+            raise ValueError("cannot encode an empty batch")
+        stacked = np.stack(probabilities)
+        draws = self._rng.random((stacked.shape[0], self.timesteps, stacked.shape[1]))
+        return draws < stacked[:, None, :]

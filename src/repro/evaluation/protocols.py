@@ -10,6 +10,12 @@ and the confusion matrix are recorded (Fig. 9 a.2/b.2 and Fig. 10).
 ``run_nondynamic_protocol`` reproduces the non-dynamic setup: training samples
 with randomly distributed classes, with accuracy measured at a series of
 sample-count checkpoints (Fig. 9 c).
+
+Both protocols run every assignment and evaluation pass through the model's
+batched inference path (:meth:`~repro.models.base.UnsupervisedDigitClassifier.
+respond_batch`), which advances ``eval_batch_size`` samples per vectorized
+engine step; training stays sequential so the learned weight trajectory is
+unchanged.
 """
 
 from __future__ import annotations
@@ -107,7 +113,11 @@ def _evaluation_sets(source, classes: Sequence[int], samples_per_class: int,
 
 def _assign_from_sets(model, assignment: Dict[int, np.ndarray],
                       classes: Sequence[int]) -> None:
-    """Re-assign neuron labels using the assignment images of ``classes``."""
+    """Re-assign neuron labels using the assignment images of ``classes``.
+
+    The images of every class are concatenated into one list so the model can
+    respond to them in vectorized batches rather than class by class.
+    """
     images: List[np.ndarray] = []
     labels: List[int] = []
     for cls in classes:
@@ -115,6 +125,16 @@ def _assign_from_sets(model, assignment: Dict[int, np.ndarray],
             images.append(image)
             labels.append(int(cls))
     model.assign_labels(images, labels)
+
+
+def _apply_eval_batch_size(model, eval_batch_size) -> None:
+    """Install the evaluation batch size on ``model`` (if given).
+
+    The setting persists on the model after the protocol returns.
+    """
+    if eval_batch_size is None:
+        return
+    model.eval_batch_size = check_positive_int(eval_batch_size, "eval_batch_size")
 
 
 def _accuracy_on_class(model, evaluation: Dict[int, np.ndarray], cls: int) -> float:
@@ -131,6 +151,7 @@ def run_dynamic_protocol(
     class_sequence: Optional[Sequence[int]] = None,
     samples_per_task: int = 10,
     eval_samples_per_class: int = 5,
+    eval_batch_size: Optional[int] = None,
     rng: SeedLike = None,
 ) -> DynamicProtocolResult:
     """Train and evaluate ``model`` in a dynamic environment.
@@ -147,11 +168,16 @@ def run_dynamic_protocol(
         Training samples presented for each task.
     eval_samples_per_class:
         Samples per class in both the assignment set and the evaluation set.
+    eval_batch_size:
+        When given, installs this evaluation batch size (samples per
+        vectorized inference step) on the model; the setting persists after
+        the protocol returns.
     rng:
         Seed or generator controlling sample draws.
     """
     check_positive_int(samples_per_task, "samples_per_task")
     check_positive_int(eval_samples_per_class, "eval_samples_per_class")
+    _apply_eval_batch_size(model, eval_batch_size)
     generator = ensure_rng(rng)
     sequence = [int(c) for c in (class_sequence if class_sequence is not None
                                  else source.classes)]
@@ -198,6 +224,7 @@ def run_nondynamic_protocol(
     checkpoints: Sequence[int] = (20, 50, 100),
     classes: Optional[Sequence[int]] = None,
     eval_samples_per_class: int = 5,
+    eval_batch_size: Optional[int] = None,
     rng: SeedLike = None,
 ) -> NonDynamicProtocolResult:
     """Train and evaluate ``model`` in a non-dynamic environment.
@@ -214,9 +241,14 @@ def run_nondynamic_protocol(
         Classes included in the stream and the evaluation (defaults to all).
     eval_samples_per_class:
         Samples per class in the assignment and evaluation sets.
+    eval_batch_size:
+        When given, installs this evaluation batch size (samples per
+        vectorized inference step) on the model; the setting persists after
+        the protocol returns.
     rng:
         Seed or generator controlling sample draws.
     """
+    _apply_eval_batch_size(model, eval_batch_size)
     checkpoints = [int(c) for c in checkpoints]
     if not checkpoints:
         raise ValueError("checkpoints must not be empty")

@@ -76,6 +76,9 @@ class ExperimentScale:
         (``E = E1 * N``) and the Table II processing-time model.
     seed:
         Base seed for every stochastic component.
+    eval_batch_size:
+        Samples advanced per vectorized engine step during protocol
+        evaluation (1 = sequential per-sample inference).
     """
 
     image_size: int = 14
@@ -89,6 +92,7 @@ class ExperimentScale:
     n_training_samples: int = 60_000
     n_inference_samples: int = 10_000
     seed: int = 0
+    eval_batch_size: int = 32
 
     def __post_init__(self) -> None:
         check_positive_int(self.image_size, "image_size")
@@ -100,6 +104,7 @@ class ExperimentScale:
             raise ValueError("class_sequence must not be empty")
         check_positive_int(self.samples_per_task, "samples_per_task")
         check_positive_int(self.eval_samples_per_class, "eval_samples_per_class")
+        check_positive_int(self.eval_batch_size, "eval_batch_size")
 
     # -- presets ---------------------------------------------------------------
 

@@ -16,7 +16,7 @@ from repro.core.architecture import build_baseline_network
 from repro.core.config import SpikeDynConfig
 from repro.estimation.memory import ARCH_BASELINE
 from repro.learning.asp import ASPLearningRule
-from repro.models.base import UnsupervisedDigitClassifier
+from repro.models.base import DEFAULT_EVAL_BATCH_SIZE, UnsupervisedDigitClassifier
 from repro.utils.rng import SeedLike
 
 
@@ -35,12 +35,16 @@ class ASPModel(UnsupervisedDigitClassifier):
     rng:
         Seed or generator for weight initialization (defaults to the
         configuration's seed).
+    eval_batch_size:
+        Samples advanced per vectorized engine step during evaluation
+        (see :class:`~repro.models.base.UnsupervisedDigitClassifier`).
     """
 
     def __init__(self, config: SpikeDynConfig, *,
                  learning_rule: Optional[ASPLearningRule] = None,
                  tau_leak: float = 2.0e4,
-                 rng: SeedLike = None) -> None:
+                 rng: SeedLike = None,
+                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE) -> None:
         rule = learning_rule if learning_rule is not None else ASPLearningRule(
             nu_pre=config.nu_pre,
             nu_post=config.nu_post,
@@ -52,7 +56,8 @@ class ASPModel(UnsupervisedDigitClassifier):
         network = build_baseline_network(
             config, learning_rule=rule, rng=rng, name="asp"
         )
-        super().__init__(config, network, name="asp")
+        super().__init__(config, network, name="asp",
+                         eval_batch_size=eval_batch_size)
         self.learning_rule = rule
 
     def architecture_name(self) -> str:

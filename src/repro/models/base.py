@@ -28,6 +28,10 @@ PathLike = Union[str, Path]
 #: Number of digit classes in the (synthetic or real) MNIST task.
 N_CLASSES = 10
 
+#: Default number of samples advanced per vectorized engine step during
+#: evaluation (see :meth:`UnsupervisedDigitClassifier.respond_batch`).
+DEFAULT_EVAL_BATCH_SIZE = 32
+
 
 class UnsupervisedDigitClassifier:
     """Base class binding a network, an encoder, and the read-out together.
@@ -44,11 +48,16 @@ class UnsupervisedDigitClassifier:
         the configuration when omitted.
     name:
         Model identifier used in reports.
+    eval_batch_size:
+        Number of samples advanced per vectorized engine step during
+        inference/evaluation (:meth:`respond_batch`).  ``None`` or ``1``
+        falls back to the sequential per-sample loop.
     """
 
     def __init__(self, config: SpikeDynConfig, network: Network,
                  encoder: Optional[PoissonRateEncoder] = None,
-                 name: str = "model") -> None:
+                 name: str = "model",
+                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE) -> None:
         self.config = config
         self.network = network
         self.name = str(name)
@@ -61,6 +70,7 @@ class UnsupervisedDigitClassifier:
         )
         self.assignments = np.full(config.n_exc, -1, dtype=int)
         self.samples_trained = 0
+        self.eval_batch_size = eval_batch_size
 
     # -- basic properties -----------------------------------------------------
 
@@ -90,19 +100,41 @@ class UnsupervisedDigitClassifier:
 
     # -- training and responses ------------------------------------------------
 
-    def _encode(self, image: np.ndarray) -> np.ndarray:
+    def _check_image(self, image: np.ndarray) -> np.ndarray:
         image = np.asarray(image, dtype=float)
         if image.size != self.n_input:
             raise ValueError(
                 f"image has {image.size} pixels but the model expects {self.n_input}"
             )
-        return self.encoder.encode(image)
+        return image
+
+    def _encode(self, image: np.ndarray) -> np.ndarray:
+        return self.encoder.encode(self._check_image(image))
+
+    def encode_batch(self, images: Sequence[np.ndarray]) -> np.ndarray:
+        """Encode ``images`` into a ``(B, timesteps, n_input)`` spike train."""
+        return self.encoder.encode_batch(
+            [self._check_image(image) for image in images]
+        )
 
     def train_sample(self, image: np.ndarray) -> np.ndarray:
         """Present one image with plasticity enabled; returns exc. spike counts."""
         result = self.network.run_sample(self._encode(image), learning=True)
         self.samples_trained += 1
         return result.counts("excitatory")
+
+    def train_batch(self, images: Sequence[np.ndarray]) -> np.ndarray:
+        """Train on a batch of images; returns exc. spike counts ``(B, n_exc)``.
+
+        Plasticity is applied sequentially per sample (the engine's
+        ``learning=True`` batch path), so the learned weights are identical
+        to a :meth:`train_sample` loop.
+        """
+        if len(images) == 0:
+            return np.zeros((0, self.n_exc), dtype=float)
+        results = self.network.run_batch(self.encode_batch(images), learning=True)
+        self.samples_trained += len(results)
+        return np.stack([result.counts("excitatory") for result in results])
 
     def respond(self, image: np.ndarray) -> np.ndarray:
         """Present one image with plasticity disabled; returns exc. spike counts."""
@@ -117,11 +149,31 @@ class UnsupervisedDigitClassifier:
             count += 1
         return count
 
-    def respond_batch(self, images: Sequence[np.ndarray]) -> np.ndarray:
-        """Responses (spike counts) for a batch of images, shape ``(n, n_exc)``."""
+    def respond_batch(self, images: Sequence[np.ndarray],
+                      batch_size: Optional[int] = None) -> np.ndarray:
+        """Responses (spike counts) for a batch of images, shape ``(n, n_exc)``.
+
+        Images are presented with plasticity disabled through the engine's
+        vectorized batch path, ``batch_size`` samples at a time (defaults to
+        :attr:`eval_batch_size`).  Samples within a chunk are independent and
+        the network's adaptation state is left untouched; pass
+        ``batch_size=1`` (or set ``eval_batch_size=None``) to recover the
+        sequential :meth:`respond` loop, which carries threshold-adaptation
+        drift across samples.
+        """
+        limit = batch_size if batch_size is not None else self.eval_batch_size
         responses = np.zeros((len(images), self.n_exc), dtype=float)
-        for index, image in enumerate(images):
-            responses[index] = self.respond(image)
+        if limit is None or limit <= 1:
+            for index, image in enumerate(images):
+                responses[index] = self.respond(image)
+            return responses
+        limit = int(limit)
+        for start in range(0, len(images), limit):
+            chunk = images[start:start + limit]
+            results = self.network.run_batch(self.encode_batch(chunk),
+                                             learning=False)
+            for offset, result in enumerate(results):
+                responses[start + offset] = result.counts("excitatory")
         return responses
 
     # -- read-out ---------------------------------------------------------------

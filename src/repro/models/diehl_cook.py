@@ -17,7 +17,7 @@ from repro.core.architecture import build_baseline_network
 from repro.core.config import SpikeDynConfig
 from repro.estimation.memory import ARCH_BASELINE
 from repro.learning.stdp import PairwiseSTDP
-from repro.models.base import UnsupervisedDigitClassifier
+from repro.models.base import DEFAULT_EVAL_BATCH_SIZE, UnsupervisedDigitClassifier
 from repro.utils.rng import SeedLike
 
 
@@ -34,11 +34,15 @@ class DiehlCookModel(UnsupervisedDigitClassifier):
     rng:
         Seed or generator for weight initialization (defaults to the
         configuration's seed).
+    eval_batch_size:
+        Samples advanced per vectorized engine step during evaluation
+        (see :class:`~repro.models.base.UnsupervisedDigitClassifier`).
     """
 
     def __init__(self, config: SpikeDynConfig, *,
                  learning_rule: Optional[PairwiseSTDP] = None,
-                 rng: SeedLike = None) -> None:
+                 rng: SeedLike = None,
+                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE) -> None:
         rule = learning_rule if learning_rule is not None else PairwiseSTDP(
             nu_pre=config.nu_pre,
             nu_post=config.nu_post,
@@ -49,7 +53,8 @@ class DiehlCookModel(UnsupervisedDigitClassifier):
         network = build_baseline_network(
             config, learning_rule=rule, rng=rng, name="baseline"
         )
-        super().__init__(config, network, name="baseline")
+        super().__init__(config, network, name="baseline",
+                         eval_batch_size=eval_batch_size)
         self.learning_rule = rule
 
     def architecture_name(self) -> str:

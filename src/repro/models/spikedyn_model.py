@@ -19,7 +19,7 @@ from repro.core.config import SpikeDynConfig
 from repro.core.learning import SpikeDynLearningRule
 from repro.core.weight_decay import SynapticWeightDecay
 from repro.estimation.memory import ARCH_SPIKEDYN
-from repro.models.base import UnsupervisedDigitClassifier
+from repro.models.base import DEFAULT_EVAL_BATCH_SIZE, UnsupervisedDigitClassifier
 from repro.utils.rng import SeedLike
 
 
@@ -38,11 +38,15 @@ class SpikeDynModel(UnsupervisedDigitClassifier):
     rng:
         Seed or generator for weight initialization (defaults to the
         configuration's seed).
+    eval_batch_size:
+        Samples advanced per vectorized engine step during evaluation
+        (see :class:`~repro.models.base.UnsupervisedDigitClassifier`).
     """
 
     def __init__(self, config: SpikeDynConfig, *,
                  learning_rule: Optional[SpikeDynLearningRule] = None,
-                 rng: SeedLike = None) -> None:
+                 rng: SeedLike = None,
+                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE) -> None:
         rule = learning_rule if learning_rule is not None else SpikeDynLearningRule(
             nu_pre=config.nu_pre,
             nu_post=config.nu_post,
@@ -58,7 +62,8 @@ class SpikeDynModel(UnsupervisedDigitClassifier):
         network = build_spikedyn_network(
             config, learning_rule=rule, rng=rng, name="spikedyn"
         )
-        super().__init__(config, network, name="spikedyn")
+        super().__init__(config, network, name="spikedyn",
+                         eval_batch_size=eval_batch_size)
         self.learning_rule = rule
 
     def architecture_name(self) -> str:

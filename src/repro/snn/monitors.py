@@ -33,10 +33,20 @@ class SpikeMonitor:
         self._raster: List[np.ndarray] = []
 
     def observe(self) -> None:
-        """Sample the group's current spike vector."""
-        self.counts += self.group.spikes
+        """Sample the group's current spike vector.
+
+        In batch mode (``(batch_size, n)`` spikes) the per-neuron counts
+        accumulate the spikes of every sample, so ``counts`` always keeps its
+        ``(n,)`` shape — batch-shaped buffers never leak into the monitor's
+        accumulators.
+        """
+        spikes = self.group.spikes
+        if spikes.ndim == 2:
+            self.counts += spikes.sum(axis=0)
+        else:
+            self.counts += spikes
         if self.record_raster:
-            self._raster.append(self.group.spikes.copy())
+            self._raster.append(spikes.copy())
 
     def reset(self) -> None:
         """Clear accumulated counts and raster."""
@@ -50,10 +60,23 @@ class SpikeMonitor:
 
     @property
     def raster(self) -> np.ndarray:
-        """Boolean raster of shape ``(timesteps, n)`` (empty if not recorded)."""
+        """Boolean raster (empty if not recorded).
+
+        Shape ``(timesteps, n)`` for single-sample runs and
+        ``(timesteps, batch_size, n)`` for batched runs.  Mixing the two in
+        one recording raises; call :meth:`reset` (or ``Network.reset``)
+        between runs of different batch shapes.
+        """
         if not self._raster:
             return np.zeros((0, self.group.n), dtype=bool)
-        return np.vstack(self._raster)
+        shapes = {row.shape for row in self._raster}
+        if len(shapes) > 1:
+            raise ValueError(
+                "raster mixes single-sample and batched observations "
+                f"({sorted(shapes)}); reset the monitor between runs of "
+                "different batch shapes"
+            )
+        return np.stack(self._raster)
 
 
 class StateMonitor:
@@ -79,9 +102,21 @@ class StateMonitor:
 
     @property
     def history(self) -> np.ndarray:
-        """Stacked history with shape ``(timesteps, *value_shape)``."""
+        """Stacked history with shape ``(timesteps, *value_shape)``.
+
+        Like :attr:`SpikeMonitor.raster`, mixing observations of different
+        shapes (e.g. a batched and a single-sample run without a reset in
+        between) raises a descriptive error.
+        """
         if not self._history:
             return np.zeros((0,), dtype=float)
+        shapes = {value.shape for value in self._history}
+        if len(shapes) > 1:
+            raise ValueError(
+                "history mixes observations of different shapes "
+                f"({sorted(shapes)}); reset the monitor between runs of "
+                "different batch shapes"
+            )
         return np.stack(self._history)
 
     @property

@@ -4,7 +4,9 @@ A :class:`Network` owns an input group, any number of downstream neuron
 groups, and the connections between them.  :meth:`Network.run_sample`
 presents one rate-coded sample (a boolean spike train) to the input group,
 advances the whole network timestep by timestep, drives attached learning
-rules, and returns per-group spike counts.
+rules, and returns per-group spike counts.  :meth:`Network.run_batch`
+presents ``B`` samples at once, advancing ``(B, n)``-shaped state in one
+vectorized step per timestep — the hot path for evaluation-heavy workloads.
 
 The ordering within one timestep is:
 
@@ -147,6 +149,29 @@ class Network:
 
     # -- simulation ----------------------------------------------------------
 
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Active batch size while :meth:`run_batch` is executing, else ``None``."""
+        if self._input_group is not None:
+            return self._input_group.batch_size
+        for group in self.groups.values():
+            return group.batch_size
+        return None
+
+    def _begin_batch(self, batch_size: int) -> None:
+        """Switch every group and connection into ``(batch_size, n)`` state."""
+        for group in self.groups.values():
+            group.begin_batch(batch_size)
+        for connection in self.connections:
+            connection.begin_batch(batch_size)
+
+    def _end_batch(self) -> None:
+        """Restore single-sample state buffers (tolerant of partial entry)."""
+        for group in self.groups.values():
+            group.end_batch()
+        for connection in self.connections:
+            connection.end_batch()
+
     def reset_transient_state(self) -> None:
         """Reset per-sample state (potentials, conductances, input cursors)."""
         for group in self.groups.values():
@@ -158,8 +183,12 @@ class Network:
         """Reset the network.
 
         With ``full=True`` adaptation variables and learning-rule state are
-        also cleared; synaptic weights are never touched.
+        also cleared; synaptic weights are never touched.  An active batch
+        mode is always exited first, so after a reset every state buffer —
+        and every monitor attached afterwards — sees plain ``(n,)`` shapes
+        rather than stale ``(batch_size, n)`` buffers.
         """
+        self._end_batch()
         for group in self.groups.values():
             group.reset_state(full=full)
         for connection in self.connections:
@@ -176,11 +205,13 @@ class Network:
 
         # 1. Input group replays the next spike-train row.
         if self._input_group is not None:
-            self._input_group.step(np.zeros(self._input_group.n), dt, counter)
+            self._input_group.step(
+                np.zeros(self._input_group.state_shape), dt, counter
+            )
 
         # 2. Gather currents per target group (one-step delay for recurrence).
         currents: Dict[str, np.ndarray] = {
-            name: np.zeros(group.n, dtype=float)
+            name: np.zeros(group.state_shape, dtype=float)
             for name, group in self.groups.items()
             if not isinstance(group, InputGroup)
         }
@@ -262,6 +293,116 @@ class Network:
             steps=steps + rest_steps,
             learning=learning,
         )
+
+    def run_batch(self, spike_trains: np.ndarray, *, learning: bool = False,
+                  include_rest: bool = False) -> List[SampleResult]:
+        """Present a batch of rate-coded samples and return per-sample results.
+
+        Parameters
+        ----------
+        spike_trains:
+            Boolean array of shape ``(batch_size, timesteps, n_input)`` (or a
+            sequence of equal-length ``(timesteps, n_input)`` trains, which is
+            stacked).
+        learning:
+            When ``False`` (the default, the inference hot path) all samples
+            advance simultaneously in ``(batch_size, n)``-shaped vectorized
+            state.  When ``True`` the samples are applied one at a time via
+            :meth:`run_sample`, so plasticity sees exactly the same weight
+            trajectory as a sequential loop.
+        include_rest:
+            When ``True``, simulate ``params.rest_steps`` additional steps
+            with no input after the presentation window.
+
+        Returns
+        -------
+        list of SampleResult
+            One result per sample, in input order — identical to what ``B``
+            :meth:`run_sample` calls would return.
+
+        Notes
+        -----
+        **Equivalence guarantee.**  Batched inference performs, per sample,
+        exactly the same floating-point operations as the sequential path
+        (elementwise updates broadcast over the batch axis; the dense
+        spike-to-conductance projection runs one vector-matrix product per
+        spiking sample), so spike counts, membrane trajectories, and
+        :class:`~repro.snn.simulation.OperationCounter` totals are bit-for-bit
+        identical to ``B`` independent :meth:`run_sample` calls.
+
+        **Adaptation state.**  Samples in a batch are independent: each gets
+        its own copy of slowly-varying adaptation state (e.g. the threshold
+        potential ``theta``), and the persistent copy is restored unchanged
+        when the batch finishes.  A *sequential* loop over samples instead
+        carries ``theta`` drift from one sample into the next; the two modes
+        therefore only diverge when ``adapt_theta`` is enabled with a nonzero
+        ``theta_plus``.  With ``learning=True`` the sequential-equivalent path
+        is used, which preserves that drift exactly.
+        """
+        try:
+            trains = np.asarray(spike_trains)
+        except ValueError as error:
+            raise ValueError(
+                "all spike trains in a batch must have the same number of "
+                "timesteps"
+            ) from error
+        if trains.dtype == object:
+            raise ValueError(
+                "all spike trains in a batch must have the same number of "
+                "timesteps"
+            )
+        if trains.ndim != 3:
+            raise ValueError(
+                "spike_trains must have shape (batch_size, timesteps, "
+                f"n_input), got {trains.shape}"
+            )
+        input_group = self.input_group
+        if trains.shape[2] != input_group.n:
+            raise ValueError(
+                f"spike_trains must have {input_group.n} input channels, "
+                f"got {trains.shape[2]}"
+            )
+
+        if learning:
+            # Sequential-equivalent application keeps the weight trajectory —
+            # and therefore the learned weights — bit-for-bit identical to a
+            # run_sample loop.
+            return [
+                self.run_sample(train, learning=True, include_rest=include_rest)
+                for train in trains
+            ]
+
+        dt = self.params.dt
+        batch_size, steps, _ = trains.shape
+        self._begin_batch(batch_size)
+        try:
+            input_group.set_spike_train(trains)
+            spike_counts = {
+                name: np.zeros((batch_size, group.n), dtype=np.int64)
+                for name, group in self.groups.items()
+            }
+            for t_index in range(steps):
+                self._step(dt, learning=False, t_index=t_index)
+                for name, group in self.groups.items():
+                    spike_counts[name] += group.spikes
+
+            rest_steps = self.params.rest_steps if include_rest else 0
+            if rest_steps:
+                input_group.clear_spike_train()
+                for t_index in range(steps, steps + rest_steps):
+                    self._step(dt, learning=False, t_index=t_index)
+        finally:
+            self._end_batch()
+
+        return [
+            SampleResult(
+                spike_counts={name: counts[index].copy()
+                              for name, counts in spike_counts.items()},
+                steps=steps + rest_steps,
+                learning=False,
+            )
+            for index in range(batch_size)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -16,6 +16,18 @@ Three neuron groups are provided:
 
 All state is vectorized; a group of ``n`` neurons stores ``n``-element numpy
 arrays and advances one timestep per :meth:`step` call.
+
+Batched simulation
+------------------
+Every group additionally supports a *batch mode* used by
+:meth:`repro.snn.network.Network.run_batch`: between :meth:`~NeuronGroup.begin_batch`
+and :meth:`~NeuronGroup.end_batch` the per-neuron state arrays take the shape
+``(batch_size, n)`` and :meth:`step` advances ``batch_size`` independent
+samples at once.  Because every state update is elementwise, the batched
+update of sample ``b`` performs exactly the same floating-point operations as
+a sequential update of that sample, so results are bit-for-bit identical.
+Slowly-varying adaptation state (``theta``) is copied per sample on entry and
+restored on exit — a batched run never mutates persistent adaptation state.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ class NeuronGroup:
     def __init__(self, n: int, name: str = "group") -> None:
         self.n = check_positive_int(n, "n")
         self.name = str(name)
+        self._batch_size: Optional[int] = None
         self.spikes = np.zeros(self.n, dtype=bool)
 
     # -- properties ---------------------------------------------------------
@@ -54,6 +67,45 @@ class NeuronGroup:
         each neuron parameter contributes ``bit_precision`` bits.
         """
         return 0
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Active batch size, or ``None`` outside batch mode."""
+        return self._batch_size
+
+    @property
+    def state_shape(self) -> tuple:
+        """Shape of the per-neuron state arrays in the current mode."""
+        if self._batch_size is None:
+            return (self.n,)
+        return (self._batch_size, self.n)
+
+    # -- batch lifecycle ----------------------------------------------------
+
+    def begin_batch(self, batch_size: int) -> None:
+        """Switch the group's state arrays to ``(batch_size, n)`` buffers."""
+        if self._batch_size is not None:
+            raise RuntimeError(
+                f"group {self.name!r} is already in batch mode "
+                f"(batch_size={self._batch_size})"
+            )
+        self._batch_size = check_positive_int(batch_size, "batch_size")
+        self._enter_batch()
+
+    def end_batch(self) -> None:
+        """Return to single-sample ``(n,)`` buffers (no-op outside batch mode)."""
+        if self._batch_size is None:
+            return
+        self._batch_size = None
+        self._exit_batch()
+
+    def _enter_batch(self) -> None:
+        """Allocate batch-shaped transient state (hook for subclasses)."""
+        self.spikes = np.zeros(self.state_shape, dtype=bool)
+
+    def _exit_batch(self) -> None:
+        """Restore single-sample transient state (hook for subclasses)."""
+        self.spikes = np.zeros(self.n, dtype=bool)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -69,7 +121,7 @@ class NeuronGroup:
         """
         # Reassign instead of zeroing in place: ``spikes`` may alias external
         # data (e.g. a row of the spike train an InputGroup is replaying).
-        self.spikes = np.zeros(self.n, dtype=bool)
+        self.spikes = np.zeros(self.state_shape, dtype=bool)
 
     def step(self, input_current: np.ndarray, dt: float,
              counter: Optional[OperationCounter] = None) -> np.ndarray:
@@ -94,11 +146,22 @@ class InputGroup(NeuronGroup):
         return 0
 
     def set_spike_train(self, train: np.ndarray) -> None:
-        """Load a ``(timesteps, n)`` boolean spike train for replay."""
+        """Load a boolean spike train for replay.
+
+        Expects shape ``(timesteps, n)`` in single-sample mode and
+        ``(batch_size, timesteps, n)`` in batch mode.
+        """
         train = np.asarray(train)
-        if train.ndim != 2 or train.shape[1] != self.n:
+        if self._batch_size is None:
+            if train.ndim != 2 or train.shape[1] != self.n:
+                raise ValueError(
+                    f"spike train must have shape (timesteps, {self.n}), got {train.shape}"
+                )
+        elif (train.ndim != 3 or train.shape[0] != self._batch_size
+              or train.shape[2] != self.n):
             raise ValueError(
-                f"spike train must have shape (timesteps, {self.n}), got {train.shape}"
+                "batched spike train must have shape "
+                f"({self._batch_size}, timesteps, {self.n}), got {train.shape}"
             )
         self._train = train.astype(bool)
         self._cursor = 0
@@ -113,7 +176,8 @@ class InputGroup(NeuronGroup):
         """Number of not-yet-replayed timesteps in the loaded train."""
         if self._train is None:
             return 0
-        return max(0, self._train.shape[0] - self._cursor)
+        time_axis = 1 if self._train.ndim == 3 else 0
+        return max(0, self._train.shape[time_axis] - self._cursor)
 
     def reset_state(self, full: bool = False) -> None:
         super().reset_state(full)
@@ -121,11 +185,23 @@ class InputGroup(NeuronGroup):
         if full:
             self._train = None
 
+    def _enter_batch(self) -> None:
+        # A previously loaded (timesteps, n) train is invalid in batch mode.
+        super()._enter_batch()
+        self.clear_spike_train()
+
+    def _exit_batch(self) -> None:
+        super()._exit_batch()
+        self.clear_spike_train()
+
     def step(self, input_current: np.ndarray, dt: float,
              counter: Optional[OperationCounter] = None) -> np.ndarray:
         """Emit the next row of the loaded spike train (or silence)."""
-        if self._train is None or self._cursor >= self._train.shape[0]:
-            self.spikes = np.zeros(self.n, dtype=bool)
+        if self._train is None or self.remaining_steps == 0:
+            self.spikes = np.zeros(self.state_shape, dtype=bool)
+        elif self._train.ndim == 3:
+            self.spikes = self._train[:, self._cursor]
+            self._cursor += 1
         else:
             self.spikes = self._train[self._cursor]
             self._cursor += 1
@@ -196,12 +272,23 @@ class LIFGroup(NeuronGroup):
         self.v[:] = self.v_rest
         self.refrac_remaining[:] = 0.0
 
+    def _enter_batch(self) -> None:
+        super()._enter_batch()
+        self.v = np.full(self.state_shape, self.v_rest, dtype=float)
+        self.refrac_remaining = np.zeros(self.state_shape, dtype=float)
+
+    def _exit_batch(self) -> None:
+        super()._exit_batch()
+        self.v = np.full(self.n, self.v_rest, dtype=float)
+        self.refrac_remaining = np.zeros(self.n, dtype=float)
+
     def step(self, input_current: np.ndarray, dt: float,
              counter: Optional[OperationCounter] = None) -> np.ndarray:
         input_current = np.asarray(input_current, dtype=float)
-        if input_current.shape != (self.n,):
+        if input_current.shape != self.state_shape:
             raise ValueError(
-                f"input_current must have shape ({self.n},), got {input_current.shape}"
+                f"input_current must have shape {self.state_shape}, "
+                f"got {input_current.shape}"
             )
 
         # Exponential membrane decay towards the resting potential.
@@ -223,9 +310,10 @@ class LIFGroup(NeuronGroup):
         )
 
         if counter is not None:
+            batch = self._batch_size if self._batch_size is not None else 1
             counter.add(
-                neuron_updates=self.n,
-                exponential_ops=self.n,
+                neuron_updates=self.n * batch,
+                exponential_ops=self.n * batch,
                 spike_events=int(self.spikes.sum()),
             )
         self._post_spike_update(dt, counter)
@@ -283,6 +371,7 @@ class AdaptiveLIFGroup(LIFGroup):
         self.theta_init = check_non_negative(theta_init, "theta_init")
         self.theta = np.full(self.n, self.theta_init, dtype=float)
         self.adapt_theta = True
+        self._theta_stash: Optional[np.ndarray] = None
 
     @property
     def parameter_count(self) -> int:
@@ -301,6 +390,21 @@ class AdaptiveLIFGroup(LIFGroup):
         super().reset_state(full)
         if full:
             self.theta[:] = self.theta_init
+            if self._theta_stash is not None:
+                self._theta_stash[:] = self.theta_init
+
+    def _enter_batch(self) -> None:
+        # Each sample in the batch adapts an independent copy of the current
+        # theta; the persistent vector is restored untouched on exit.
+        self._theta_stash = self.theta
+        self.theta = np.repeat(self.theta[None, :], self._batch_size, axis=0)
+        super()._enter_batch()
+
+    def _exit_batch(self) -> None:
+        super()._exit_batch()
+        if self._theta_stash is not None:
+            self.theta = self._theta_stash
+            self._theta_stash = None
 
     def _post_spike_update(self, dt: float,
                            counter: Optional[OperationCounter]) -> None:
@@ -311,4 +415,5 @@ class AdaptiveLIFGroup(LIFGroup):
         if self.theta_plus > 0.0:
             self.theta = self.theta + self.theta_plus * self.spikes
         if counter is not None:
-            counter.add(exponential_ops=self.n, neuron_updates=self.n)
+            batch = self._batch_size if self._batch_size is not None else 1
+            counter.add(exponential_ops=self.n * batch, neuron_updates=self.n * batch)

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.snn.neurons import NeuronGroup
 from repro.snn.simulation import OperationCounter
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_positive, check_positive_int
 
 
 class Connection:
@@ -89,7 +89,32 @@ class Connection:
         self.name = str(name)
 
         self.conductance = np.zeros(post.n, dtype=float)
+        self._batch_size: Optional[int] = None
         self._refresh_fanout()
+
+    # -- batch lifecycle ----------------------------------------------------
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Active batch size, or ``None`` outside batch mode."""
+        return self._batch_size
+
+    def begin_batch(self, batch_size: int) -> None:
+        """Switch the conductance to a ``(batch_size, post.n)`` buffer."""
+        if self._batch_size is not None:
+            raise RuntimeError(
+                f"connection {self.name!r} is already in batch mode "
+                f"(batch_size={self._batch_size})"
+            )
+        self._batch_size = check_positive_int(batch_size, "batch_size")
+        self.conductance = np.zeros((self._batch_size, self.post.n), dtype=float)
+
+    def end_batch(self) -> None:
+        """Return to a single-sample conductance (no-op outside batch mode)."""
+        if self._batch_size is None:
+            return
+        self._batch_size = None
+        self.conductance = np.zeros(self.post.n, dtype=float)
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -140,19 +165,33 @@ class Connection:
     def propagate(self, dt: float,
                   counter: Optional[OperationCounter] = None) -> np.ndarray:
         """Advance the conductance one timestep and return the input current
-        delivered to the postsynaptic group (signed)."""
+        delivered to the postsynaptic group (signed).
+
+        In batch mode the presynaptic spikes have shape ``(batch_size, pre.n)``
+        and the returned current ``(batch_size, post.n)``.  The spike-to-
+        conductance projection is evaluated with one vector-matrix product per
+        spiking sample — the exact BLAS call the single-sample path performs —
+        so batched results are bit-for-bit identical to sequential ones
+        (a single ``(B, n)`` GEMM is faster but rounds differently).
+        """
         self.conductance *= np.exp(-dt / self.tau_syn)
         pre_spikes = self.pre.spikes
-        n_spiking = int(np.count_nonzero(pre_spikes))
-        if n_spiking:
-            self.conductance += pre_spikes.astype(float) @ self.weights
+        if pre_spikes.ndim == 1:
+            n_spiking = int(np.count_nonzero(pre_spikes))
+            if n_spiking:
+                self.conductance += pre_spikes.astype(float) @ self.weights
+        else:
+            spikes_float = pre_spikes.astype(float)
+            for index in np.flatnonzero(pre_spikes.any(axis=1)):
+                self.conductance[index] += spikes_float[index] @ self.weights
         if counter is not None:
             # Dense (GPU-style) accounting: the stored projection is processed
             # once per timestep regardless of how many presynaptic spikes
             # occurred, matching the paper's GPU-based energy measurements.
+            batch = self._batch_size if self._batch_size is not None else 1
             counter.add(
-                exponential_ops=self.post.n,
-                synaptic_events=self._ops_per_step,
+                exponential_ops=self.post.n * batch,
+                synaptic_events=self._ops_per_step * batch,
             )
         return self.sign * self.gain * self.conductance
 
@@ -243,6 +282,31 @@ class UniformLateralInhibition:
         self.norm = None
         self.name = str(name)
         self.conductance = np.zeros(group.n, dtype=float)
+        self._batch_size: Optional[int] = None
+
+    # -- batch lifecycle ----------------------------------------------------
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Active batch size, or ``None`` outside batch mode."""
+        return self._batch_size
+
+    def begin_batch(self, batch_size: int) -> None:
+        """Switch the conductance to a ``(batch_size, n)`` buffer."""
+        if self._batch_size is not None:
+            raise RuntimeError(
+                f"connection {self.name!r} is already in batch mode "
+                f"(batch_size={self._batch_size})"
+            )
+        self._batch_size = check_positive_int(batch_size, "batch_size")
+        self.conductance = np.zeros((self._batch_size, self.post.n), dtype=float)
+
+    def end_batch(self) -> None:
+        """Return to a single-sample conductance (no-op outside batch mode)."""
+        if self._batch_size is None:
+            return
+        self._batch_size = None
+        self.conductance = np.zeros(self.post.n, dtype=float)
 
     @property
     def is_plastic(self) -> bool:
@@ -268,14 +332,22 @@ class UniformLateralInhibition:
         """Advance the conductance and return the (negative) lateral current."""
         self.conductance *= np.exp(-dt / self.tau_syn)
         spikes = self.pre.spikes
-        n_spiking = int(np.count_nonzero(spikes))
-        if n_spiking:
-            # Every neuron is inhibited by the spikes of all *other* neurons.
-            total = self.strength * n_spiking
-            self.conductance += total - self.strength * spikes.astype(float)
+        if spikes.ndim == 1:
+            n_spiking = int(np.count_nonzero(spikes))
+            if n_spiking:
+                # Every neuron is inhibited by the spikes of all *other* neurons.
+                total = self.strength * n_spiking
+                self.conductance += total - self.strength * spikes.astype(float)
+        elif spikes.any():
+            # Per-sample spike counts; elementwise arithmetic is identical to
+            # the single-sample path, so results stay bit-for-bit equal.
+            totals = self.strength * spikes.sum(axis=1, dtype=float)
+            self.conductance += totals[:, None] - self.strength * spikes.astype(float)
         if counter is not None:
             # O(n) broadcast: decay plus a scalar subtraction per neuron.
-            counter.add(exponential_ops=self.post.n, synaptic_events=self.post.n)
+            batch = self._batch_size if self._batch_size is not None else 1
+            counter.add(exponential_ops=self.post.n * batch,
+                        synaptic_events=self.post.n * batch)
         return -self.gain * self.conductance
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -45,6 +45,42 @@ class SpikeTrace:
         self.tau = check_positive(tau, "tau")
         self.increment = float(increment)
         self.mode = check_choice(mode, ("set", "add"), "mode")
+        self._batch_size: Optional[int] = None
+        self.values = np.zeros(self.n, dtype=float)
+
+    @property
+    def batch_size(self) -> Optional[int]:
+        """Active batch size, or ``None`` outside batch mode."""
+        return self._batch_size
+
+    @property
+    def state_shape(self) -> tuple:
+        """Shape of the trace array in the current mode."""
+        if self._batch_size is None:
+            return (self.n,)
+        return (self._batch_size, self.n)
+
+    def begin_batch(self, batch_size: int) -> None:
+        """Track ``batch_size`` independent trace vectors at once.
+
+        Note: the engine currently applies plasticity sequentially
+        (``run_batch(learning=True)`` delegates to ``run_sample``), so this
+        lifecycle is not driven by :class:`~repro.snn.network.Network` yet;
+        it exists so learning rules can batch their trace updates when a
+        vectorized learning path lands.
+        """
+        if self._batch_size is not None:
+            raise RuntimeError(
+                f"trace is already in batch mode (batch_size={self._batch_size})"
+            )
+        self._batch_size = check_positive_int(batch_size, "batch_size")
+        self.values = np.zeros(self.state_shape, dtype=float)
+
+    def end_batch(self) -> None:
+        """Return to a single trace vector (no-op outside batch mode)."""
+        if self._batch_size is None:
+            return
+        self._batch_size = None
         self.values = np.zeros(self.n, dtype=float)
 
     def reset(self) -> None:
@@ -55,15 +91,16 @@ class SpikeTrace:
         """Apply one timestep of exponential decay."""
         self.values *= np.exp(-dt / self.tau)
         if counter is not None:
-            counter.add(exponential_ops=self.n, trace_updates=self.n)
+            batch = self._batch_size if self._batch_size is not None else 1
+            counter.add(exponential_ops=self.n * batch, trace_updates=self.n * batch)
 
     def update(self, spikes: np.ndarray,
                counter: Optional[OperationCounter] = None) -> None:
         """Bump the traces of the neurons that spiked this timestep."""
         spikes = np.asarray(spikes, dtype=bool)
-        if spikes.shape != (self.n,):
+        if spikes.shape != self.state_shape:
             raise ValueError(
-                f"spikes must have shape ({self.n},), got {spikes.shape}"
+                f"spikes must have shape {self.state_shape}, got {spikes.shape}"
             )
         if self.mode == "set":
             self.values = np.where(spikes, self.increment, self.values)

@@ -1,0 +1,61 @@
+"""Batched encoding must be bit-for-bit identical to sequential encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding.burst import BurstEncoder
+from repro.encoding.rank_order import RankOrderEncoder
+from repro.encoding.rate import PoissonRateEncoder
+
+
+@pytest.fixture
+def images():
+    rng = np.random.default_rng(5)
+    return [rng.random(49) for _ in range(6)]
+
+
+class TestPoissonEncodeBatch:
+    def test_matches_sequential_encoding_bit_for_bit(self, images):
+        sequential_encoder = PoissonRateEncoder(duration=30.0, rng=123)
+        batched_encoder = PoissonRateEncoder(duration=30.0, rng=123)
+        sequential = np.stack([sequential_encoder.encode(image)
+                               for image in images])
+        batched = batched_encoder.encode_batch(images)
+        np.testing.assert_array_equal(batched, sequential)
+
+    def test_output_shape_and_dtype(self, images):
+        encoder = PoissonRateEncoder(duration=25.0, rng=0)
+        trains = encoder.encode_batch(images)
+        assert trains.shape == (len(images), encoder.timesteps, 49)
+        assert trains.dtype == bool
+
+    def test_empty_batch_is_rejected(self):
+        encoder = PoissonRateEncoder(duration=25.0, rng=0)
+        with pytest.raises(ValueError, match="empty batch"):
+            encoder.encode_batch([])
+
+    def test_consumes_rng_like_the_sequential_loop(self, images):
+        """After a batch, further draws continue where a loop would."""
+        sequential_encoder = PoissonRateEncoder(duration=20.0, rng=9)
+        batched_encoder = PoissonRateEncoder(duration=20.0, rng=9)
+        for image in images[:3]:
+            sequential_encoder.encode(image)
+        batched_encoder.encode_batch(images[:3])
+        follow_up = images[3]
+        np.testing.assert_array_equal(
+            batched_encoder.encode(follow_up),
+            sequential_encoder.encode(follow_up),
+        )
+
+
+class TestDefaultEncodeBatch:
+    """Deterministic encoders inherit the stacked default implementation."""
+
+    @pytest.mark.parametrize("encoder_cls", [BurstEncoder, RankOrderEncoder])
+    def test_matches_sequential_encoding(self, encoder_cls, images):
+        encoder = encoder_cls(duration=20.0)
+        sequential = np.stack([encoder.encode(image) for image in images])
+        batched = encoder.encode_batch(images)
+        np.testing.assert_array_equal(batched, sequential)

@@ -1,0 +1,395 @@
+"""Batched-vs-sequential equivalence of the simulation engine.
+
+``Network.run_batch`` must reproduce ``B`` sequential ``run_sample`` calls
+bit-for-bit: spike counts, learned weights (with plasticity enabled),
+membrane/conductance trajectories, and ``OperationCounter`` totals.  The
+tests build twin networks from identical seeds, drive one sequentially and
+one batched, and compare exactly (no tolerances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import build_baseline_network, build_spikedyn_network
+from repro.core.config import SpikeDynConfig
+from repro.core.learning import SpikeDynLearningRule
+from repro.learning.stdp import PairwiseSTDP
+from repro.snn.monitors import SpikeMonitor
+from repro.snn.neurons import AdaptiveLIFGroup, InputGroup
+from repro.snn.network import Network
+from repro.snn.simulation import SimulationParameters
+from repro.snn.synapses import Connection
+
+
+def _spikedyn_net(n_exc: int = 24, seed: int = 0, t_sim: float = 40.0) -> "Network":
+    config = SpikeDynConfig.scaled_down(n_input=196, n_exc=n_exc,
+                                        t_sim=t_sim, seed=seed)
+    return build_spikedyn_network(config, learning_rule=SpikeDynLearningRule(),
+                                  rng=seed)
+
+
+def _baseline_net(n_exc: int = 16, seed: int = 0, t_sim: float = 40.0) -> "Network":
+    config = SpikeDynConfig.scaled_down(n_input=196, n_exc=n_exc,
+                                        t_sim=t_sim, seed=seed)
+    return build_baseline_network(config, learning_rule=PairwiseSTDP(), rng=seed)
+
+
+def _random_trains(batch_size: int, timesteps: int, n_input: int = 196,
+                   seed: int = 7, density: float = 0.05) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((batch_size, timesteps, n_input)) < density
+
+
+def _freeze_adaptation(network) -> None:
+    """Make sequential samples independent (no cross-sample theta drift)."""
+    for group in network.groups.values():
+        if isinstance(group, AdaptiveLIFGroup):
+            group.adapt_theta = False
+
+
+class TestBatchedInferenceEquivalence:
+    @pytest.mark.parametrize("make_net", [_spikedyn_net, _baseline_net])
+    def test_spike_counts_and_counters_match_exactly(self, make_net):
+        trains = _random_trains(6, 40)
+        sequential_net, batched_net = make_net(), make_net()
+        _freeze_adaptation(sequential_net)
+        _freeze_adaptation(batched_net)
+
+        sequential = [sequential_net.run_sample(train, learning=False)
+                      for train in trains]
+        batched = batched_net.run_batch(trains, learning=False)
+
+        assert len(batched) == len(sequential)
+        for seq, bat in zip(sequential, batched):
+            assert bat.steps == seq.steps
+            assert bat.learning is False
+            for name in seq.spike_counts:
+                np.testing.assert_array_equal(bat.counts(name), seq.counts(name))
+        assert batched_net.counter.as_dict() == sequential_net.counter.as_dict()
+
+    def test_acceptance_case_b8_on_100_excitatory_neurons(self):
+        """The issue's acceptance scenario: B=8, 100 excitatory neurons."""
+        trains = _random_trains(8, 30)
+        sequential_net = _spikedyn_net(n_exc=100, t_sim=30.0)
+        batched_net = _spikedyn_net(n_exc=100, t_sim=30.0)
+        _freeze_adaptation(sequential_net)
+        _freeze_adaptation(batched_net)
+
+        sequential = [sequential_net.run_sample(train, learning=False)
+                      for train in trains]
+        batched = batched_net.run_batch(trains, learning=False)
+        for seq, bat in zip(sequential, batched):
+            np.testing.assert_array_equal(bat.counts("excitatory"),
+                                          seq.counts("excitatory"))
+        np.testing.assert_array_equal(
+            sequential_net.connection("input_to_exc").weights,
+            batched_net.connection("input_to_exc").weights,
+        )
+        assert batched_net.counter.as_dict() == sequential_net.counter.as_dict()
+
+    def test_batch_of_one_matches_run_sample(self):
+        trains = _random_trains(1, 40)
+        sequential_net, batched_net = _spikedyn_net(), _spikedyn_net()
+        _freeze_adaptation(sequential_net)
+        _freeze_adaptation(batched_net)
+        seq = sequential_net.run_sample(trains[0], learning=False)
+        (bat,) = batched_net.run_batch(trains, learning=False)
+        np.testing.assert_array_equal(bat.counts("excitatory"),
+                                      seq.counts("excitatory"))
+        assert batched_net.counter.as_dict() == sequential_net.counter.as_dict()
+
+    def test_include_rest_matches(self):
+        trains = _random_trains(4, 20)
+        sequential_net, batched_net = _spikedyn_net(t_sim=20.0), _spikedyn_net(t_sim=20.0)
+        _freeze_adaptation(sequential_net)
+        _freeze_adaptation(batched_net)
+        sequential = [sequential_net.run_sample(train, learning=False,
+                                                include_rest=True)
+                      for train in trains]
+        batched = batched_net.run_batch(trains, learning=False,
+                                        include_rest=True)
+        for seq, bat in zip(sequential, batched):
+            assert bat.steps == seq.steps
+            np.testing.assert_array_equal(bat.counts("excitatory"),
+                                          seq.counts("excitatory"))
+        assert batched_net.counter.as_dict() == sequential_net.counter.as_dict()
+
+
+class TestBatchedLearningEquivalence:
+    @pytest.mark.parametrize("make_net", [_spikedyn_net, _baseline_net])
+    def test_final_weights_match_bit_for_bit(self, make_net):
+        trains = _random_trains(5, 40)
+        sequential_net, batched_net = make_net(), make_net()
+
+        sequential = [sequential_net.run_sample(train, learning=True)
+                      for train in trains]
+        batched = batched_net.run_batch(trains, learning=True)
+
+        np.testing.assert_array_equal(
+            sequential_net.connection("input_to_exc").weights,
+            batched_net.connection("input_to_exc").weights,
+        )
+        for seq, bat in zip(sequential, batched):
+            assert bat.learning is True
+            np.testing.assert_array_equal(bat.counts("excitatory"),
+                                          seq.counts("excitatory"))
+        assert batched_net.counter.as_dict() == sequential_net.counter.as_dict()
+        # Learning mode also preserves adaptation drift exactly.
+        np.testing.assert_array_equal(
+            sequential_net.group("excitatory").theta,
+            batched_net.group("excitatory").theta,
+        )
+
+
+class TestBatchLifecycle:
+    def test_adaptation_state_is_restored_after_batched_inference(self):
+        network = _spikedyn_net()
+        excitatory = network.group("excitatory")
+        theta_before = excitatory.theta.copy()
+        network.run_batch(_random_trains(4, 40), learning=False)
+        assert excitatory.theta.shape == (excitatory.n,)
+        np.testing.assert_array_equal(excitatory.theta, theta_before)
+
+    def test_state_buffers_are_single_sample_after_run_batch(self):
+        network = _spikedyn_net()
+        network.run_batch(_random_trains(3, 40), learning=False)
+        assert network.batch_size is None
+        for group in network.groups.values():
+            assert group.spikes.shape == (group.n,)
+        for connection in network.connections:
+            assert connection.conductance.shape == (connection.post.n,)
+
+    def test_run_sample_works_after_run_batch(self):
+        trains = _random_trains(3, 40)
+        network = _spikedyn_net()
+        _freeze_adaptation(network)
+        reference = _spikedyn_net()
+        _freeze_adaptation(reference)
+
+        network.run_batch(trains, learning=False)
+        after_batch = network.run_sample(trains[0], learning=False)
+        fresh = reference.run_sample(trains[0], learning=False)
+        np.testing.assert_array_equal(after_batch.counts("excitatory"),
+                                      fresh.counts("excitatory"))
+
+    def test_double_begin_batch_is_rejected(self):
+        group = AdaptiveLIFGroup(4, name="g")
+        group.begin_batch(2)
+        with pytest.raises(RuntimeError):
+            group.begin_batch(3)
+        group.end_batch()
+        group.end_batch()  # idempotent
+
+    def test_reset_exits_batch_mode(self):
+        network = _spikedyn_net()
+        network._begin_batch(4)
+        assert network.batch_size == 4
+        network.reset(full=True)
+        assert network.batch_size is None
+        for group in network.groups.values():
+            assert group.spikes.shape == (group.n,)
+
+
+class TestRunBatchValidation:
+    def test_rejects_wrong_rank(self):
+        network = _spikedyn_net()
+        with pytest.raises(ValueError, match="batch_size, timesteps"):
+            network.run_batch(np.zeros((10, 196), dtype=bool))
+
+    def test_rejects_wrong_input_width(self):
+        network = _spikedyn_net()
+        with pytest.raises(ValueError, match="input channels"):
+            network.run_batch(np.zeros((2, 10, 7), dtype=bool))
+
+    def test_rejects_ragged_trains(self):
+        network = _spikedyn_net()
+        ragged = [np.zeros((10, 196), dtype=bool), np.zeros((12, 196), dtype=bool)]
+        with pytest.raises(ValueError, match="same number of timesteps"):
+            network.run_batch(ragged)
+
+    def test_accepts_a_list_of_equal_length_trains(self):
+        network = _spikedyn_net()
+        trains = [train for train in _random_trains(3, 20)]
+        results = network.run_batch(trains, learning=False)
+        assert len(results) == 3
+
+
+class TestBatchedInputGroup:
+    def test_batched_train_shape_is_validated(self):
+        group = InputGroup(5, name="input")
+        group.begin_batch(2)
+        with pytest.raises(ValueError, match="batched spike train"):
+            group.set_spike_train(np.zeros((3, 5), dtype=bool))
+        group.set_spike_train(np.zeros((2, 3, 5), dtype=bool))
+        assert group.remaining_steps == 3
+        group.end_batch()
+        assert group.remaining_steps == 0
+
+    def test_batched_replay_emits_per_sample_rows(self):
+        group = InputGroup(3, name="input")
+        group.begin_batch(2)
+        train = np.zeros((2, 2, 3), dtype=bool)
+        train[0, 0, 1] = True
+        train[1, 1, 2] = True
+        group.set_spike_train(train)
+        first = group.step(np.zeros((2, 3)), dt=1.0)
+        np.testing.assert_array_equal(first, train[:, 0])
+        second = group.step(np.zeros((2, 3)), dt=1.0)
+        np.testing.assert_array_equal(second, train[:, 1])
+        third = group.step(np.zeros((2, 3)), dt=1.0)
+        assert not third.any()
+        group.end_batch()
+
+
+class TestBatchedMonitors:
+    def test_spike_monitor_counts_stay_per_neuron_in_batch_mode(self):
+        network = _spikedyn_net()
+        monitor = network.add_spike_monitor(
+            SpikeMonitor(network.group("excitatory"))
+        )
+        results = network.run_batch(_random_trains(4, 40), learning=False)
+        assert monitor.counts.shape == (network.group("excitatory").n,)
+        total = sum(result.counts("excitatory").sum() for result in results)
+        assert monitor.total_spikes == total
+
+    def test_monitor_after_reset_has_no_stale_batch_buffers(self):
+        """Regression: reset() must leave no batch-shaped state behind."""
+        network = _spikedyn_net()
+        monitor = network.add_spike_monitor(
+            SpikeMonitor(network.group("excitatory"), record_raster=True)
+        )
+        network.run_batch(_random_trains(3, 20), learning=False)
+        assert monitor.raster.ndim == 3  # (timesteps, batch, n)
+
+        network.reset(full=True)
+        assert monitor.total_spikes == 0
+        assert monitor.raster.shape == (0, network.group("excitatory").n)
+
+        # A fresh monitor attached after the reset sees plain (n,) spikes.
+        late_monitor = network.add_spike_monitor(
+            SpikeMonitor(network.group("excitatory"), record_raster=True)
+        )
+        steps = 20
+        train = _random_trains(1, steps)[0]
+        network.run_sample(train, learning=False)
+        assert late_monitor.counts.shape == (network.group("excitatory").n,)
+        assert late_monitor.raster.shape == (steps, network.group("excitatory").n)
+
+    def test_mixed_shape_raster_raises_until_reset(self):
+        network = _spikedyn_net()
+        monitor = network.add_spike_monitor(
+            SpikeMonitor(network.group("excitatory"), record_raster=True)
+        )
+        network.run_batch(_random_trains(2, 10), learning=False)
+        network.run_sample(_random_trains(1, 10)[0], learning=False)
+        with pytest.raises(ValueError, match="mixes"):
+            monitor.raster
+        monitor.reset()
+        assert monitor.raster.shape == (0, network.group("excitatory").n)
+
+
+class TestHandBuiltNetworkBatched:
+    """Equivalence on a minimal hand-assembled network (no model builders)."""
+
+    @staticmethod
+    def _make():
+        params = SimulationParameters(dt=1.0, t_sim=15.0, t_rest=5.0)
+        network = Network(params, name="tiny")
+        inputs = network.add_group(InputGroup(6, name="input"))
+        excitatory = network.add_group(
+            AdaptiveLIFGroup(4, name="excitatory", theta_plus=0.0)
+        )
+        rng = np.random.default_rng(11)
+        network.add_connection(Connection(
+            inputs, excitatory, rng.random((6, 4)), gain=40.0,
+            name="input_to_exc",
+        ))
+        return network
+
+    def test_counts_match(self):
+        trains = _random_trains(5, 15, n_input=6, density=0.4)
+        sequential_net, batched_net = self._make(), self._make()
+        sequential = [sequential_net.run_sample(train, learning=False)
+                      for train in trains]
+        batched = batched_net.run_batch(trains, learning=False)
+        for seq, bat in zip(sequential, batched):
+            np.testing.assert_array_equal(bat.counts("excitatory"),
+                                          seq.counts("excitatory"))
+        assert batched_net.counter.as_dict() == sequential_net.counter.as_dict()
+
+
+class TestBatchedTraces:
+    """Batch lifecycle of SpikeTrace (used by future batched learning)."""
+
+    def test_batched_updates_match_sequential_per_sample(self):
+        from repro.snn.traces import SpikeTrace
+
+        rng = np.random.default_rng(0)
+        spikes = rng.random((3, 4, 6)) < 0.3  # (timesteps, batch, n)
+
+        batched = SpikeTrace(6, tau=15.0, mode="set")
+        batched.begin_batch(4)
+        assert batched.state_shape == (4, 6)
+        for step in spikes:
+            batched.step(step, dt=1.0)
+        batched_values = batched.values.copy()
+        batched.end_batch()
+        assert batched.values.shape == (6,)
+
+        for sample in range(4):
+            sequential = SpikeTrace(6, tau=15.0, mode="set")
+            for step in spikes:
+                sequential.step(step[sample], dt=1.0)
+            np.testing.assert_array_equal(batched_values[sample],
+                                          sequential.values)
+
+    def test_batched_counter_accounting(self):
+        from repro.snn.simulation import OperationCounter
+        from repro.snn.traces import SpikeTrace
+
+        batched_counter, sequential_counter = OperationCounter(), OperationCounter()
+        spikes = np.ones((3, 5), dtype=bool)
+
+        batched = SpikeTrace(5, mode="add")
+        batched.begin_batch(3)
+        batched.step(spikes, dt=1.0, counter=batched_counter)
+
+        sequential = SpikeTrace(5, mode="add")
+        for row in spikes:
+            sequential.reset()
+            sequential.step(row, dt=1.0, counter=sequential_counter)
+        assert batched_counter.as_dict() == sequential_counter.as_dict()
+
+    def test_shape_validation_and_lifecycle_errors(self):
+        from repro.snn.traces import SpikeTrace
+
+        trace = SpikeTrace(4)
+        trace.begin_batch(2)
+        with pytest.raises(RuntimeError):
+            trace.begin_batch(2)
+        with pytest.raises(ValueError):
+            trace.update(np.zeros(4, dtype=bool))  # 1-D spikes in batch mode
+        trace.end_batch()
+        trace.end_batch()  # idempotent
+        with pytest.raises(ValueError):
+            trace.update(np.zeros((2, 4), dtype=bool))  # batch spikes outside
+
+
+class TestBatchedStateMonitor:
+    def test_mixed_shape_history_raises_until_reset(self):
+        from repro.snn.monitors import StateMonitor
+
+        network = _spikedyn_net()
+        monitor = network.add_state_monitor(
+            StateMonitor(network.group("excitatory"), "v")
+        )
+        network.run_batch(_random_trains(2, 10), learning=False)
+        assert monitor.history.shape[1:] == (2, network.group("excitatory").n)
+        network.run_sample(_random_trains(1, 10)[0], learning=False)
+        with pytest.raises(ValueError, match="mixes"):
+            monitor.history
+        monitor.reset()
+        network.run_sample(_random_trains(1, 10)[0], learning=False)
+        assert monitor.history.shape[1:] == (network.group("excitatory").n,)

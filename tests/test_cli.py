@@ -126,3 +126,28 @@ class TestEnergyAndReproduce:
     def test_reproduce_fig5_at_tiny_scale(self, capsys):
         assert main(["reproduce", "fig5", "--scale", "tiny"]) == 0
         assert "analytical" in capsys.readouterr().out
+
+
+class TestEvalBatchSizeFlag:
+    def test_parser_accepts_the_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["train", "--eval-batch-size", "8"])
+        assert args.eval_batch_size == 8
+
+    def test_flag_defaults_to_batched_evaluation(self):
+        parser = build_parser()
+        args = parser.parse_args(["train"])
+        assert args.eval_batch_size == 32
+
+    def test_sequential_evaluation_via_batch_size_one(self, capsys):
+        assert main([
+            "train", "--model", "spikedyn", "--n-exc", "8", "--image-size", "8",
+            "--t-sim", "20", "--classes", "0", "--samples-per-class", "2",
+            "--eval-per-class", "2", "--eval-batch-size", "1",
+        ]) == 0
+        assert "digit-0" in capsys.readouterr().out
+
+    def test_non_positive_batch_size_is_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--eval-batch-size", "0"])
+        assert "must be >= 1" in capsys.readouterr().err
