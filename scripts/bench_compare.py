@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Gate CI on smoke-benchmark regressions.
+
+Compares a fresh ``bench_smoke.py`` report against the committed baseline
+(``benchmarks/baseline_smoke.json``) and exits non-zero when any metric
+regresses beyond the tolerance:
+
+* timing metrics (``*_s``) regress when ``current > baseline * tolerance``;
+* speedup metrics (``*_x``) regress when ``current < baseline / tolerance``.
+
+When both reports carry the ``calibration_s`` reference workload, every
+timing metric is first divided by its report's calibration time.  That
+cancels raw machine speed, so a baseline recorded on a developer laptop
+gates meaningfully on a slower shared CI runner; only genuine per-operation
+regressions trip the gate.  The calibration metric itself never gates.
+
+Metrics present in only one report are listed but never gate (new benchmarks
+must be able to land before their baseline).  Refresh the baseline with
+``--update`` after an intentional performance change.
+
+Usage::
+
+    python scripts/bench_smoke.py --output bench-smoke.json
+    python scripts/bench_compare.py --current bench-smoke.json
+    python scripts/bench_compare.py --current bench-smoke.json --tolerance 2.0
+    python scripts/bench_compare.py --current bench-smoke.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.evaluation.reporting import format_table
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline_smoke.json"
+
+#: Reference-workload metric used to normalize timings across machines.
+CALIBRATION_METRIC = "calibration_s"
+
+
+def load_timings(path: Path) -> Dict[str, float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    timings = report.get("timings")
+    if not isinstance(timings, dict):
+        raise ValueError(f"{path} has no 'timings' section")
+    return {name: float(value) for name, value in timings.items()}
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    tolerance: float,
+    ratio_tolerance: float,
+) -> Tuple[List[List[object]], List[str]]:
+    """Comparison rows and the list of regressed metric names.
+
+    The table shows the raw measured values; the ``norm_ratio`` column is
+    the calibration-normalized current/baseline ratio the verdict is based
+    on (equal to the raw ratio when either report lacks the calibration
+    metric).
+    """
+    base_calibration = baseline.get(CALIBRATION_METRIC)
+    curr_calibration = current.get(CALIBRATION_METRIC)
+    normalize = bool(base_calibration and curr_calibration)
+
+    rows: List[List[object]] = []
+    regressions: List[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        curr = current.get(name)
+        if base is None or curr is None:
+            rows.append([name, base, curr, "-", "missing" if curr is None else "new"])
+            continue
+        if name == CALIBRATION_METRIC:
+            rows.append([name, f"{base:.4f}", f"{curr:.4f}", "-", "reference"])
+            continue
+        higher_is_better = name.endswith("_x")
+        norm_base, norm_curr = base, curr
+        if normalize and not higher_is_better:
+            norm_base = base / base_calibration
+            norm_curr = curr / curr_calibration
+        ratio = (norm_curr / norm_base) if norm_base > 0 else float("inf")
+        if higher_is_better:
+            regressed = norm_curr < norm_base / ratio_tolerance
+        else:
+            regressed = norm_curr > norm_base * tolerance
+        verdict = "REGRESSED" if regressed else "ok"
+        if regressed:
+            regressions.append(name)
+        rows.append([name, f"{base:.4f}", f"{curr:.4f}", f"{ratio:.2f}x", verdict])
+    return rows, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline report (default: benchmarks/baseline_smoke.json)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        required=True,
+        help="freshly generated bench_smoke.py report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help="allowed slowdown factor before a timing metric gates (default: 1.5)",
+    )
+    parser.add_argument(
+        "--ratio-tolerance",
+        type=float,
+        default=None,
+        help="allowed shrink factor for ratio (*_x) metrics, which cannot be "
+             "calibration-normalized and are noisier on loaded machines "
+             "(default: same as --tolerance)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy --current over --baseline instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tolerance <= 1.0:
+        parser.error(f"--tolerance must be > 1.0, got {args.tolerance}")
+    ratio_tolerance = args.ratio_tolerance if args.ratio_tolerance is not None else args.tolerance
+    if ratio_tolerance <= 1.0:
+        parser.error(f"--ratio-tolerance must be > 1.0, got {ratio_tolerance}")
+
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated from {args.current} -> {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_timings(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"error: no baseline at {args.baseline}; create one with --update",
+            file=sys.stderr,
+        )
+        return 2
+    current = load_timings(args.current)
+
+    rows, regressions = compare(baseline, current, args.tolerance, ratio_tolerance)
+    print(format_table(["metric", "baseline", "current", "norm_ratio", "verdict"], rows))
+    if regressions:
+        print(
+            f"\n{len(regressions)} metric(s) regressed beyond tolerance: "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nno regressions beyond {args.tolerance:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

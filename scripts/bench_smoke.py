@@ -54,6 +54,29 @@ def run_smoke(batch_size: int, repeats: int) -> Dict[str, object]:
 
     timings: Dict[str, float] = {}
 
+    # Fixed reference workload used by bench_compare.py to normalize the
+    # absolute timings: dividing every *_s metric by the machine's
+    # calibration time cancels raw hardware speed, so a baseline recorded on
+    # one machine gates meaningfully on another.  The workload deliberately
+    # mirrors the simulation engine's profile — a Python loop over small
+    # numpy operations (below BLAS threading thresholds), not one large
+    # GEMM — and uses no repro code, so engine optimizations still register
+    # as improvements instead of being normalized away.
+    calib_rng = np.random.default_rng(0)
+    calib_matrix = calib_rng.standard_normal((64, 256))
+    calib_vector = calib_rng.standard_normal(256)
+
+    def calibration() -> None:
+        vector = calib_vector
+        total = 0.0
+        for _ in range(300):
+            spikes = np.tanh(calib_matrix @ vector)
+            vector = vector * 0.99
+            vector[:64] += 0.01 * spikes
+            total += float(spikes.sum())
+
+    timings["calibration_s"] = _time_best_of(calibration, max(3, repeats))
+
     model = SpikeDynModel(config)
     trains = model.encode_batch(images)
 

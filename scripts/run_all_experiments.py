@@ -1,10 +1,17 @@
+#!/usr/bin/env python
 """Regenerate every table and figure of the SpikeDyn paper.
 
-The script runs each experiment driver from :mod:`repro.experiments` and
-writes its plain-text report to ``results/<experiment>.txt``.  The numbers
-recorded in EXPERIMENTS.md were produced by this script.
+A thin wrapper around ``repro run-all`` that maps this script's historical
+flags (``--quick`` / ``--paper-networks``) onto the CLI's scale presets.
+The suite runs through the parallel runner (:mod:`repro.runner`): jobs
+execute concurrently across ``--workers`` processes with crash isolation and
+per-job timeouts, completed results land in the content-addressed cache, and
+every outcome is recorded in ``<out>/manifest.json`` so an interrupted run
+resumes where it stopped.  Plain-text reports are written to
+``results/<experiment>.txt``; the numbers recorded in EXPERIMENTS.md were
+produced by this script.
 
-Two scales are used:
+Two scales are used (as in every previous revision of this script):
 
 * accuracy experiments (Fig. 1c, 4d, 6, 9, 10, ablation) run on the synthetic
   digit workload at a reduced scale (14x14 images, N20/N40 networks, 10 tasks,
@@ -16,114 +23,61 @@ Two scales are used:
 
 Run with::
 
-    python scripts/run_all_experiments.py [--out results] [--quick]
+    python scripts/run_all_experiments.py [--out results] [--quick] [--workers N]
 """
 
 from __future__ import annotations
 
 import argparse
-import time
-from pathlib import Path
+import sys
 
-from repro.experiments import (
-    gpu_specification_table,
-    run_analytical_validation,
-    run_architecture_reduction,
-    run_confusion_study,
-    run_decay_theta_sweep,
-    run_dynamic_accuracy_comparison,
-    run_energy_comparison,
-    run_mechanism_ablation,
-    run_model_search_study,
-    run_motivation_study,
-    run_nondynamic_accuracy_comparison,
-    run_processing_time_study,
-)
-from repro.experiments.common import ExperimentScale
+from repro.cli import _nonnegative_int
+from repro.cli import main as cli_main
 
 
-def accuracy_scale(quick: bool) -> ExperimentScale:
-    """Scale used by the accuracy (protocol-driven) experiments."""
-    if quick:
-        return ExperimentScale.tiny()
-    return ExperimentScale.small(
-        network_sizes=(20, 40),
-        class_sequence=tuple(range(10)),
-        samples_per_task=10,
-        eval_samples_per_class=4,
-        nondynamic_checkpoints=(10, 20, 40, 80),
-        t_sim=60.0,
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="results", help="output directory for the text reports")
+    parser.add_argument(
+        "--quick", action="store_true", help="run everything at the CI-sized tiny scale"
     )
+    parser.add_argument(
+        "--paper-networks", action="store_true", help="use N200/N400 for the energy experiments"
+    )
+    parser.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        help="concurrent worker processes (default: 1; 0 = in-process, no isolation)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed of every experiment")
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-job wall-clock budget in seconds"
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the content-addressed result cache"
+    )
+    parser.add_argument(
+        "--force", action="store_true", help="re-execute every job, ignoring cache and manifest"
+    )
+    return parser.parse_args(argv)
 
 
-def energy_scale(quick: bool, paper_networks: bool) -> ExperimentScale:
-    """Scale used by the energy/memory/latency experiments."""
-    if quick:
-        return ExperimentScale.tiny(image_size=28, network_sizes=(50, 100),
-                                    t_sim=50.0)
-    sizes = (200, 400) if paper_networks else (100, 200)
-    return ExperimentScale.tiny(image_size=28, network_sizes=sizes, t_sim=100.0)
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="results",
-                        help="output directory for the text reports")
-    parser.add_argument("--quick", action="store_true",
-                        help="run everything at the CI-sized tiny scale")
-    parser.add_argument("--paper-networks", action="store_true",
-                        help="use N200/N400 for the energy experiments")
-    args = parser.parse_args()
-
-    out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    acc_scale = accuracy_scale(args.quick)
-    nrg_scale = energy_scale(args.quick, args.paper_networks)
-    sweep_scale = acc_scale.replace(class_sequence=tuple(range(10)),
-                                    network_sizes=(max(acc_scale.network_sizes),))
-
-    jobs = [
-        ("table1_gpu_specs", lambda: gpu_specification_table()),
-        ("fig05_analytical_models",
-         lambda: run_analytical_validation(nrg_scale, actual_run_samples=2).to_text()),
-        ("fig04_arch_reduction",
-         lambda: run_architecture_reduction(
-             nrg_scale, include_accuracy_profile=False).to_text()),
-        ("fig01_motivation",
-         lambda: run_motivation_study(
-             acc_scale.replace(network_sizes=nrg_scale.network_sizes,
-                               image_size=nrg_scale.image_size,
-                               t_sim=nrg_scale.t_sim,
-                               class_sequence=acc_scale.class_sequence)
-             if not args.quick else acc_scale).to_text()),
-        ("fig11_energy", lambda: run_energy_comparison(nrg_scale).to_text()),
-        ("table2_processing_time",
-         lambda: run_processing_time_study(nrg_scale).to_text()),
-        ("alg1_model_search",
-         lambda: run_model_search_study(nrg_scale, n_add=50).to_text()),
-        ("fig09_dynamic_accuracy",
-         lambda: run_dynamic_accuracy_comparison(acc_scale).to_text()),
-        ("fig09_nondynamic_accuracy",
-         lambda: run_nondynamic_accuracy_comparison(acc_scale).to_text()),
-        ("fig10_confusion", lambda: run_confusion_study(acc_scale).to_text()),
-        ("fig06_decay_theta_sweep",
-         lambda: run_decay_theta_sweep(sweep_scale).to_text()),
-        ("ablation_mechanisms",
-         lambda: run_mechanism_ablation(sweep_scale).to_text()),
-    ]
-
-    for name, job in jobs:
-        started = time.time()
-        print(f"[run_all_experiments] running {name} ...", flush=True)
-        text = job()
-        elapsed = time.time() - started
-        path = out_dir / f"{name}.txt"
-        path.write_text(text + f"\n\n(generated in {elapsed:.1f} s)\n",
-                        encoding="utf-8")
-        print(f"[run_all_experiments] wrote {path} ({elapsed:.1f} s)", flush=True)
-
-    print("[run_all_experiments] done")
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    preset = "tiny" if args.quick else "small"
+    cli_args = ["run-all", "--scale", preset, "--out", args.out]
+    cli_args.extend(["--workers", str(args.workers), "--seed", str(args.seed)])
+    if args.paper_networks:
+        cli_args.append("--paper-networks")
+    if args.timeout is not None:
+        cli_args.extend(["--timeout", str(args.timeout)])
+    if args.no_cache:
+        cli_args.append("--no-cache")
+    if args.force:
+        cli_args.append("--force")
+    return cli_main(cli_args)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

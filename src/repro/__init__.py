@@ -30,7 +30,7 @@ from repro.models.asp_model import ASPModel
 from repro.models.diehl_cook import DiehlCookModel
 from repro.models.spikedyn_model import SpikeDynModel
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ASPModel",

@@ -16,7 +16,13 @@ driven without writing Python:
     Per-sample energy of the three models, normalized to the baseline, on a
     chosen GPU profile.
 ``spikedyn-repro reproduce``
-    Run one of the paper-experiment drivers and print its report.
+    Run one of the paper-experiment drivers and print its report, optionally
+    through the parallel runner (``--workers``) with result caching.
+``spikedyn-repro run-all``
+    Run the full experiment suite through the parallel runner, with a
+    resumable manifest and content-addressed result caching.
+``spikedyn-repro cache``
+    Inspect or clear the on-disk result cache.
 
 Every subcommand prints plain text to stdout; exit code 0 means success.
 Install the package (``pip install -e .``) to get the ``repro`` and
@@ -27,6 +33,8 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.config import SpikeDynConfig
@@ -36,36 +44,23 @@ from repro.datasets.synthetic_mnist import SyntheticDigits
 from repro.estimation.energy import EnergyModel
 from repro.estimation.hardware import default_devices, get_device
 from repro.evaluation.reporting import format_table
-from repro.experiments import (
-    gpu_specification_table,
-    run_analytical_validation,
-    run_architecture_reduction,
-    run_confusion_study,
-    run_decay_theta_sweep,
-    run_dynamic_accuracy_comparison,
-    run_energy_comparison,
-    run_mechanism_ablation,
-    run_model_search_study,
-    run_motivation_study,
-    run_nondynamic_accuracy_comparison,
-    run_processing_time_study,
-)
 from repro.experiments.common import MODEL_BUILDERS, ExperimentScale, build_model
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.runner import (
+    JobRecord,
+    JobSpec,
+    ParallelRunner,
+    ResultCache,
+    RunManifest,
+    build_suite,
+    default_scale_overrides,
+    scales_for_preset,
+)
 
-#: Experiment drivers exposed by ``spikedyn-repro reproduce``.
+#: Experiment drivers exposed by ``spikedyn-repro reproduce`` (name -> report
+#: renderer), derived from the registry in :mod:`repro.experiments.registry`.
 EXPERIMENT_DRIVERS: Dict[str, Callable[[ExperimentScale], str]] = {
-    "table1": lambda scale: gpu_specification_table(),
-    "table2": lambda scale: run_processing_time_study(scale).to_text(),
-    "fig1": lambda scale: run_motivation_study(scale).to_text(),
-    "fig4": lambda scale: run_architecture_reduction(scale).to_text(),
-    "fig5": lambda scale: run_analytical_validation(scale).to_text(),
-    "fig6": lambda scale: run_decay_theta_sweep(scale).to_text(),
-    "fig9-dynamic": lambda scale: run_dynamic_accuracy_comparison(scale).to_text(),
-    "fig9-nondynamic": lambda scale: run_nondynamic_accuracy_comparison(scale).to_text(),
-    "fig10": lambda scale: run_confusion_study(scale).to_text(),
-    "fig11": lambda scale: run_energy_comparison(scale).to_text(),
-    "alg1": lambda scale: run_model_search_study(scale).to_text(),
-    "ablation": lambda scale: run_mechanism_ablation(scale).to_text(),
+    name: spec.report for name, spec in EXPERIMENTS.items()
 }
 
 #: Named experiment scales selectable from the command line.
@@ -98,6 +93,17 @@ def _positive_int(text: str) -> int:
 _positive_int.__name__ = "positive integer"
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type for integers >= 0."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+_nonnegative_int.__name__ = "non-negative integer"
+
+
 def _configure_model(model, args: argparse.Namespace):
     """Apply CLI-wide model knobs (currently the evaluation batch size)."""
     batch_size = getattr(args, "eval_batch_size", None)
@@ -119,6 +125,19 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eval-batch-size", type=_positive_int, default=32,
                         help="samples advanced per vectorized engine step "
                              "during evaluation (1 = sequential)")
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Cache/timeout knobs shared by the runner-backed subcommands."""
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock budget in seconds")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro/results)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed result cache")
+    parser.add_argument("--force", action="store_true",
+                        help="re-execute every job, ignoring cache and manifest")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -260,10 +279,172 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
+    """The result cache selected by ``--cache-dir`` / ``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    # ResultCache(None) resolves to $REPRO_CACHE_DIR / the user cache dir.
+    return ResultCache(getattr(args, "cache_dir", None))
+
+
+def _progress_printer(event: str, record: JobRecord) -> None:
+    """One progress line per scheduler event (the runner's on_event hook).
+
+    Progress goes to stderr so stdout stays the pure report text (the
+    parallel `reproduce --workers` output is byte-identical to the
+    sequential one).
+    """
+    if event == "start":
+        line = f"[runner] {record.experiment}: running ..."
+    elif event == "cached":
+        line = f"[runner] {record.experiment}: served from cache"
+    elif event == "resumed":
+        line = f"[runner] {record.experiment}: already completed (manifest)"
+    elif event == "done":
+        line = f"[runner] {record.experiment}: {record.status} ({record.elapsed:.1f} s)"
+    else:  # pragma: no cover - future event kinds
+        line = f"[runner] {record.experiment}: {event}"
+    print(line, file=sys.stderr, flush=True)
+
+
+def _write_report(record: JobRecord, out_dir: Path) -> Optional[Path]:
+    """Write one completed record's report to ``<out_dir>/<output>.txt``.
+
+    Reports are written as each job completes (not at the end of the run), so
+    an interrupted run keeps the reports of every finished job and a resumed
+    run never has to re-render them.
+    """
+    if not record.ok or record.report is None:
+        return None
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{record.output}.txt"
+    path.write_text(
+        record.report + f"\n\n(generated in {record.elapsed:.1f} s, "
+        f"source: {record.source})\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _summarize_run(records: Sequence[JobRecord]) -> int:
+    """Print the run summary table; return the number of unsuccessful jobs."""
+    rows = []
+    failures = 0
+    for record in records:
+        rows.append([record.experiment, record.status, record.source,
+                     f"{record.elapsed:.1f}"])
+        if not record.ok:
+            failures += 1
+    print(format_table(["experiment", "status", "source", "seconds"], rows))
+    for record in records:
+        if record.error:
+            last_line = record.error.strip().splitlines()[-1]
+            print(f"error in {record.experiment}: {last_line}", file=sys.stderr)
+    return failures
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    scale = SCALE_PRESETS[args.scale]()
-    driver = EXPERIMENT_DRIVERS[args.experiment]
-    print(driver(scale))
+    scale = SCALE_PRESETS[args.scale](seed=args.seed)
+    if args.workers is None:
+        ignored = [flag for flag, value in (
+            ("--timeout", args.timeout is not None),
+            ("--cache-dir", args.cache_dir is not None),
+            ("--no-cache", args.no_cache),
+            ("--force", args.force),
+        ) if value]
+        if ignored:
+            print(f"warning: {', '.join(ignored)} only take effect together "
+                  "with --workers; running in-process without them",
+                  file=sys.stderr)
+        print(EXPERIMENT_DRIVERS[args.experiment](scale))
+        return 0
+
+    spec = get_experiment(args.experiment)
+    job = JobSpec(experiment=spec.name, scale=scale, output=spec.output,
+                  timeout=args.timeout)
+    runner = ParallelRunner(args.workers, cache=_make_cache(args),
+                            force=args.force, on_event=_progress_printer)
+    record = runner.run([job])[0]
+    if not record.ok:
+        if record.error:
+            print(record.error.strip(), file=sys.stderr)
+        print(f"error: {args.experiment} finished with status {record.status!r}",
+              file=sys.stderr)
+        return 1
+    print(record.report)
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    started = time.perf_counter()
+    scales = scales_for_preset(args.scale, seed=args.seed,
+                               paper_networks=args.paper_networks)
+    jobs = build_suite(scales, experiments=args.drivers,
+                       scale_overrides=default_scale_overrides(args.scale, scales),
+                       timeout=args.timeout)
+
+    out_dir = Path(args.out)
+    manifest = RunManifest.load_or_create(
+        out_dir / "manifest.json",
+        metadata={"scale": args.scale, "seed": args.seed, "workers": args.workers},
+    )
+
+    def on_event(event: str, record: JobRecord) -> None:
+        _progress_printer(event, record)
+        if event in ("done", "cached", "resumed"):
+            _write_report(record, out_dir)
+
+    runner = ParallelRunner(args.workers, cache=_make_cache(args),
+                            manifest=manifest, resume=not args.no_resume,
+                            force=args.force, on_event=on_event)
+    records = runner.run(jobs)
+
+    # A manifest-resumed job carries no report text when caching is off; its
+    # report file normally survives from the run that completed it, but if it
+    # was deleted there is nothing to rewrite — say so instead of silently
+    # claiming success over an empty output directory.
+    unwritable = [record.output for record in records
+                  if record.ok and record.report is None
+                  and not (out_dir / f"{record.output}.txt").exists()]
+    if unwritable:
+        print(f"warning: no report text available for {', '.join(unwritable)} "
+              "(completed in an earlier run, but the report file is gone and "
+              "no cached copy exists); re-run with --force or --no-resume to "
+              "regenerate",
+              file=sys.stderr)
+
+    elapsed = time.perf_counter() - started
+    failures = _summarize_run(records)
+    print(f"{len(records) - failures}/{len(records)} experiments completed "
+          f"in {elapsed:.1f} s (reports in {out_dir}, manifest "
+          f"{manifest.path})")
+    return 1 if failures else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "info":
+        stats = cache.stats()
+        print(f"cache root : {stats['root']}")
+        print(f"entries    : {stats['entries']}")
+        print(f"size       : {stats['bytes'] / 1024.0:.1f} KiB")
+        return 0
+    if args.action == "list":
+        rows = []
+        for key, path in cache.iter_entries():
+            record = cache.get(key)
+            if record is None:
+                continue
+            rows.append([key[:16], record.get("experiment", "?"),
+                         record.get("status", "?"), record.get("seed", "?"),
+                         f"{record.get('elapsed', 0.0):.1f}"])
+        if not rows:
+            print(f"cache at {cache.root} is empty")
+            return 0
+        print(format_table(["key", "experiment", "status", "seed", "seconds"], rows))
+        return 0
+    removed = cache.clear()
+    print(f"removed {removed} cached result(s) from {cache.root}")
     return 0
 
 
@@ -336,7 +517,50 @@ def build_parser() -> argparse.ArgumentParser:
                            help="which table/figure to reproduce")
     reproduce.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="tiny",
                            help="experiment scale preset")
+    reproduce.add_argument("--seed", type=int, default=0,
+                           help="base seed of every stochastic component")
+    reproduce.add_argument("--workers", type=_positive_int, default=None,
+                           help="run through the parallel runner with N worker "
+                                "processes and result caching (default: run "
+                                "in-process without caching)")
+    _add_runner_arguments(reproduce)
     reproduce.set_defaults(handler=_cmd_reproduce)
+
+    run_all = subparsers.add_parser(
+        "run-all",
+        help="run the full experiment suite through the parallel runner",
+    )
+    run_all.add_argument("--scale", choices=sorted(SCALE_PRESETS), default="tiny",
+                         help="experiment scale preset")
+    run_all.add_argument("--seed", type=int, default=0,
+                         help="base seed of every stochastic component")
+    run_all.add_argument("--workers", type=_nonnegative_int, default=1,
+                         help="number of concurrent worker processes; 0 runs "
+                              "every job in-process (no crash isolation or "
+                              "timeouts, but also no process overhead)")
+    run_all.add_argument("--out", default="results",
+                         help="output directory for reports and the manifest")
+    run_all.add_argument("--drivers", nargs="+", default=None,
+                         choices=sorted(EXPERIMENT_DRIVERS), metavar="DRIVER",
+                         help="subset of drivers to run (default: all)")
+    run_all.add_argument("--paper-networks", action="store_true",
+                         help="use N200/N400 for the energy experiments at "
+                              "the 'small' scale")
+    run_all.add_argument("--no-resume", action="store_true",
+                         help="ignore a pre-existing manifest instead of "
+                              "resuming from it")
+    _add_runner_arguments(run_all)
+    run_all.set_defaults(handler=_cmd_run_all)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument("action", choices=("info", "list", "clear"),
+                       help="what to do with the cache")
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR or "
+                            "~/.cache/repro/results)")
+    cache.set_defaults(handler=_cmd_cache)
 
     return parser
 
@@ -345,7 +569,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        # Runner-backed commands persist their manifest after every job, so
+        # an interrupted run is resumable — say so instead of tracebacking.
+        print("\ninterrupted (completed jobs are recorded; re-run to resume)",
+              file=sys.stderr)
+        return 130
+    except BrokenPipeError:  # e.g. `repro cache list | head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -21,6 +21,8 @@ Module                 Paper artifact
 ``table2_latency``     Table II — processing time on full MNIST
 ``alg1_search``        Alg. 1 — constrained model search
 ``ablation``           mechanism ablation (design-choice study)
+``registry``           explicit :class:`ExperimentSpec` registry of all of
+                       the above, consumed by the CLI and ``repro.runner``
 =====================  =====================================================
 """
 
@@ -49,6 +51,12 @@ from repro.experiments.fig09_accuracy import (
 )
 from repro.experiments.fig10_confusion import ConfusionStudyResult, run_confusion_study
 from repro.experiments.fig11_energy import EnergyComparisonResult, run_energy_comparison
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+)
 from repro.experiments.table1_gpus import gpu_specification_table
 from repro.experiments.table2_latency import ProcessingTimeStudy, run_processing_time_study
 from repro.experiments.alg1_search import ModelSearchStudy, run_model_search_study
@@ -62,7 +70,9 @@ __all__ = [
     "ConfusionStudyResult",
     "DecayThetaSweepResult",
     "EnergyComparisonResult",
+    "EXPERIMENTS",
     "ExperimentScale",
+    "ExperimentSpec",
     "MODEL_BUILDERS",
     "ModelSearchStudy",
     "MotivationResult",
@@ -70,6 +80,8 @@ __all__ = [
     "ProcessingTimeStudy",
     "build_model",
     "default_digit_source",
+    "experiment_names",
+    "get_experiment",
     "gpu_specification_table",
     "measure_sample_counters",
     "run_analytical_validation",

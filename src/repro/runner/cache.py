@@ -1,0 +1,151 @@
+"""Content-addressed on-disk cache of completed job results.
+
+Layout: one JSON record per job under ``<root>/<key[:2]>/<key>.json``, where
+``key`` is the job's SHA-256 content key (driver, scale, seed, overrides,
+package version — see :meth:`repro.runner.jobs.JobSpec.key`).  The two-level
+fan-out keeps directories small on full-suite sweeps.
+
+Invalidation is purely key-based: changing any key ingredient (including
+bumping the package version) addresses a different entry, and stale entries
+are simply never read again.  ``repro cache clear`` removes them.
+
+Records are written atomically (temp file + ``os.replace``), so a run killed
+mid-write never leaves a truncated entry — a corrupt record is treated as a
+miss and deleted on the next read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+from repro.utils.serialization import atomic_write_json
+
+PathLike = Union[str, Path]
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """The default cache directory.
+
+    ``$REPRO_CACHE_DIR`` if set, else ``$XDG_CACHE_HOME/repro/results``,
+    else ``~/.cache/repro/results``.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "results"
+
+
+class ResultCache:
+    """Content-addressed store of completed job records.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; defaults to :func:`default_cache_root`.  Created
+        lazily on the first write.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    def path_for(self, key: str) -> Path:
+        """Where the record of ``key`` lives (whether or not it exists)."""
+        if len(key) < 3:
+            raise ValueError(f"cache key too short: {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached record of ``key``, or ``None`` on miss.
+
+        A corrupt (truncated / non-JSON / non-dict) record counts as a miss
+        and is deleted so it cannot shadow a future write.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # ValueError covers both JSONDecodeError and the
+            # UnicodeDecodeError a partially-written binary record raises.
+            self.delete(key)
+            return None
+        if not isinstance(record, dict):
+            self.delete(key)
+            return None
+        return record
+
+    def put(self, key: str, record: Dict[str, Any]) -> Path:
+        """Atomically store ``record`` under ``key`` and return its path."""
+        return atomic_write_json(record, self.path_for(key))
+
+    def delete(self, key: str) -> bool:
+        """Remove the record of ``key``; ``True`` if one was removed.
+
+        Deletion failures (missing entry, read-only cache directory) report
+        ``False`` instead of raising, so a corrupt-but-undeletable record
+        degrades to a persistent cache miss rather than aborting the run.
+        """
+        try:
+            self.path_for(key).unlink()
+            return True
+        except OSError:
+            return False
+
+    def iter_entries(self) -> Iterator[Tuple[str, Path]]:
+        """Yield ``(key, path)`` for every stored record."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                # Skip in-flight temp files (".tmp-*.json") from writers that
+                # died between mkstemp and the atomic rename, and foreign
+                # files whose stem could never be a key path_for accepts.
+                if path.name.startswith(".") or len(path.stem) < 3:
+                    continue
+                yield path.stem, path
+
+    def clear(self) -> int:
+        """Delete every record and return how many were removed.
+
+        Also sweeps orphaned ``.tmp-*.json`` files left by writers that were
+        killed between ``mkstemp`` and the atomic rename (they are not
+        counted as removed records).
+        """
+        removed = 0
+        for _, path in list(self.iter_entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        if self.root.is_dir():
+            for stray in self.root.glob("*/.tmp-*.json"):
+                try:
+                    stray.unlink()
+                except OSError:
+                    pass
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary of the cache: entry count, total bytes, root path."""
+        entries = 0
+        total_bytes = 0
+        for _, path in self.iter_entries():
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return {"root": str(self.root), "entries": entries, "bytes": total_bytes}

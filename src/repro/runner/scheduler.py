@@ -1,0 +1,370 @@
+"""Process-pool scheduler with crash isolation and per-job timeouts.
+
+The scheduler runs one OS process per job (``spawn`` start method, so workers
+inherit no parent state and results are independent of fork timing), keeping
+at most ``workers`` alive at a time.  Per-process execution gives the two
+properties a long reproduction run needs:
+
+* **crash isolation** — a segfaulting or raising job is recorded as
+  ``failed`` in the manifest and the remaining jobs keep running;
+* **hard timeouts** — a hung job is terminated (then killed) when its
+  wall-clock budget expires and recorded as ``timeout``.
+
+Completed records are stored in the content-addressed
+:class:`~repro.runner.cache.ResultCache` and appended to the
+:class:`~repro.runner.manifest.RunManifest`, so an immediate re-run is served
+from cache and an interrupted run resumes from the manifest.
+
+``workers=0`` executes jobs in-process (sequentially, no subprocesses) with
+identical cache/manifest semantics — drivers seed every stochastic component
+from ``scale.seed``, so the parallel and in-process paths produce
+byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import JobSpec
+from repro.runner.manifest import (
+    SOURCE_CACHE,
+    SOURCE_MANIFEST,
+    SOURCE_RUN,
+    STATUS_FAILED,
+    STATUS_TIMEOUT,
+    JobRecord,
+    RunManifest,
+)
+from repro.runner.worker import execute_payload, worker_main
+
+#: How often the scheduler polls running workers, in seconds.
+POLL_INTERVAL = 0.05
+
+#: Grace period between SIGTERM and SIGKILL for timed-out workers.
+TERMINATE_GRACE = 1.0
+
+EventCallback = Callable[[str, JobRecord], None]
+
+
+@dataclass
+class _Running:
+    """Book-keeping of one live worker process."""
+
+    job: JobSpec
+    key: str
+    process: multiprocessing.process.BaseProcess
+    channel: "multiprocessing.queues.Queue"
+    started: float
+
+    def deadline_passed(self, now: float) -> bool:
+        return self.job.timeout is not None and now - self.started > self.job.timeout
+
+
+class ParallelRunner:
+    """Schedule :class:`JobSpec` lists across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Maximum concurrent worker processes; ``0`` executes in-process.
+    cache:
+        Result cache consulted before executing and updated after every
+        completion.  ``None`` disables caching.
+    manifest:
+        Run manifest updated after every terminal job state.  ``None``
+        disables manifest tracking (and resumption).
+    resume:
+        When true, jobs already completed in ``manifest`` are served from it
+        without re-execution (failed/timeout entries are retried).
+    force:
+        When true, cache hits are ignored (everything re-executes);
+        ``resume`` is ignored too.
+    on_event:
+        Optional callback ``(event, record)`` invoked on ``"start"``,
+        ``"cached"``, ``"resumed"``, and ``"done"`` transitions — the CLI
+        uses it for progress lines.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        cache: Optional[ResultCache] = None,
+        manifest: Optional[RunManifest] = None,
+        resume: bool = True,
+        force: bool = False,
+        on_event: Optional[EventCallback] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.manifest = manifest
+        self.resume = resume
+        self.force = force
+        self.on_event = on_event
+        self._context = multiprocessing.get_context("spawn")
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, jobs: Sequence[JobSpec]) -> List[JobRecord]:
+        """Execute ``jobs`` and return one terminal record per job, in order.
+
+        Jobs satisfied without execution (cache hit, completed manifest
+        entry) are returned with ``source`` set to ``"cache"`` /
+        ``"manifest"``; everything else is executed and recorded with
+        ``source="run"``.
+        """
+        records: Dict[str, JobRecord] = {}
+        to_run: List[JobSpec] = []
+        queued: set = set()
+        for job in jobs:
+            key = job.key()
+            if key in records or key in queued:
+                continue
+            shortcut = self._shortcut_record(job, key)
+            if shortcut is not None:
+                records[key] = shortcut
+                # Batch the manifest writes: a fully-resumed run would
+                # otherwise rewrite the whole file once per shortcut.
+                self._record_done(shortcut, save=False)
+            else:
+                queued.add(key)
+                to_run.append(job)
+        if records and self.manifest is not None:
+            self.manifest.save()
+
+        if to_run:
+            if self.workers == 0:
+                executed = self._run_inline(to_run)
+            else:
+                executed = self._run_pool(to_run)
+            records.update(executed)
+
+        return [records[job.key()] for job in jobs]
+
+    # -- shortcut paths --------------------------------------------------------
+
+    def _shortcut_record(self, job: JobSpec, key: str) -> Optional[JobRecord]:
+        """A terminal record available without executing ``job``, if any."""
+        if self.force:
+            return None
+        if self.manifest is not None and self.resume and self.manifest.is_complete(key):
+            record = self.manifest.records[key]
+            if record.report is None and self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    record.report = cached.get("report")
+            record.source = SOURCE_MANIFEST
+            self._emit("resumed", record)
+            return record
+        if self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None and cached.get("status") == "completed":
+                record = JobRecord.from_dict(cached)
+                record.source = SOURCE_CACHE
+                self._emit("cached", record)
+                return record
+        return None
+
+    # -- execution paths -------------------------------------------------------
+
+    def _run_inline(self, jobs: Sequence[JobSpec]) -> Dict[str, JobRecord]:
+        """In-process sequential execution (``workers=0``).
+
+        Timeouts need a killable process, so they are not enforced here — a
+        warning is emitted if any job requests one.
+        """
+        if any(job.timeout is not None for job in jobs):
+            warnings.warn(
+                "per-job timeouts are not enforced on the in-process path "
+                "(workers=0); use workers >= 1 for killable jobs",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        records: Dict[str, JobRecord] = {}
+        for job in jobs:
+            self._emit("start", self._pending_record(job))
+            record = JobRecord.from_dict(execute_payload(job.to_dict()))
+            records[record.key] = record
+            self._record_done(record)
+        return records
+
+    def _run_pool(self, jobs: Sequence[JobSpec]) -> Dict[str, JobRecord]:
+        """Process-per-job execution with up to :attr:`workers` in flight."""
+        pending: List[JobSpec] = list(jobs)
+        running: List[_Running] = []
+        records: Dict[str, JobRecord] = {}
+        try:
+            while pending or running:
+                while pending and len(running) < self.workers:
+                    running.append(self._start_worker(pending.pop(0)))
+                now = time.monotonic()
+                still_running: List[_Running] = []
+                for entry in running:
+                    record = self._poll_worker(entry, now)
+                    if record is None:
+                        still_running.append(entry)
+                    else:
+                        records[record.key] = record
+                        self._record_done(record)
+                running = still_running
+                if running:
+                    time.sleep(POLL_INTERVAL)
+        except BaseException:
+            for entry in running:
+                self._kill(entry.process)
+            raise
+        return records
+
+    def _start_worker(self, job: JobSpec) -> _Running:
+        channel = self._context.Queue()
+        process = self._context.Process(
+            target=worker_main, args=(job.to_dict(), channel), daemon=True
+        )
+        process.start()
+        self._emit("start", self._pending_record(job))
+        return _Running(
+            job=job,
+            key=job.key(),
+            process=process,
+            channel=channel,
+            started=time.monotonic(),
+        )
+
+    def _poll_worker(self, entry: _Running, now: float) -> Optional[JobRecord]:
+        """Terminal record of ``entry`` if it finished/expired, else ``None``."""
+        result: Optional[Dict[str, object]] = None
+        try:
+            result = entry.channel.get_nowait()
+        except queue_module.Empty:
+            result = None
+
+        if result is not None:
+            self._reap(entry.process)
+            record = JobRecord.from_dict(result)  # type: ignore[arg-type]
+            record.key = entry.key
+            return record
+
+        if entry.deadline_passed(now):
+            # The worker may have finished in the window since the poll above
+            # — drain once more before declaring the deadline missed.
+            try:
+                result = entry.channel.get(timeout=0.2)
+            except (queue_module.Empty, OSError, EOFError):
+                result = None
+            if result is not None:
+                self._reap(entry.process)
+                record = JobRecord.from_dict(result)  # type: ignore[arg-type]
+                record.key = entry.key
+                return record
+            self._kill(entry.process)
+            return JobRecord(
+                key=entry.key,
+                experiment=entry.job.experiment,
+                output=entry.job.output_stem,
+                seed=entry.job.seed,
+                status=STATUS_TIMEOUT,
+                source=SOURCE_RUN,
+                elapsed=now - entry.started,
+                error=f"job exceeded its {entry.job.timeout:.1f} s timeout and was killed",
+            )
+
+        if not entry.process.is_alive():
+            entry.process.join()
+            # The result may still be in flight through the queue's pipe even
+            # though the worker already exited — give it one grace read.
+            try:
+                result = entry.channel.get(timeout=0.2)
+            except (queue_module.Empty, OSError, EOFError):
+                result = None
+            if result is not None:
+                record = JobRecord.from_dict(result)  # type: ignore[arg-type]
+                record.key = entry.key
+                return record
+            # Died without reporting: crashed (segfault, os._exit, OOM kill).
+            return JobRecord(
+                key=entry.key,
+                experiment=entry.job.experiment,
+                output=entry.job.output_stem,
+                seed=entry.job.seed,
+                status=STATUS_FAILED,
+                source=SOURCE_RUN,
+                elapsed=now - entry.started,
+                error=f"worker exited without a result (exitcode {entry.process.exitcode})",
+            )
+        return None
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _pending_record(self, job: JobSpec) -> JobRecord:
+        return JobRecord(
+            key=job.key(),
+            experiment=job.experiment,
+            output=job.output_stem,
+            seed=job.seed,
+            status="running",
+        )
+
+    def _record_done(self, record: JobRecord, save: bool = True) -> None:
+        if record.source == SOURCE_RUN:
+            if self.cache is not None and record.ok:
+                self.cache.put(record.key, record.to_dict())
+            self._emit("done", record)
+        if self.manifest is not None:
+            self.manifest.update(record, save=save)
+
+    def _emit(self, event: str, record: JobRecord) -> None:
+        if self.on_event is not None:
+            self.on_event(event, record)
+
+    @classmethod
+    def _reap(cls, process: multiprocessing.process.BaseProcess) -> None:
+        """Collect a worker whose result has been read, with a bounded wait.
+
+        A driver that leaked a non-daemon thread would keep the process alive
+        after its result arrived; never block the scheduler on it — give it a
+        grace period, then kill it.
+        """
+        process.join(TERMINATE_GRACE)
+        if process.is_alive():
+            cls._kill(process)
+
+    @staticmethod
+    def _kill(process: multiprocessing.process.BaseProcess) -> None:
+        if not process.is_alive():
+            process.join()
+            return
+        process.terminate()
+        process.join(TERMINATE_GRACE)
+        if process.is_alive():
+            process.kill()
+            process.join()
+
+
+def run_jobs(
+    jobs: Sequence[JobSpec],
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    manifest: Optional[RunManifest] = None,
+    resume: bool = True,
+    force: bool = False,
+    on_event: Optional[EventCallback] = None,
+) -> List[JobRecord]:
+    """Convenience wrapper: build a :class:`ParallelRunner` and run ``jobs``."""
+    runner = ParallelRunner(
+        workers,
+        cache=cache,
+        manifest=manifest,
+        resume=resume,
+        force=force,
+        on_event=on_event,
+    )
+    return runner.run(jobs)

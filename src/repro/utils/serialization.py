@@ -8,6 +8,8 @@ and free of pickle security concerns.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Dict, Mapping, Union
 
@@ -42,6 +44,31 @@ def load_json(path: PathLike) -> Dict[str, Any]:
     """Read a JSON file written by :func:`save_json`."""
     with open(Path(path), "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def atomic_write_json(data: Mapping[str, Any], path: PathLike) -> Path:
+    """Write ``data`` to ``path`` as JSON via a temp file + atomic rename.
+
+    Readers never observe a truncated file: the record is complete or absent.
+    The temp file lives in the destination directory (same filesystem, so
+    ``os.replace`` is atomic) with a leading dot so directory scans can skip
+    in-flight writes; it is removed if anything fails before the rename.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".json")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(dict(data), handle, indent=2, sort_keys=True, default=_json_default)
+            handle.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def save_arrays(arrays: Mapping[str, np.ndarray], path: PathLike) -> Path:

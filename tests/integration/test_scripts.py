@@ -1,0 +1,230 @@
+"""End-to-end tests of the repository scripts (benchmark gate, run-all).
+
+Each script runs in a subprocess, exactly as CI invokes it.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS_DIR = Path(__file__).resolve().parents[2] / "scripts"
+
+
+def run_script(script: str, *arguments: str, expect_code: int = 0) -> subprocess.CompletedProcess:
+    command = [sys.executable, str(SCRIPTS_DIR / script), *arguments]
+    completed = subprocess.run(command, capture_output=True, text=True, timeout=600)
+    assert completed.returncode == expect_code, (
+        f"{script} exited with {completed.returncode} (expected {expect_code}):\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )
+    return completed
+
+
+def write_report(path: Path, timings: dict) -> Path:
+    path.write_text(json.dumps({"timings": timings}), encoding="utf-8")
+    return path
+
+
+@pytest.mark.integration
+class TestBenchCompare:
+    def test_identical_reports_pass(self, tmp_path):
+        timings = {"workload_s": 1.0, "speedup_x": 4.0}
+        baseline = write_report(tmp_path / "baseline.json", timings)
+        current = write_report(tmp_path / "current.json", timings)
+        completed = run_script(
+            "bench_compare.py", "--baseline", str(baseline), "--current", str(current)
+        )
+        assert "no regressions" in completed.stdout
+
+    def test_slower_timing_gates(self, tmp_path):
+        baseline = write_report(tmp_path / "baseline.json", {"workload_s": 1.0})
+        current = write_report(tmp_path / "current.json", {"workload_s": 2.0})
+        completed = run_script(
+            "bench_compare.py",
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            expect_code=1,
+        )
+        assert "workload_s" in completed.stderr
+
+    def test_lower_speedup_gates(self, tmp_path):
+        baseline = write_report(tmp_path / "baseline.json", {"speedup_x": 6.0})
+        current = write_report(tmp_path / "current.json", {"speedup_x": 2.0})
+        run_script(
+            "bench_compare.py",
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            expect_code=1,
+        )
+
+    def test_tolerance_absorbs_noise(self, tmp_path):
+        baseline = write_report(tmp_path / "baseline.json", {"workload_s": 1.0})
+        current = write_report(tmp_path / "current.json", {"workload_s": 1.4})
+        run_script(
+            "bench_compare.py", "--baseline", str(baseline), "--current", str(current)
+        )
+
+    def test_new_and_missing_metrics_do_not_gate(self, tmp_path):
+        baseline = write_report(tmp_path / "baseline.json", {"old_s": 1.0})
+        current = write_report(tmp_path / "current.json", {"new_s": 1.0})
+        completed = run_script(
+            "bench_compare.py", "--baseline", str(baseline), "--current", str(current)
+        )
+        assert "missing" in completed.stdout
+        assert "new" in completed.stdout
+
+    def test_update_writes_the_baseline(self, tmp_path):
+        current = write_report(tmp_path / "current.json", {"workload_s": 1.0})
+        baseline = tmp_path / "nested" / "baseline.json"
+        completed = run_script(
+            "bench_compare.py",
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            "--update",
+        )
+        assert "baseline updated" in completed.stdout
+        assert json.loads(baseline.read_text())["timings"] == {"workload_s": 1.0}
+
+    def test_missing_baseline_is_a_distinct_error(self, tmp_path):
+        current = write_report(tmp_path / "current.json", {"workload_s": 1.0})
+        completed = run_script(
+            "bench_compare.py",
+            "--baseline",
+            str(tmp_path / "absent.json"),
+            "--current",
+            str(current),
+            expect_code=2,
+        )
+        assert "no baseline" in completed.stderr
+
+    def test_calibration_normalizes_away_machine_speed(self, tmp_path):
+        # A uniformly slower machine (all timings and the calibration scale
+        # together) must not gate; a single genuinely slower metric must.
+        baseline = write_report(
+            tmp_path / "baseline.json", {"calibration_s": 0.01, "workload_s": 1.0}
+        )
+        slower_machine = write_report(
+            tmp_path / "slow.json", {"calibration_s": 0.04, "workload_s": 4.0}
+        )
+        completed = run_script(
+            "bench_compare.py", "--baseline", str(baseline), "--current", str(slower_machine)
+        )
+        assert "no regressions" in completed.stdout
+
+        real_regression = write_report(
+            tmp_path / "regressed.json", {"calibration_s": 0.01, "workload_s": 3.0}
+        )
+        run_script(
+            "bench_compare.py",
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(real_regression),
+            expect_code=1,
+        )
+
+    def test_ratio_tolerance_is_independent(self, tmp_path):
+        baseline = write_report(tmp_path / "baseline.json", {"speedup_x": 6.0})
+        current = write_report(tmp_path / "current.json", {"speedup_x": 2.0})
+        # 3x shrink fails the default tolerance but passes a wide ratio one.
+        run_script(
+            "bench_compare.py",
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            expect_code=1,
+        )
+        run_script(
+            "bench_compare.py",
+            "--baseline",
+            str(baseline),
+            "--current",
+            str(current),
+            "--ratio-tolerance",
+            "4.0",
+        )
+
+    def test_calibration_metric_itself_never_gates(self, tmp_path):
+        baseline = write_report(tmp_path / "baseline.json", {"calibration_s": 0.01})
+        current = write_report(tmp_path / "current.json", {"calibration_s": 0.09})
+        completed = run_script(
+            "bench_compare.py", "--baseline", str(baseline), "--current", str(current)
+        )
+        assert "reference" in completed.stdout
+
+    def test_committed_baseline_has_calibration(self):
+        baseline = SCRIPTS_DIR.parent / "benchmarks" / "baseline_smoke.json"
+        report = json.loads(baseline.read_text(encoding="utf-8"))
+        assert "calibration_s" in report["timings"]
+
+    def test_committed_baseline_is_loadable(self):
+        baseline = SCRIPTS_DIR.parent / "benchmarks" / "baseline_smoke.json"
+        report = json.loads(baseline.read_text(encoding="utf-8"))
+        assert "timings" in report and report["timings"]
+
+
+@pytest.mark.integration
+class TestRunAllExperiments:
+    def test_script_delegates_to_the_cli(self):
+        # The script is a flag-mapping wrapper over `repro run-all`; check
+        # the mapping without paying for a full suite run.
+        sys.path.insert(0, str(SCRIPTS_DIR))
+        try:
+            import run_all_experiments as script
+        finally:
+            sys.path.remove(str(SCRIPTS_DIR))
+        seen = {}
+
+        def fake_cli(cli_args):
+            seen["args"] = cli_args
+            return 0
+
+        original = script.cli_main
+        script.cli_main = fake_cli
+        try:
+            assert script.main(["--quick", "--workers", "3", "--no-cache"]) == 0
+        finally:
+            script.cli_main = original
+        args = seen["args"]
+        assert args[:3] == ["run-all", "--scale", "tiny"]
+        assert "--no-cache" in args
+        assert args[args.index("--workers") + 1] == "3"
+
+    def test_quick_subset_end_to_end(self, tmp_path):
+        # The script exposes no driver filter (it always runs the full
+        # suite), so keep this cheap by pointing the cache at a temp dir and
+        # running the two fastest drivers through the CLI equivalent instead.
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "run-all",
+            "--scale",
+            "tiny",
+            "--workers",
+            "2",
+            "--drivers",
+            "table1",
+            "table2",
+            "--out",
+            str(tmp_path / "results"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        completed = subprocess.run(command, capture_output=True, text=True, timeout=600)
+        assert completed.returncode == 0, completed.stderr
+        manifest = json.loads((tmp_path / "results" / "manifest.json").read_text())
+        assert len(manifest["jobs"]) == 2
+        assert all(job["status"] == "completed" for job in manifest["jobs"].values())

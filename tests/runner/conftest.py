@@ -1,0 +1,36 @@
+"""Shared fixtures for the runner test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.runner import JobSpec, ResultCache, RunManifest
+
+
+@pytest.fixture
+def micro_scale() -> ExperimentScale:
+    """The smallest valid scale — job payloads only, no real simulation."""
+    return ExperimentScale.tiny(
+        network_sizes=(8,),
+        class_sequence=(0, 1),
+        samples_per_task=2,
+        eval_samples_per_class=2,
+        nondynamic_checkpoints=(2,),
+        t_sim=30.0,
+    )
+
+
+@pytest.fixture
+def echo_job(micro_scale: ExperimentScale) -> JobSpec:
+    return JobSpec(experiment="repro.runner.testing:echo_driver", scale=micro_scale)
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture
+def manifest(tmp_path) -> RunManifest:
+    return RunManifest(tmp_path / "manifest.json")

@@ -1,0 +1,122 @@
+"""Tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import ResultCache
+from repro.runner.cache import CACHE_DIR_ENV, default_cache_root
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, cache):
+        record = {"status": "completed", "report": "hello", "elapsed": 1.5}
+        path = cache.put(KEY_A, record)
+        assert path.is_file()
+        assert cache.get(KEY_A) == record
+
+    def test_miss_returns_none(self, cache):
+        assert cache.get(KEY_A) is None
+
+    def test_two_level_fanout_layout(self, cache):
+        path = cache.put(KEY_A, {"status": "completed"})
+        assert path.parent.name == KEY_A[:2]
+        assert path.name == f"{KEY_A}.json"
+
+    def test_short_key_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.path_for("ab")
+
+    def test_no_temp_files_left_behind(self, cache):
+        cache.put(KEY_A, {"status": "completed"})
+        leftovers = list(cache.root.rglob(".tmp-*"))
+        assert leftovers == []
+
+
+class TestCorruption:
+    def test_truncated_record_is_a_miss_and_removed(self, cache):
+        path = cache.put(KEY_A, {"status": "completed"})
+        path.write_text('{"status": "comp', encoding="utf-8")
+        assert cache.get(KEY_A) is None
+        assert not path.exists()
+
+    def test_non_dict_record_is_a_miss(self, cache):
+        path = cache.put(KEY_A, {"status": "completed"})
+        path.write_text('["not", "a", "record"]', encoding="utf-8")
+        assert cache.get(KEY_A) is None
+
+    def test_non_utf8_record_is_a_miss_and_removed(self, cache):
+        path = cache.put(KEY_A, {"status": "completed"})
+        path.write_bytes(b"\xff\xfe garbage bytes")
+        assert cache.get(KEY_A) is None
+        assert not path.exists()
+
+    def test_leftover_temp_files_are_not_entries(self, cache):
+        cache.put(KEY_A, {"status": "completed"})
+        stray = cache.root / KEY_A[:2] / ".tmp-dead-writer.json"
+        stray.write_text("{", encoding="utf-8")
+        assert [key for key, _ in cache.iter_entries()] == [KEY_A]
+        assert cache.stats()["entries"] == 1
+
+    def test_foreign_short_named_files_are_not_entries(self, cache):
+        cache.put(KEY_A, {"status": "completed"})
+        (cache.root / KEY_A[:2] / "x.json").write_text("{}", encoding="utf-8")
+        assert [key for key, _ in cache.iter_entries()] == [KEY_A]
+
+
+class TestManagement:
+    def test_delete(self, cache):
+        cache.put(KEY_A, {"status": "completed"})
+        assert cache.delete(KEY_A) is True
+        assert cache.delete(KEY_A) is False
+
+    def test_undeletable_corrupt_record_is_still_a_miss(self, cache, monkeypatch):
+        from pathlib import Path
+
+        path = cache.put(KEY_A, {"status": "completed"})
+        path.write_text("{truncated", encoding="utf-8")
+        monkeypatch.setattr(
+            Path, "unlink", lambda self, **kw: (_ for _ in ()).throw(PermissionError())
+        )
+        assert cache.get(KEY_A) is None
+
+    def test_clear_sweeps_orphaned_temp_files(self, cache):
+        cache.put(KEY_A, {"status": "completed"})
+        stray = cache.root / KEY_A[:2] / ".tmp-dead-writer.json"
+        stray.write_text("{", encoding="utf-8")
+        assert cache.clear() == 1
+        assert not stray.exists()
+
+    def test_clear_and_stats(self, cache):
+        assert cache.stats()["entries"] == 0
+        cache.put(KEY_A, {"status": "completed"})
+        cache.put(KEY_B, {"status": "completed"})
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["bytes"] > 0
+        assert cache.clear() == 2
+        assert cache.stats()["entries"] == 0
+
+    def test_iter_entries_sorted(self, cache):
+        cache.put(KEY_B, {"status": "completed"})
+        cache.put(KEY_A, {"status": "completed"})
+        keys = [key for key, _ in cache.iter_entries()]
+        assert keys == [KEY_A, KEY_B]
+
+
+class TestDefaultRoot:
+    def test_env_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+
+    def test_falls_back_to_user_cache(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_root() == tmp_path / "xdg" / "repro" / "results"
+
+    def test_default_constructor_uses_default_root(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "viaenv"))
+        assert ResultCache().root == tmp_path / "viaenv"

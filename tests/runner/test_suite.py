@@ -1,0 +1,102 @@
+"""Tests for full-suite job construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.registry import EXPERIMENTS
+from repro.runner import (
+    SUITE_OVERRIDES,
+    build_suite,
+    default_scale_overrides,
+    scales_for_preset,
+)
+
+
+class TestScalesForPreset:
+    def test_every_family_covered(self):
+        for preset in ("tiny", "small", "paper"):
+            scales = scales_for_preset(preset)
+            assert set(scales) == {"accuracy", "energy", "sweep", "static"}
+
+    def test_tiny_energy_uses_paper_image_size(self):
+        scales = scales_for_preset("tiny")
+        assert scales["energy"].image_size == 28
+        assert scales["accuracy"].image_size == 14
+
+    def test_seed_propagates_to_every_scale(self):
+        scales = scales_for_preset("tiny", seed=9)
+        assert all(scale.seed == 9 for scale in scales.values())
+
+    def test_paper_networks_switch(self):
+        assert scales_for_preset("small")["energy"].network_sizes == (100, 200)
+        small = scales_for_preset("small", paper_networks=True)
+        assert small["energy"].network_sizes == (200, 400)
+
+    def test_sweep_uses_largest_accuracy_network(self):
+        scales = scales_for_preset("tiny")
+        assert scales["sweep"].network_sizes == (max(scales["accuracy"].network_sizes),)
+
+    def test_sweep_runs_on_the_full_digit_set(self):
+        # The sweep drivers (fig6, ablation) have always used all ten digits
+        # regardless of the accuracy preset's task sequence.
+        for preset in ("tiny", "small", "paper"):
+            assert scales_for_preset(preset)["sweep"].class_sequence == tuple(range(10))
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale preset"):
+            scales_for_preset("huge")
+
+
+class TestBuildSuite:
+    def test_full_suite_covers_every_driver(self):
+        jobs = build_suite(scales_for_preset("tiny"))
+        assert [job.experiment for job in jobs] == list(EXPERIMENTS)
+
+    def test_suite_overrides_applied(self):
+        jobs = {job.experiment: job for job in build_suite(scales_for_preset("tiny"))}
+        for name, overrides in SUITE_OVERRIDES.items():
+            assert dict(jobs[name].overrides) == overrides
+
+    def test_subset_selection_preserves_registry_order(self):
+        jobs = build_suite(scales_for_preset("tiny"), experiments=["fig5", "table1"])
+        assert [job.experiment for job in jobs] == ["fig5", "table1"]
+
+    def test_unknown_driver_rejected(self):
+        with pytest.raises(KeyError, match="fig99"):
+            build_suite(scales_for_preset("tiny"), experiments=["fig99"])
+
+    def test_timeout_applied_to_every_job(self):
+        jobs = build_suite(scales_for_preset("tiny"), timeout=120.0)
+        assert all(job.timeout == 120.0 for job in jobs)
+
+    def test_scale_override_wins_over_family(self):
+        special = ExperimentScale.tiny(image_size=16)
+        jobs = {
+            job.experiment: job
+            for job in build_suite(
+                scales_for_preset("tiny"), scale_overrides={"fig1": special}
+            )
+        }
+        assert jobs["fig1"].scale == special
+        assert jobs["fig9-dynamic"].scale != special
+
+    def test_job_keys_are_unique(self):
+        jobs = build_suite(scales_for_preset("tiny"))
+        keys = [job.key() for job in jobs]
+        assert len(keys) == len(set(keys))
+
+
+class TestDefaultScaleOverrides:
+    def test_tiny_has_no_exceptions(self):
+        assert default_scale_overrides("tiny", scales_for_preset("tiny")) == {}
+
+    def test_small_moves_fig1_to_energy_networks(self):
+        scales = scales_for_preset("small")
+        overrides = default_scale_overrides("small", scales)
+        assert set(overrides) == {"fig1"}
+        fig1 = overrides["fig1"]
+        assert fig1.network_sizes == scales["energy"].network_sizes
+        assert fig1.image_size == scales["energy"].image_size
+        assert fig1.class_sequence == scales["accuracy"].class_sequence

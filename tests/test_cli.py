@@ -14,7 +14,7 @@ class TestParser:
                              if hasattr(action, "choices") and action.choices]
         commands = set(subparser_actions[0].choices)
         assert commands == {"info", "train", "evaluate", "search", "energy",
-                            "reproduce"}
+                            "reproduce", "run-all", "cache"}
 
     def test_reproduce_knows_every_driver(self):
         assert set(EXPERIMENT_DRIVERS) == {
@@ -151,3 +151,122 @@ class TestEvalBatchSizeFlag:
         with pytest.raises(SystemExit):
             main(["train", "--eval-batch-size", "0"])
         assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestRunnerCommands:
+    def test_reproduce_through_the_runner(self, tmp_path, capsys):
+        exit_code = main([
+            "reproduce", "table1", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert exit_code == 0
+        assert "Jetson Nano" in capsys.readouterr().out
+
+    def test_reproduce_worker_failure_exits_nonzero(self, tmp_path, capsys):
+        # A hanging job with a tiny timeout is recorded as timed out.
+        from repro.experiments.common import ExperimentScale
+        from repro.runner import JobSpec, ParallelRunner
+
+        job = JobSpec(
+            experiment="repro.runner.testing:hanging_driver",
+            scale=ExperimentScale.tiny(),
+            timeout=1.0,
+        )
+        record = ParallelRunner(1).run([job])[0]
+        assert record.status == "timeout"
+
+    def test_run_all_workers_zero_runs_in_process(self, tmp_path, capsys):
+        exit_code = main([
+            "run-all", "--scale", "tiny", "--workers", "0",
+            "--drivers", "table1", "--out", str(tmp_path / "out"),
+            "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert exit_code == 0
+        assert (tmp_path / "out" / "table1_gpu_specs.txt").is_file()
+
+    def test_run_all_subset_writes_reports_and_manifest(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        exit_code = main([
+            "run-all", "--scale", "tiny", "--workers", "2",
+            "--drivers", "table1", "fig5",
+            "--out", str(out_dir), "--cache-dir", str(tmp_path / "cache"),
+        ])
+        assert exit_code == 0
+        assert (out_dir / "table1_gpu_specs.txt").is_file()
+        assert (out_dir / "fig05_analytical_models.txt").is_file()
+        assert (out_dir / "manifest.json").is_file()
+        output = capsys.readouterr().out
+        assert "2/2 experiments completed" in output
+
+    def test_run_all_second_invocation_hits_cache(self, tmp_path, capsys):
+        args = [
+            "run-all", "--scale", "tiny", "--workers", "1",
+            "--drivers", "table1",
+            "--out", str(tmp_path / "r1"), "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        args[8] = str(tmp_path / "r2")  # fresh out dir, same cache
+        assert main(args) == 0
+        assert "cache" in capsys.readouterr().out
+
+    def test_cache_info_list_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "run-all", "--scale", "tiny", "--workers", "1",
+            "--drivers", "table1", "--out", str(tmp_path / "out"),
+            "--cache-dir", cache_dir,
+        ]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+        assert "entries    : 1" in capsys.readouterr().out
+
+        assert main(["cache", "list", "--cache-dir", cache_dir]) == 0
+        assert "table1" in capsys.readouterr().out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+        assert main(["cache", "list", "--cache-dir", cache_dir]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_run_all_no_cache_resume_keeps_reports_and_succeeds(self, tmp_path, capsys):
+        # With caching disabled, a resumed run serves completed jobs from the
+        # manifest without report text; reports were already written when the
+        # jobs first completed, and the resumed run must still exit 0.
+        out_dir = tmp_path / "results"
+        args = [
+            "run-all", "--scale", "tiny", "--workers", "1",
+            "--drivers", "table1", "--out", str(out_dir), "--no-cache",
+        ]
+        assert main(args) == 0
+        report = out_dir / "table1_gpu_specs.txt"
+        assert report.is_file()
+        first_contents = report.read_text(encoding="utf-8")
+        capsys.readouterr()
+
+        assert main(args) == 0
+        assert "manifest" in capsys.readouterr().out
+        assert report.read_text(encoding="utf-8") == first_contents
+
+    def test_run_all_warns_when_resumed_reports_are_unrecoverable(self, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        args = [
+            "run-all", "--scale", "tiny", "--workers", "1",
+            "--drivers", "table1", "--out", str(out_dir), "--no-cache",
+        ]
+        assert main(args) == 0
+        (out_dir / "table1_gpu_specs.txt").unlink()
+        capsys.readouterr()
+
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert "no report text available" in captured.err
+        assert "table1_gpu_specs" in captured.err
+
+    def test_reproduce_warns_about_ignored_runner_flags(self, capsys):
+        assert main(["reproduce", "table1", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "Jetson Nano" in captured.out
+        assert "--no-cache" in captured.err and "--workers" in captured.err
