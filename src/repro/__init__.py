@@ -30,7 +30,9 @@ from repro.models.asp_model import ASPModel
 from repro.models.diehl_cook import DiehlCookModel
 from repro.models.spikedyn_model import SpikeDynModel
 
-__version__ = "1.2.0"
+# Part of every content-addressed job key: bumping the version invalidates
+# the on-disk result cache by design.
+__version__ = "1.3.0"
 
 __all__ = [
     "ASPModel",

@@ -21,6 +21,9 @@ driven without writing Python:
 ``spikedyn-repro run-all``
     Run the full experiment suite through the parallel runner, with a
     resumable manifest and content-addressed result caching.
+``spikedyn-repro scenarios``
+    List the continual-learning scenario catalogue or run one scenario
+    through the continual-learning evaluation harness.
 ``spikedyn-repro cache``
     Inspect or clear the on-disk result cache.
 
@@ -44,7 +47,12 @@ from repro.datasets.synthetic_mnist import SyntheticDigits
 from repro.estimation.energy import EnergyModel
 from repro.estimation.hardware import default_devices, get_device
 from repro.evaluation.reporting import format_table
-from repro.experiments.common import MODEL_BUILDERS, ExperimentScale, build_model
+from repro.experiments.common import (
+    MODEL_BUILDERS,
+    MODEL_ORDER,
+    ExperimentScale,
+    build_model,
+)
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.runner import (
     JobRecord,
@@ -56,6 +64,7 @@ from repro.runner import (
     default_scale_overrides,
     scales_for_preset,
 )
+from repro.scenarios import SCENARIOS, get_scenario
 
 #: Experiment drivers exposed by ``spikedyn-repro reproduce`` (name -> report
 #: renderer), derived from the registry in :mod:`repro.experiments.registry`.
@@ -421,6 +430,46 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        if args.name is not None:
+            print("error: 'scenarios list' takes no scenario name",
+                  file=sys.stderr)
+            return 2
+        scale = SCALE_PRESETS[args.scale](seed=args.seed)
+        rows = []
+        for name in SCENARIOS:
+            spec = get_scenario(name, scale)
+            transforms = ", ".join(t["kind"] for t in spec.transforms) or "-"
+            rows.append([name, spec.schedule["kind"], len(spec.phases()),
+                         transforms, spec.description])
+        print(format_table(
+            ["scenario", "schedule", "phases", "transforms", "description"], rows
+        ))
+        return 0
+
+    # action == "run"
+    from repro.experiments.scenarios import run_scenario_study
+
+    if args.name is None:
+        print("error: 'scenarios run' needs a scenario name "
+              f"(known: {', '.join(SCENARIOS)})", file=sys.stderr)
+        return 2
+    scale = SCALE_PRESETS[args.scale](seed=args.seed)
+    models = tuple(args.models) if args.models else MODEL_ORDER
+    # Validate the name up front so only the unknown-scenario case is
+    # reported as a usage error; a KeyError raised inside the study itself
+    # is a library bug and should traceback normally.
+    try:
+        get_scenario(args.name, scale)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    result = run_scenario_study(scale, scenario=args.name, models=models)
+    print(result.to_text())
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "info":
@@ -551,6 +600,27 @@ def build_parser() -> argparse.ArgumentParser:
                               "resuming from it")
     _add_runner_arguments(run_all)
     run_all.set_defaults(handler=_cmd_run_all)
+
+    scenarios = subparsers.add_parser(
+        "scenarios",
+        help="list or run the continual-learning scenario catalogue",
+    )
+    scenarios.add_argument("action", choices=("list", "run"),
+                           help="list the catalogue or run one scenario")
+    # Validated in the handler rather than via argparse choices: the name is
+    # optional (only 'run' needs it), and the handler's error message can
+    # list the catalogue without argparse leaking a None sentinel into it.
+    scenarios.add_argument("name", nargs="?", default=None, metavar="SCENARIO",
+                           help="scenario to run (required for 'run'; see "
+                                "'scenarios list')")
+    scenarios.add_argument("--scale", choices=sorted(SCALE_PRESETS),
+                           default="tiny", help="experiment scale preset")
+    scenarios.add_argument("--seed", type=int, default=0,
+                           help="base seed of every stochastic component")
+    scenarios.add_argument("--models", nargs="+", default=None,
+                           choices=sorted(MODEL_BUILDERS), metavar="MODEL",
+                           help="comparison partners to run (default: all)")
+    scenarios.set_defaults(handler=_cmd_scenarios)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache"

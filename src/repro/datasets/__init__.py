@@ -19,6 +19,8 @@ from repro.datasets.streams import (
     StreamSample,
     dynamic_task_stream,
     nondynamic_stream,
+    normalize_task_schedule,
+    task_schedule_stream,
 )
 from repro.datasets.synthetic_mnist import SyntheticDigits
 
@@ -30,4 +32,6 @@ __all__ = [
     "load_digit_source",
     "load_mnist_idx",
     "nondynamic_stream",
+    "normalize_task_schedule",
+    "task_schedule_stream",
 ]

@@ -16,12 +16,16 @@ satisfy this interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
+
+#: One task of a task schedule: a single class or a group of classes that
+#: arrive together (see :func:`task_schedule_stream`).
+TaskClasses = Union[int, Sequence[int]]
 
 
 @dataclass
@@ -63,6 +67,11 @@ class ArrayDigitSource:
         labels = np.asarray(labels, dtype=int)
         if images.ndim != 3:
             raise ValueError(f"images must be 3-D (n, rows, cols), got {images.shape}")
+        if images.shape[0] == 0:
+            raise ValueError(
+                "the dataset is empty (zero images); a digit source needs at "
+                "least one labelled image per class it serves"
+            )
         if labels.shape != (images.shape[0],):
             raise ValueError(
                 f"labels must have shape ({images.shape[0]},), got {labels.shape}"
@@ -122,13 +131,89 @@ def dynamic_task_stream(
     generator = ensure_rng(rng)
     sequence = list(source.classes if class_sequence is None else class_sequence)
     if not sequence:
-        raise ValueError("class_sequence must not be empty")
+        raise ValueError(
+            "the task sequence is empty: pass a non-empty class_sequence or "
+            "use a digit source that serves at least one class"
+        )
 
     stream: List[StreamSample] = []
     for task_index, digit in enumerate(sequence):
         images = source.generate(int(digit), samples_per_task, rng=generator)
         for image in images:
             stream.append(StreamSample(image=image, label=int(digit),
+                                       task_index=task_index))
+    return stream
+
+
+def normalize_task_schedule(tasks: Sequence[TaskClasses]) -> List[Tuple[int, ...]]:
+    """Canonical form of a task schedule: one class tuple per task.
+
+    Accepts a mixture of bare class integers and class groups, so
+    ``[0, (1, 2), 3]`` describes three tasks where the middle task presents
+    classes 1 and 2 together.  Raises a clear :class:`ValueError` for an
+    empty schedule or an empty task instead of failing later with an
+    ``IndexError`` deep inside the stream builder.
+    """
+    schedule = list(tasks)
+    if not schedule:
+        raise ValueError(
+            "the task schedule is empty: a scenario needs at least one task"
+        )
+    normalized: List[Tuple[int, ...]] = []
+    for position, task in enumerate(schedule):
+        classes = (int(task),) if np.isscalar(task) else tuple(int(c) for c in task)
+        if not classes:
+            raise ValueError(
+                f"task {position} of the schedule has no classes; every task "
+                "must present at least one class"
+            )
+        normalized.append(classes)
+    return normalized
+
+
+def task_schedule_stream(
+    source,
+    tasks: Sequence[TaskClasses],
+    *,
+    samples_per_task: int = 10,
+    rng: SeedLike = None,
+) -> List[StreamSample]:
+    """Build a stream from an explicit task schedule (possibly multi-class).
+
+    Generalizes :func:`dynamic_task_stream`: each task is a *group* of
+    classes presented together, so ``tasks=[(0, 1), (2, 3)]`` yields a
+    class-incremental stream with two-class tasks.  Within a task the class
+    of every sample is drawn uniformly from the task's classes, so
+    multi-class tasks are internally shuffled (single-class tasks degenerate
+    to the paper's consecutive task changes).
+
+    Parameters
+    ----------
+    source:
+        Digit source (``generate(digit, n, rng)`` plus ``classes``).
+    tasks:
+        Task schedule; each entry is a class or a sequence of classes.
+        Tasks may repeat (recurring tasks get fresh ``task_index`` values
+        per occurrence — the index identifies the *position* in the
+        schedule, mirroring :func:`dynamic_task_stream`).
+    samples_per_task:
+        Number of samples presented for each task (equal for every task).
+    rng:
+        Seed or generator for the class and image draws.
+    """
+    check_positive_int(samples_per_task, "samples_per_task")
+    generator = ensure_rng(rng)
+    schedule = normalize_task_schedule(tasks)
+
+    stream: List[StreamSample] = []
+    for task_index, classes in enumerate(schedule):
+        if len(classes) == 1:
+            labels = np.full(samples_per_task, classes[0])
+        else:
+            labels = generator.choice(list(classes), size=samples_per_task)
+        for label in labels:
+            image = source.generate(int(label), 1, rng=generator)[0]
+            stream.append(StreamSample(image=image, label=int(label),
                                        task_index=task_index))
     return stream
 

@@ -13,6 +13,7 @@ function of the number of randomly-ordered training samples).
 """
 
 from repro.evaluation.confusion import confusion_matrix
+from repro.evaluation.continual import ContinualResult, run_scenario_protocol
 from repro.evaluation.labeling import assign_neuron_labels, predict_from_responses
 from repro.evaluation.metrics import accuracy, mean_accuracy, per_class_accuracy
 from repro.evaluation.protocols import (
@@ -24,6 +25,7 @@ from repro.evaluation.protocols import (
 from repro.evaluation.reporting import format_table, normalize_to
 
 __all__ = [
+    "ContinualResult",
     "DynamicProtocolResult",
     "NonDynamicProtocolResult",
     "accuracy",
@@ -36,4 +38,5 @@ __all__ = [
     "predict_from_responses",
     "run_dynamic_protocol",
     "run_nondynamic_protocol",
+    "run_scenario_protocol",
 ]

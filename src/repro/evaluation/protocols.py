@@ -100,15 +100,25 @@ class NonDynamicProtocolResult:
         return self.accuracy_at_checkpoint[self.checkpoints[-1]]
 
 
-def _evaluation_sets(source, classes: Sequence[int], samples_per_class: int,
-                     rng) -> Tuple[Dict[int, np.ndarray], Dict[int, np.ndarray]]:
-    """Per-class assignment and evaluation image sets (kept disjoint)."""
+def draw_evaluation_sets(
+    source, classes: Sequence[int], samples_per_class: int, rng
+) -> Tuple[Dict[int, np.ndarray], Dict[int, np.ndarray]]:
+    """Per-class assignment and evaluation image sets (drawn separately).
+
+    Shared by the paper protocols here and the continual-learning harness
+    (:mod:`repro.evaluation.continual`) so both evaluate models on
+    identically-constructed sets.
+    """
     assignment: Dict[int, np.ndarray] = {}
     evaluation: Dict[int, np.ndarray] = {}
     for cls in classes:
         assignment[cls] = source.generate(int(cls), samples_per_class, rng=rng)
         evaluation[cls] = source.generate(int(cls), samples_per_class, rng=rng)
     return assignment, evaluation
+
+
+# Backwards-compatible private alias (pre-1.3 name).
+_evaluation_sets = draw_evaluation_sets
 
 
 def _assign_from_sets(model, assignment: Dict[int, np.ndarray],

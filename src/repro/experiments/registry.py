@@ -33,6 +33,12 @@ from repro.experiments.fig09_accuracy import (
 )
 from repro.experiments.fig10_confusion import run_confusion_study
 from repro.experiments.fig11_energy import run_energy_comparison
+from repro.experiments.scenarios import (
+    run_class_incremental_scenario,
+    run_corrupted_scenario,
+    run_drift_scenario,
+    run_recurring_scenario,
+)
 from repro.experiments.table1_gpus import gpu_specification_table
 from repro.experiments.table2_latency import run_processing_time_study
 
@@ -239,6 +245,42 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             family="sweep",
             runner=run_mechanism_ablation,
             schema=("scale", "device", "variants"),
+        ),
+        # Scenario experiments go beyond the paper's two stock streams: they
+        # run the comparison partners through the continual-learning workload
+        # catalogue of repro.scenarios and report accuracy-matrix/forgetting
+        # metrics (repro.evaluation.continual).
+        ExperimentSpec(
+            name="scen-classinc",
+            artifact="Scenario — class-incremental arrival (two-class tasks)",
+            output="scenario_class_incremental",
+            family="accuracy",
+            runner=run_class_incremental_scenario,
+            schema=("scale", "scenario", "results"),
+        ),
+        ExperimentSpec(
+            name="scen-recurring",
+            artifact="Scenario — recurring/interleaved tasks",
+            output="scenario_recurring",
+            family="accuracy",
+            runner=run_recurring_scenario,
+            schema=("scale", "scenario", "results"),
+        ),
+        ExperimentSpec(
+            name="scen-drift",
+            artifact="Scenario — gradual concept drift",
+            output="scenario_label_drift",
+            family="accuracy",
+            runner=run_drift_scenario,
+            schema=("scale", "scenario", "results"),
+        ),
+        ExperimentSpec(
+            name="scen-corrupt",
+            artifact="Scenario — corrupted inputs (noise + occlusion)",
+            output="scenario_corrupted",
+            family="accuracy",
+            runner=run_corrupted_scenario,
+            schema=("scale", "scenario", "results"),
         ),
     )
 }

@@ -1,0 +1,49 @@
+"""Composable continual-learning scenarios.
+
+This package turns the repository's two stock streams (strict
+task-incremental and i.i.d. shuffled — :mod:`repro.datasets.streams`) into a
+whole workload axis: declarative :class:`ScenarioSpec` objects compose a task
+*schedule* (class-incremental arrival, recurring/interleaved tasks, i.i.d.
+mixtures) with a chain of stream *transforms* (gradual and abrupt label
+drift, Gaussian noise, occlusion, contrast changes, class imbalance).  Every
+scenario is fully seed-deterministic, so scenario experiments flow through
+the parallel runner's content-addressed result cache like any other driver.
+
+The named catalogue lives in :data:`SCENARIOS`; the continual-learning
+metrics the scenarios are evaluated with live in
+:mod:`repro.evaluation.continual`.
+"""
+
+from repro.scenarios.spec import (
+    SCENARIOS,
+    Phase,
+    ScenarioSpec,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.transforms import (
+    TRANSFORMS,
+    ClassImbalance,
+    ContrastScale,
+    GaussianNoise,
+    LabelDrift,
+    Occlusion,
+    StreamTransform,
+    build_transform,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "TRANSFORMS",
+    "ClassImbalance",
+    "ContrastScale",
+    "GaussianNoise",
+    "LabelDrift",
+    "Occlusion",
+    "Phase",
+    "ScenarioSpec",
+    "StreamTransform",
+    "build_transform",
+    "get_scenario",
+    "scenario_names",
+]

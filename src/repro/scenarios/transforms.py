@@ -1,0 +1,283 @@
+"""Composable stream transforms for continual-learning scenarios.
+
+A transform maps one task stream (a list of
+:class:`~repro.datasets.streams.StreamSample`) to another.  Transforms never
+mutate the input stream or its images; each returns a fresh list with fresh
+image arrays, so a built scenario can be replayed or re-transformed safely.
+
+Every transform is a small frozen dataclass with an
+``apply(stream, source, rng) -> List[StreamSample]`` method:
+
+* ``stream`` is the incoming task stream;
+* ``source`` is the digit source the stream was drawn from (only the label
+  drift needs it, to regenerate images for drifted classes);
+* ``rng`` is the scenario's random generator — transforms draw from it in
+  stream order, so a fixed seed yields a bit-identical stream.
+
+Transforms are declared by name in a :class:`~repro.scenarios.spec.
+ScenarioSpec` and instantiated through :func:`build_transform`; their
+parameters are plain JSON values so a spec can travel through the parallel
+runner's content-addressed job keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, List, Mapping, Tuple, Type
+
+import numpy as np
+
+from repro.datasets.streams import StreamSample
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Valid intensity range of every image in a (possibly corrupted) stream.
+INTENSITY_RANGE: Tuple[float, float] = (0.0, 1.0)
+
+
+def _copy_sample(sample: StreamSample, *, image=None, label=None) -> StreamSample:
+    """Fresh :class:`StreamSample` with selected fields replaced."""
+    return StreamSample(
+        image=np.array(sample.image if image is None else image, dtype=float),
+        label=int(sample.label if label is None else label),
+        task_index=sample.task_index,
+    )
+
+
+def _clip(image: np.ndarray) -> np.ndarray:
+    """Clip an image into the valid intensity range."""
+    low, high = INTENSITY_RANGE
+    return np.clip(image, low, high)
+
+
+@dataclass(frozen=True)
+class StreamTransform:
+    """Base class of every scenario transform (name + apply contract)."""
+
+    #: Registry name of the transform kind; set by each subclass.
+    kind = "base"
+
+    def apply(self, stream: List[StreamSample], source, rng) -> List[StreamSample]:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe declaration (``kind`` plus the dataclass fields)."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        data.update(asdict(self))
+        return data
+
+
+@dataclass(frozen=True)
+class GaussianNoise(StreamTransform):
+    """Additive Gaussian pixel noise, clipped back into the intensity range.
+
+    Parameters
+    ----------
+    sigma:
+        Standard deviation of the noise in intensity units.
+    """
+
+    sigma: float = 0.1
+    kind = "gaussian_noise"
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.sigma, "sigma")
+
+    def apply(self, stream, source, rng):
+        del source
+        out = []
+        for sample in stream:
+            noise = rng.normal(0.0, self.sigma, size=sample.image.shape)
+            out.append(_copy_sample(sample, image=_clip(sample.image + noise)))
+        return out
+
+
+@dataclass(frozen=True)
+class Occlusion(StreamTransform):
+    """Zero out a randomly placed square patch of each image.
+
+    Parameters
+    ----------
+    fraction:
+        Side length of the occluded square as a fraction of the image side
+        (0 disables the patch, 1 blanks the whole image).
+    """
+
+    fraction: float = 0.3
+    kind = "occlusion"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must lie in [0, 1], got {self.fraction}")
+
+    def apply(self, stream, source, rng):
+        del source
+        out = []
+        for sample in stream:
+            image = np.array(sample.image, dtype=float)
+            side = int(round(self.fraction * min(image.shape)))
+            if side > 0:
+                row = int(rng.integers(0, image.shape[0] - side + 1))
+                col = int(rng.integers(0, image.shape[1] - side + 1))
+                image[row:row + side, col:col + side] = 0.0
+            out.append(_copy_sample(sample, image=image))
+        return out
+
+
+@dataclass(frozen=True)
+class ContrastScale(StreamTransform):
+    """Rescale image contrast around the mid-intensity point.
+
+    Parameters
+    ----------
+    factor:
+        Contrast multiplier; values below 1 wash the image out, values above
+        1 saturate it (the result is clipped into the intensity range).
+    """
+
+    factor: float = 0.5
+    kind = "contrast"
+
+    def __post_init__(self) -> None:
+        check_positive(self.factor, "factor")
+
+    def apply(self, stream, source, rng):
+        del source, rng
+        midpoint = 0.5 * (INTENSITY_RANGE[0] + INTENSITY_RANGE[1])
+        return [
+            _copy_sample(
+                sample,
+                image=_clip(midpoint + self.factor * (sample.image - midpoint)),
+            )
+            for sample in stream
+        ]
+
+
+@dataclass(frozen=True)
+class LabelDrift(StreamTransform):
+    """Gradual or abrupt concept drift from one class to another.
+
+    Samples whose label is a key of ``mapping`` are replaced — label *and*
+    image — by a freshly drawn sample of the mapped class with probability
+    ramping from 0 at ``start`` to 1 at ``end`` (positions are fractions of
+    the stream).  ``start == end`` gives an abrupt switch at that point;
+    ``start < end`` gives a linear ramp (gradual drift).
+
+    Parameters
+    ----------
+    mapping:
+        ``{old_class: new_class}`` drift targets (JSON object keys are
+        strings, so string keys are accepted and coerced).
+    start, end:
+        Drift window as fractions of the stream length, ``0 <= start <=
+        end <= 1``.
+    """
+
+    mapping: Mapping[Any, int] = None  # type: ignore[assignment]
+    start: float = 0.5
+    end: float = 0.5
+    kind = "label_drift"
+
+    def __post_init__(self) -> None:
+        if not self.mapping:
+            raise ValueError("mapping must contain at least one old -> new class")
+        if not 0.0 <= self.start <= self.end <= 1.0:
+            raise ValueError(
+                f"need 0 <= start <= end <= 1, got start={self.start} end={self.end}"
+            )
+        # Freeze a canonical int -> int copy (JSON round-trips keys as str).
+        canonical = {int(key): int(value) for key, value in dict(self.mapping).items()}
+        object.__setattr__(self, "mapping", canonical)
+
+    def _drift_probability(self, position: float) -> float:
+        """Probability that a sample at stream fraction ``position`` drifts."""
+        if position < self.start:
+            return 0.0
+        if position >= self.end:
+            return 1.0
+        return (position - self.start) / (self.end - self.start)
+
+    def apply(self, stream, source, rng):
+        out = []
+        n = max(len(stream) - 1, 1)
+        for index, sample in enumerate(stream):
+            target = self.mapping.get(int(sample.label))
+            if target is not None and rng.random() < self._drift_probability(index / n):
+                image = source.generate(int(target), 1, rng=rng)[0]
+                out.append(_copy_sample(sample, image=image, label=target))
+            else:
+                out.append(_copy_sample(sample))
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        # JSON object keys must be strings; from_dict coerces them back.
+        data["mapping"] = {str(key): value for key, value in self.mapping.items()}
+        return data
+
+
+@dataclass(frozen=True)
+class ClassImbalance(StreamTransform):
+    """Subsample classes to the given keep probabilities.
+
+    Parameters
+    ----------
+    keep:
+        ``{class: probability}`` of keeping each sample of that class;
+        classes not listed are always kept.  At least one sample of the
+        stream always survives (the stream is never emptied).
+    """
+
+    keep: Mapping[Any, float] = None  # type: ignore[assignment]
+    kind = "class_imbalance"
+
+    def __post_init__(self) -> None:
+        if not self.keep:
+            raise ValueError("keep must contain at least one class probability")
+        canonical = {int(key): float(value) for key, value in dict(self.keep).items()}
+        for cls, probability in canonical.items():
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"keep probability of class {cls} must lie in [0, 1], "
+                    f"got {probability}"
+                )
+        object.__setattr__(self, "keep", canonical)
+
+    def apply(self, stream, source, rng):
+        del source
+        out = []
+        for sample in stream:
+            probability = self.keep.get(int(sample.label), 1.0)
+            if rng.random() < probability:
+                out.append(_copy_sample(sample))
+        if not out and stream:
+            out.append(_copy_sample(stream[0]))
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["keep"] = {str(key): value for key, value in self.keep.items()}
+        return data
+
+
+#: Transform kinds instantiable from a declarative spec.
+TRANSFORMS: Dict[str, Type[StreamTransform]] = {
+    cls.kind: cls
+    for cls in (GaussianNoise, Occlusion, ContrastScale, LabelDrift, ClassImbalance)
+}
+
+
+def build_transform(declaration: Mapping[str, Any]) -> StreamTransform:
+    """Instantiate a transform from its ``{"kind": ..., **params}`` form."""
+    data = dict(declaration)
+    kind = data.pop("kind", None)
+    if kind not in TRANSFORMS:
+        known = ", ".join(sorted(TRANSFORMS))
+        raise ValueError(f"unknown transform kind {kind!r}; known kinds: {known}")
+    cls = TRANSFORMS[kind]
+    allowed = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {', '.join(unknown)} for transform {kind!r}"
+        )
+    return cls(**data)

@@ -35,6 +35,19 @@ def tiny_source() -> SyntheticDigits:
 
 
 @pytest.fixture
+def micro_scale() -> ExperimentScale:
+    """The smallest valid scale — used for job payloads and cheap drivers."""
+    return ExperimentScale.tiny(
+        network_sizes=(8,),
+        class_sequence=(0, 1),
+        samples_per_task=2,
+        eval_samples_per_class=2,
+        nondynamic_checkpoints=(2,),
+        t_sim=30.0,
+    )
+
+
+@pytest.fixture
 def tiny_scale() -> ExperimentScale:
     """The smallest experiment scale used by the experiment-driver tests."""
     return ExperimentScale.tiny(

@@ -10,6 +10,8 @@ from repro.datasets.streams import (
     StreamSample,
     dynamic_task_stream,
     nondynamic_stream,
+    normalize_task_schedule,
+    task_schedule_stream,
 )
 from repro.datasets.synthetic_mnist import SyntheticDigits
 
@@ -48,8 +50,15 @@ class TestDynamicTaskStream:
         assert all(sample.image.shape == (8, 8) for sample in stream)
 
     def test_empty_sequence_rejected(self, source):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="task sequence is empty"):
             dynamic_task_stream(source, class_sequence=[], samples_per_task=2)
+
+    def test_single_task_stream(self, source):
+        """A one-task sequence is valid and yields exactly one task."""
+        stream = dynamic_task_stream(source, class_sequence=[7],
+                                     samples_per_task=3, rng=0)
+        assert [sample.label for sample in stream] == [7, 7, 7]
+        assert {sample.task_index for sample in stream} == {0}
 
     def test_invalid_sample_count_rejected(self, source):
         with pytest.raises(ValueError):
@@ -86,6 +95,60 @@ class TestNonDynamicStream:
     def test_invalid_sample_count_rejected(self, source):
         with pytest.raises(ValueError):
             nondynamic_stream(source, n_samples=0)
+
+
+class TestTaskScheduleStream:
+    def test_multi_class_tasks_share_one_task_index(self, source):
+        stream = task_schedule_stream(source, [(0, 1), (2, 3)],
+                                      samples_per_task=6, rng=0)
+        assert len(stream) == 12
+        first, second = stream[:6], stream[6:]
+        assert {s.task_index for s in first} == {0}
+        assert {s.task_index for s in second} == {1}
+        assert {s.label for s in first}.issubset({0, 1})
+        assert {s.label for s in second}.issubset({2, 3})
+
+    def test_bare_int_tasks_match_dynamic_stream_shape(self, source):
+        stream = task_schedule_stream(source, [3, 1], samples_per_task=2, rng=0)
+        assert [s.label for s in stream] == [3, 3, 1, 1]
+        assert [s.task_index for s in stream] == [0, 0, 1, 1]
+
+    def test_recurring_tasks_get_fresh_indices(self, source):
+        stream = task_schedule_stream(source, [0, 1, 0], samples_per_task=1, rng=0)
+        assert [s.task_index for s in stream] == [0, 1, 2]
+        assert [s.label for s in stream] == [0, 1, 0]
+
+    def test_seeded_schedules_are_reproducible(self, source):
+        a = task_schedule_stream(source, [(0, 1), (2,)], samples_per_task=4, rng=5)
+        b = task_schedule_stream(source, [(0, 1), (2,)], samples_per_task=4, rng=5)
+        assert [s.label for s in a] == [s.label for s in b]
+        for sample_a, sample_b in zip(a, b):
+            np.testing.assert_array_equal(sample_a.image, sample_b.image)
+
+    def test_empty_schedule_rejected(self, source):
+        with pytest.raises(ValueError, match="task schedule is empty"):
+            task_schedule_stream(source, [], samples_per_task=2)
+
+    def test_empty_task_rejected(self, source):
+        with pytest.raises(ValueError, match="task 1 .* no classes"):
+            task_schedule_stream(source, [(0,), ()], samples_per_task=2)
+
+    def test_invalid_sample_count_rejected(self, source):
+        with pytest.raises(ValueError):
+            task_schedule_stream(source, [(0,)], samples_per_task=0)
+
+
+class TestNormalizeTaskSchedule:
+    def test_mixed_ints_and_groups(self):
+        assert normalize_task_schedule([0, (1, 2), [3]]) == [(0,), (1, 2), (3,)]
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            normalize_task_schedule([])
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(ValueError, match="at least one class"):
+            normalize_task_schedule([[0], []])
 
 
 class TestArrayDigitSource:
@@ -131,6 +194,10 @@ class TestArrayDigitSource:
             ArrayDigitSource(np.zeros((4, 6)), np.zeros(4, dtype=int))
         with pytest.raises(ValueError):
             ArrayDigitSource(np.zeros((4, 6, 6)), np.zeros(3, dtype=int))
+
+    def test_empty_dataset_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="dataset is empty"):
+            ArrayDigitSource(np.zeros((0, 6, 6)), np.zeros(0, dtype=int))
 
     def test_works_with_the_dynamic_stream(self):
         source = self.make_source()

@@ -73,6 +73,17 @@ class TestExampleScripts:
         assert "Table II" in output
         assert "Jetson Nano" in output
 
+    def test_scenario_sweep(self):
+        output = run_example(
+            "scenario_sweep.py", "--scenarios", "class-incremental", "recurring",
+            "--models", "baseline", "spikedyn", "--classes", "0", "1", "2",
+            "--n-exc", "10", "--samples-per-task", "2", "--eval-per-class", "2",
+        )
+        assert "Continual-learning summary per scenario" in output
+        assert "avg_forgetting" in output
+        assert "Retention curve of task 0" in output
+        assert "recurring" in output
+
     def test_inspect_receptive_fields(self):
         output = run_example(
             "inspect_receptive_fields.py", "--classes", "0", "1",

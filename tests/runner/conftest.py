@@ -7,18 +7,8 @@ import pytest
 from repro.experiments.common import ExperimentScale
 from repro.runner import JobSpec, ResultCache, RunManifest
 
-
-@pytest.fixture
-def micro_scale() -> ExperimentScale:
-    """The smallest valid scale — job payloads only, no real simulation."""
-    return ExperimentScale.tiny(
-        network_sizes=(8,),
-        class_sequence=(0, 1),
-        samples_per_task=2,
-        eval_samples_per_class=2,
-        nondynamic_checkpoints=(2,),
-        t_sim=30.0,
-    )
+# The micro_scale fixture lives in the top-level tests/conftest.py: the
+# property tests of the job keys use it too.
 
 
 @pytest.fixture

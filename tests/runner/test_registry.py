@@ -30,6 +30,10 @@ class TestRegistry:
             "fig11",
             "alg1",
             "ablation",
+            "scen-classinc",
+            "scen-recurring",
+            "scen-drift",
+            "scen-corrupt",
         ]
 
     def test_specs_are_well_formed(self):

@@ -1,0 +1,176 @@
+"""Unit tests for the scenario stream transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.streams import StreamSample
+from repro.datasets.synthetic_mnist import SyntheticDigits
+from repro.scenarios.transforms import (
+    TRANSFORMS,
+    ClassImbalance,
+    ContrastScale,
+    GaussianNoise,
+    LabelDrift,
+    Occlusion,
+    build_transform,
+)
+
+
+@pytest.fixture
+def stream():
+    rng = np.random.default_rng(0)
+    return [
+        StreamSample(image=rng.random((8, 8)), label=label, task_index=index)
+        for index, label in enumerate([0, 0, 1, 1, 2, 2])
+    ]
+
+
+@pytest.fixture
+def source():
+    return SyntheticDigits(image_size=8, seed=0)
+
+
+class TestGaussianNoise:
+    def test_changes_pixels_but_not_labels(self, stream):
+        out = GaussianNoise(sigma=0.2).apply(stream, None, np.random.default_rng(0))
+        assert [s.label for s in out] == [s.label for s in stream]
+        assert any(not np.array_equal(a.image, b.image)
+                   for a, b in zip(out, stream))
+
+    def test_zero_sigma_is_identity_on_clipped_images(self, stream):
+        out = GaussianNoise(sigma=0.0).apply(stream, None, np.random.default_rng(0))
+        for a, b in zip(out, stream):
+            np.testing.assert_array_equal(a.image, b.image)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(sigma=-0.1)
+
+
+class TestOcclusion:
+    def test_zeroes_a_patch(self, stream):
+        out = Occlusion(fraction=0.5).apply(stream, None, np.random.default_rng(0))
+        for sample in out:
+            assert (sample.image == 0.0).sum() >= 16  # a 4x4 patch of an 8x8
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            Occlusion(fraction=1.5)
+        with pytest.raises(ValueError):
+            Occlusion(fraction=-0.1)
+
+    def test_full_fraction_blanks_the_image(self, stream):
+        out = Occlusion(fraction=1.0).apply(stream, None, np.random.default_rng(0))
+        for sample in out:
+            assert sample.image.max() == 0.0
+
+
+class TestContrastScale:
+    def test_low_factor_compresses_toward_midpoint(self, stream):
+        out = ContrastScale(factor=0.1).apply(stream, None, None)
+        for sample in out:
+            assert sample.image.min() >= 0.4
+            assert sample.image.max() <= 0.6
+
+    def test_high_factor_saturates_within_range(self, stream):
+        out = ContrastScale(factor=10.0).apply(stream, None, None)
+        for sample in out:
+            assert sample.image.min() >= 0.0
+            assert sample.image.max() <= 1.0
+
+    def test_non_positive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            ContrastScale(factor=0.0)
+
+
+class TestLabelDrift:
+    def make_stream(self, n=40):
+        rng = np.random.default_rng(1)
+        return [StreamSample(image=rng.random((8, 8)), label=0, task_index=0)
+                for _ in range(n)]
+
+    def test_abrupt_drift_switches_at_the_split_point(self, source):
+        stream = self.make_stream(40)
+        drift = LabelDrift(mapping={0: 5}, start=0.5, end=0.5)
+        out = drift.apply(stream, source, np.random.default_rng(0))
+        labels = [s.label for s in out]
+        assert set(labels[:19]) == {0}
+        assert set(labels[20:]) == {5}
+
+    def test_gradual_drift_is_monotone_in_expectation(self, source):
+        stream = self.make_stream(300)
+        drift = LabelDrift(mapping={0: 5}, start=0.0, end=1.0)
+        out = drift.apply(stream, source, np.random.default_rng(0))
+        early = sum(1 for s in out[:100] if s.label == 5)
+        late = sum(1 for s in out[200:] if s.label == 5)
+        assert early < late
+
+    def test_drifted_samples_get_images_of_the_new_class(self, source):
+        # A drifted sample must not keep the old class's pixels: the drifted
+        # image is freshly drawn from the target class.
+        stream = [StreamSample(image=source.generate(0, 1, rng=7)[0],
+                               label=0, task_index=0) for _ in range(10)]
+        drift = LabelDrift(mapping={0: 5}, start=0.0, end=0.0)
+        out = drift.apply(stream, source, np.random.default_rng(0))
+        assert all(s.label == 5 for s in out)
+        assert all(not np.array_equal(a.image, b.image)
+                   for a, b in zip(out, stream))
+
+    def test_unmapped_classes_untouched(self, source):
+        stream = [StreamSample(image=np.zeros((8, 8)), label=3, task_index=0)]
+        out = LabelDrift(mapping={0: 5}, start=0.0, end=0.0).apply(
+            stream, source, np.random.default_rng(0)
+        )
+        assert out[0].label == 3
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            LabelDrift(mapping={0: 1}, start=0.8, end=0.2)
+        with pytest.raises(ValueError):
+            LabelDrift(mapping={}, start=0.0, end=1.0)
+
+    def test_string_keys_are_coerced(self):
+        drift = LabelDrift(mapping={"0": 1}, start=0.0, end=1.0)
+        assert drift.mapping == {0: 1}
+
+
+class TestClassImbalance:
+    def test_keep_probability_thins_one_class(self, stream):
+        imbalance = ClassImbalance(keep={0: 0.0})
+        out = imbalance.apply(stream, None, np.random.default_rng(0))
+        assert all(s.label != 0 for s in out)
+        assert sum(1 for s in out if s.label in (1, 2)) == 4
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            ClassImbalance(keep={0: 1.5})
+        with pytest.raises(ValueError):
+            ClassImbalance(keep={})
+
+
+class TestBuildTransform:
+    def test_every_registered_kind_round_trips(self):
+        declarations = {
+            "gaussian_noise": {"kind": "gaussian_noise", "sigma": 0.1},
+            "occlusion": {"kind": "occlusion", "fraction": 0.2},
+            "contrast": {"kind": "contrast", "factor": 0.7},
+            "label_drift": {"kind": "label_drift", "mapping": {"0": 1},
+                            "start": 0.1, "end": 0.9},
+            "class_imbalance": {"kind": "class_imbalance", "keep": {"0": 0.5}},
+        }
+        assert set(declarations) == set(TRANSFORMS)
+        for kind, declaration in declarations.items():
+            transform = build_transform(declaration)
+            assert transform.kind == kind
+            rebuilt = build_transform(transform.to_dict())
+            assert rebuilt == transform
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown transform kind"):
+            build_transform({"kind": "pixelate"})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            build_transform({"kind": "gaussian_noise", "stddev": 0.2})

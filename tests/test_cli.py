@@ -14,13 +14,14 @@ class TestParser:
                              if hasattr(action, "choices") and action.choices]
         commands = set(subparser_actions[0].choices)
         assert commands == {"info", "train", "evaluate", "search", "energy",
-                            "reproduce", "run-all", "cache"}
+                            "reproduce", "run-all", "scenarios", "cache"}
 
     def test_reproduce_knows_every_driver(self):
         assert set(EXPERIMENT_DRIVERS) == {
             "table1", "table2", "fig1", "fig4", "fig5", "fig6",
             "fig9-dynamic", "fig9-nondynamic", "fig10", "fig11",
             "alg1", "ablation",
+            "scen-classinc", "scen-recurring", "scen-drift", "scen-corrupt",
         }
 
     def test_scale_presets(self):
@@ -270,3 +271,37 @@ class TestRunnerCommands:
         captured = capsys.readouterr()
         assert "Jetson Nano" in captured.out
         assert "--no-cache" in captured.err and "--workers" in captured.err
+
+
+class TestScenariosCommand:
+    def test_list_prints_the_catalogue(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("class-incremental", "recurring", "label-drift",
+                     "corrupted", "imbalanced", "mixture"):
+            assert name in output
+        assert "schedule" in output and "transforms" in output
+
+    def test_run_prints_matrix_and_summary(self, capsys):
+        exit_code = main([
+            "scenarios", "run", "class-incremental",
+            "--models", "spikedyn", "--seed", "1",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "accuracy matrix of 'spikedyn'" in output
+        assert "avg_forgetting" in output
+        assert "bwt" in output and "fwt" in output
+
+    def test_run_without_a_name_is_an_error(self, capsys):
+        assert main(["scenarios", "run"]) == 2
+        assert "needs a scenario name" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_a_clear_error(self, capsys):
+        assert main(["scenarios", "run", "not-a-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "known scenarios" in err
+
+    def test_list_with_a_name_is_an_error(self, capsys):
+        assert main(["scenarios", "list", "recurring"]) == 2
+        assert "takes no scenario name" in capsys.readouterr().err
