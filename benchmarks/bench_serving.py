@@ -1,0 +1,109 @@
+"""Serving throughput: micro-batched replica pool vs per-request sequential.
+
+Drives the in-process serving stack (no HTTP, so the measurement isolates
+the batching win from socket noise) at concurrency 32 against two
+deployments of the same artifact:
+
+* **sequential** — ``max_batch=1``: every request is its own engine call,
+  the classic request-per-inference serving shape;
+* **micro-batched** — ``max_batch=32``: concurrent requests coalesce into
+  one ``Network.run_batch`` call.
+
+Both must return bit-identical predictions (each equal to the offline
+batched eval path), and the micro-batched deployment must be **>= 3x**
+faster — the acceptance criterion of the serving subsystem.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+
+from repro.core.config import SpikeDynConfig
+from repro.datasets.synthetic_mnist import SyntheticDigits
+from repro.models.spikedyn_model import SpikeDynModel
+from repro.serving import (
+    ReplicaPool,
+    load_artifact,
+    offline_predictions,
+    pool_sender,
+    run_load,
+)
+
+CONCURRENCY = 32
+N_REQUESTS = 64
+
+#: Throughput advantage micro-batching must demonstrate at concurrency 32.
+MIN_SPEEDUP = 3.0
+
+
+def _make_artifact_and_requests(tmp_dir: str, n_exc: int = 40,
+                                t_sim: float = 50.0):
+    config = SpikeDynConfig.scaled_down(n_input=196, n_exc=n_exc,
+                                        t_sim=t_sim, seed=0)
+    artifact = load_artifact(SpikeDynModel(config).save(tmp_dir))
+    source = SyntheticDigits(image_size=14, seed=0)
+    images = [np.asarray(image, dtype=float)
+              for image in source.generate(3, N_REQUESTS, rng=0)]
+    seeds = list(range(N_REQUESTS))
+    return artifact, images, seeds
+
+
+def _drive(artifact, images, seeds, max_batch: int):
+    # from_artifact builds an independent replica per worker, so this stays
+    # correct if the worker count is ever raised.
+    pool = ReplicaPool.from_artifact(artifact, workers=1,
+                                     max_batch=max_batch, max_wait_ms=5.0,
+                                     max_queue=4 * N_REQUESTS)
+    with pool:
+        return run_load(pool_sender(pool), images, seeds,
+                        concurrency=CONCURRENCY)
+
+
+def test_micro_batched_serving_speedup_at_c32():
+    """Micro-batching is >= 3x sequential serving and prediction-identical."""
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact, images, seeds = _make_artifact_and_requests(tmp)
+        reference = offline_predictions(artifact.build_model(), images, seeds)
+
+        sequential = _drive(artifact, images, seeds, max_batch=1)
+        batched = _drive(artifact, images, seeds, max_batch=CONCURRENCY)
+
+    assert sequential.errors == []
+    assert batched.errors == []
+    np.testing.assert_array_equal(sequential.predictions, reference)
+    np.testing.assert_array_equal(batched.predictions, reference)
+
+    speedup = batched.throughput_rps / sequential.throughput_rps
+    print(f"\nsequential {sequential.throughput_rps:8.1f} req/s   "
+          f"micro-batched {batched.throughput_rps:8.1f} req/s   "
+          f"speedup {speedup:4.1f}x "
+          f"(concurrency={CONCURRENCY}, n={N_REQUESTS})")
+    assert speedup >= MIN_SPEEDUP, (
+        f"micro-batched serving at concurrency {CONCURRENCY} is only "
+        f"{speedup:.1f}x faster than per-request sequential "
+        f"(required: >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_micro_batched_serving_timing(benchmark):
+    """pytest-benchmark timing of the micro-batched deployment."""
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact, images, seeds = _make_artifact_and_requests(tmp)
+        benchmark.pedantic(
+            lambda: _drive(artifact, images, seeds, max_batch=CONCURRENCY),
+            rounds=3,
+            iterations=1,
+        )
+
+
+def test_sequential_serving_timing(benchmark):
+    """pytest-benchmark timing of the per-request deployment (partner)."""
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact, images, seeds = _make_artifact_and_requests(tmp)
+        benchmark.pedantic(
+            lambda: _drive(artifact, images, seeds, max_batch=1),
+            rounds=3,
+            iterations=1,
+        )

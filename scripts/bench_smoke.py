@@ -100,6 +100,45 @@ def run_smoke(batch_size: int, repeats: int) -> Dict[str, object]:
 
     timings["training_stream_s"] = _time_best_of(training_stream, repeats)
 
+    # Serving: micro-batched replica pool vs per-request sequential serving
+    # under concurrent load (the in-process stack behind `repro serve`).
+    import tempfile
+
+    from repro.serving import ReplicaPool, load_artifact, pool_sender, run_load
+
+    # Two rounds of the image set amortize the fixed pool start-up cost, so
+    # the metric tracks the steady-state batching win, not thread creation.
+    serve_images = [np.asarray(image, dtype=float) for image in images] * 2
+    serve_seeds = list(range(len(serve_images)))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-") as tmp:
+        artifact = load_artifact(model.save(tmp))
+
+        def serve_with(max_batch: int) -> None:
+            # from_artifact gives every worker an independent replica.
+            pool = ReplicaPool.from_artifact(
+                artifact, workers=1, max_batch=max_batch, max_wait_ms=5.0,
+                max_queue=4 * len(serve_images),
+            )
+            with pool:
+                report = run_load(pool_sender(pool), serve_images,
+                                  serve_seeds,
+                                  concurrency=min(32, len(serve_images)))
+            if report.errors:  # pragma: no cover - invalidates the timing
+                raise RuntimeError(
+                    f"serving smoke failed: {report.errors[:3]}"
+                )
+
+        timings["serving_sequential_s"] = _time_best_of(
+            lambda: serve_with(1), repeats
+        )
+        timings["serving_batched_s"] = _time_best_of(
+            lambda: serve_with(batch_size), repeats
+        )
+    timings["serving_speedup_x"] = (
+        timings["serving_sequential_s"] / timings["serving_batched_s"]
+    )
+
     scale = ExperimentScale.tiny(network_sizes=(10,), class_sequence=(0, 1),
                                  samples_per_task=2, eval_samples_per_class=2,
                                  t_sim=30.0)

@@ -32,7 +32,7 @@ from repro.models.spikedyn_model import SpikeDynModel
 
 # Part of every content-addressed job key: bumping the version invalidates
 # the on-disk result cache by design.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ASPModel",

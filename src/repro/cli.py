@@ -24,6 +24,9 @@ driven without writing Python:
 ``spikedyn-repro scenarios``
     List the continual-learning scenario catalogue or run one scenario
     through the continual-learning evaluation harness.
+``spikedyn-repro serve``
+    Serve a saved model artifact over HTTP with micro-batched concurrent
+    inference (``POST /predict``, ``GET /healthz``, ``GET /metrics``).
 ``spikedyn-repro cache``
     Inspect or clear the on-disk result cache.
 
@@ -470,6 +473,59 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        ArtifactError,
+        ModelServer,
+        ReplicaPool,
+        SpikeCountDriftDetector,
+        load_artifact,
+    )
+
+    drift = SpikeCountDriftDetector(window=args.drift_window,
+                                    threshold=args.drift_threshold)
+    try:
+        artifact = load_artifact(args.artifact)
+        # Building the replicas can also fail with ArtifactError (e.g. the
+        # artifact names a model class this library does not know).
+        pool = ReplicaPool.from_artifact(
+            artifact,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            drift_detector=drift,
+        )
+    except ArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        server = ModelServer(pool, host=args.host, port=args.port,
+                             quiet=not args.verbose)
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    host, port = server.address
+    described = artifact.describe()
+    print(f"serving {described['model']} "
+          f"({described['n_input']}x{described['n_exc']}, "
+          f"schema v{described['schema_version']}) from {args.artifact}",
+          flush=True)
+    print(f"listening on http://{host}:{port} "
+          f"(workers={args.workers}, max_batch={args.max_batch}, "
+          f"max_wait_ms={args.max_wait_ms:g})", flush=True)
+    print("endpoints: POST /predict, GET /healthz, GET /metrics", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (draining pending requests) ...",
+              file=sys.stderr, flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "info":
@@ -621,6 +677,38 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=sorted(MODEL_BUILDERS), metavar="MODEL",
                            help="comparison partners to run (default: all)")
     scenarios.set_defaults(handler=_cmd_scenarios)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a saved model artifact over HTTP (micro-batched)",
+    )
+    serve.add_argument("artifact",
+                       help="artifact directory written by 'train --save' or "
+                            "an ArtifactRegistry version directory")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=_nonnegative_int, default=8080,
+                       help="bind port; 0 picks an ephemeral port")
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       help="replica worker threads, each owning an "
+                            "independent network copy")
+    serve.add_argument("--max-batch", type=_positive_int, default=32,
+                       help="largest micro-batch coalesced into one "
+                            "vectorized engine call")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="how long a forming micro-batch waits for "
+                            "stragglers (0 disables coalescing waits)")
+    serve.add_argument("--max-queue", type=_positive_int, default=1024,
+                       help="pending-request bound before 503 backpressure")
+    serve.add_argument("--drift-window", type=_positive_int, default=256,
+                       help="rolling window (requests) of the online "
+                            "spike-count drift detector")
+    serve.add_argument("--drift-threshold", type=float, default=3.0,
+                       help="drift alarm threshold in reference standard "
+                            "deviations")
+    serve.add_argument("--verbose", "-v", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(handler=_cmd_serve)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache"

@@ -14,7 +14,11 @@ function of the number of randomly-ordered training samples).
 
 from repro.evaluation.confusion import confusion_matrix
 from repro.evaluation.continual import ContinualResult, run_scenario_protocol
-from repro.evaluation.labeling import assign_neuron_labels, predict_from_responses
+from repro.evaluation.labeling import (
+    assign_neuron_labels,
+    class_scores,
+    predict_from_responses,
+)
 from repro.evaluation.metrics import accuracy, mean_accuracy, per_class_accuracy
 from repro.evaluation.protocols import (
     DynamicProtocolResult,
@@ -35,6 +39,7 @@ __all__ = [
     "mean_accuracy",
     "normalize_to",
     "per_class_accuracy",
+    "class_scores",
     "predict_from_responses",
     "run_dynamic_protocol",
     "run_nondynamic_protocol",

@@ -60,6 +60,50 @@ def assign_neuron_labels(responses: np.ndarray, labels: np.ndarray,
     return assignments
 
 
+def class_scores(responses: np.ndarray, assignments: np.ndarray,
+                 n_classes: int) -> np.ndarray:
+    """Per-class readout scores of each sample (mean member-neuron response).
+
+    This is the quantity :func:`predict_from_responses` argmaxes over; the
+    serving layer also reports it per request so clients can see the full
+    readout, not just the winning class.
+
+    Parameters
+    ----------
+    responses:
+        Spike-count responses of shape ``(n_samples, n_neurons)``.
+    assignments:
+        Per-neuron class assignments from :func:`assign_neuron_labels`.
+    n_classes:
+        Total number of classes.
+
+    Returns
+    -------
+    numpy.ndarray
+        Score matrix of shape ``(n_samples, n_classes)``; classes with no
+        assigned neurons score zero.
+    """
+    responses = np.asarray(responses, dtype=float)
+    assignments = np.asarray(assignments, dtype=int)
+    check_positive_int(n_classes, "n_classes")
+    if responses.ndim != 2:
+        raise ValueError(f"responses must be 2-D, got shape {responses.shape}")
+    if assignments.shape != (responses.shape[1],):
+        raise ValueError(
+            f"assignments must have shape ({responses.shape[1]},), "
+            f"got {assignments.shape}"
+        )
+
+    n_samples = responses.shape[0]
+    scores = np.zeros((n_samples, n_classes), dtype=float)
+    for cls in range(n_classes):
+        members = assignments == cls
+        count = int(members.sum())
+        if count:
+            scores[:, cls] = responses[:, members].sum(axis=1) / count
+    return scores
+
+
 def predict_from_responses(responses: np.ndarray, assignments: np.ndarray,
                            n_classes: int,
                            rng: Optional[np.random.Generator] = None) -> np.ndarray:
@@ -82,22 +126,4 @@ def predict_from_responses(responses: np.ndarray, assignments: np.ndarray,
     numpy.ndarray
         Predicted class per sample, shape ``(n_samples,)``.
     """
-    responses = np.asarray(responses, dtype=float)
-    assignments = np.asarray(assignments, dtype=int)
-    check_positive_int(n_classes, "n_classes")
-    if responses.ndim != 2:
-        raise ValueError(f"responses must be 2-D, got shape {responses.shape}")
-    if assignments.shape != (responses.shape[1],):
-        raise ValueError(
-            f"assignments must have shape ({responses.shape[1]},), "
-            f"got {assignments.shape}"
-        )
-
-    n_samples = responses.shape[0]
-    class_scores = np.zeros((n_samples, n_classes), dtype=float)
-    for cls in range(n_classes):
-        members = assignments == cls
-        count = int(members.sum())
-        if count:
-            class_scores[:, cls] = responses[:, members].sum(axis=1) / count
-    return np.argmax(class_scores, axis=1)
+    return np.argmax(class_scores(responses, assignments, n_classes), axis=1)

@@ -8,6 +8,9 @@ learning rule they plug into this class.
 
 from __future__ import annotations
 
+import dataclasses
+import json
+import zipfile
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -21,7 +24,13 @@ from repro.evaluation.metrics import accuracy as accuracy_metric
 from repro.snn.network import Network
 from repro.snn.simulation import OperationCounter
 from repro.utils.rng import ensure_rng
-from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
+from repro.utils.serialization import (
+    ArtifactError,
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+)
 
 PathLike = Union[str, Path]
 
@@ -31,6 +40,138 @@ N_CLASSES = 10
 #: Default number of samples advanced per vectorized engine step during
 #: evaluation (see :meth:`UnsupervisedDigitClassifier.respond_batch`).
 DEFAULT_EVAL_BATCH_SIZE = 32
+
+#: Version of the on-disk artifact layout written by
+#: :meth:`UnsupervisedDigitClassifier.save`.  Version 1 is the legacy layout
+#: (no ``schema_version`` field, no encoder spec, no shape validation on
+#: load); version 2 adds the self-describing metadata consumed by the
+#: serving subsystem (:mod:`repro.serving.artifacts`).
+ARTIFACT_SCHEMA_VERSION = 2
+
+#: JSON metadata file of a saved model artifact.
+ARTIFACT_METADATA_FILE = "model.json"
+
+#: Array archive of a saved model artifact.
+ARTIFACT_STATE_FILE = "state.npz"
+
+
+def read_artifact_dir(directory: PathLike):
+    """Read an artifact directory's ``(metadata, arrays, schema_version)``.
+
+    Shared by :meth:`UnsupervisedDigitClassifier.load_state` and
+    :func:`repro.serving.artifacts.load_artifact` so both surfaces map
+    missing/corrupt files and unsupported schema versions to the same
+    :class:`~repro.utils.serialization.ArtifactError`.
+    """
+    directory = Path(directory)
+    try:
+        arrays = load_arrays(directory / ARTIFACT_STATE_FILE)
+        metadata = load_json(directory / ARTIFACT_METADATA_FILE)
+    except FileNotFoundError as error:
+        raise ArtifactError(
+            f"{directory} is not a model artifact: {error}"
+        ) from error
+    except (OSError, zipfile.BadZipFile, json.JSONDecodeError,
+            ValueError) as error:
+        raise ArtifactError(
+            f"{directory} holds a corrupt model artifact: {error}"
+        ) from error
+    if not isinstance(metadata, dict) or "config" not in metadata:
+        raise ArtifactError(
+            f"{directory / ARTIFACT_METADATA_FILE} has no 'config' section"
+        )
+    # Legacy (pre-serving) artifacts carry no schema_version field.
+    schema_version = int(metadata.get("schema_version", 1))
+    if schema_version > ARTIFACT_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"{directory} uses artifact schema version {schema_version}, "
+            f"but this library supports at most {ARTIFACT_SCHEMA_VERSION}"
+        )
+    return metadata, arrays, schema_version
+
+
+def validate_config_compatibility(stored: "SpikeDynConfig",
+                                  current: "SpikeDynConfig", *,
+                                  schema_version: int,
+                                  source: object = "artifact") -> None:
+    """Check that a stored configuration matches the target model's.
+
+    Every field except ``seed`` must agree: the loaded weights and theta
+    assume the stored neuron constants, encoder timing (``t_sim``/``dt``),
+    and rate-coding parameters, so a mismatch silently degrades inference
+    rather than failing.  ``seed`` only controls stochastic draws and may
+    legitimately differ (e.g. evaluating a saved model on fresh samples).
+    """
+    mismatched = []
+    for spec in dataclasses.fields(type(stored)):
+        if spec.name == "seed":
+            continue
+        stored_value = getattr(stored, spec.name)
+        current_value = getattr(current, spec.name)
+        if stored_value != current_value:
+            mismatched.append(
+                f"{spec.name}: model has {current_value!r}, "
+                f"artifact has {stored_value!r}"
+            )
+    if mismatched:
+        raise ArtifactError(
+            f"cannot load {source} (schema version {schema_version}): "
+            "stored configuration is incompatible with this model — "
+            + "; ".join(mismatched)
+        )
+
+
+def apply_artifact_state(model: "UnsupervisedDigitClassifier",
+                         arrays: Dict[str, np.ndarray],
+                         metadata: Dict[str, object]) -> None:
+    """Overwrite ``model``'s learned state with validated artifact arrays.
+
+    The single restore path shared by :meth:`UnsupervisedDigitClassifier.
+    load_state` and :meth:`repro.serving.artifacts.ModelArtifact.
+    build_model`; callers must have validated shapes first.
+    """
+    connection = model.network.connection("input_to_exc")
+    connection.weights[:] = arrays["input_weights"]
+    model.assignments = arrays["assignments"].astype(int)
+    excitatory = model.network.group("excitatory")
+    if "theta" in arrays and hasattr(excitatory, "theta"):
+        excitatory.theta[:] = arrays["theta"]
+    meta = metadata.get("meta", {})
+    model.samples_trained = int(meta.get("samples_trained", 0))
+
+
+def validate_artifact_arrays(arrays: Dict[str, np.ndarray], *, n_input: int,
+                             n_exc: int, schema_version: int,
+                             source: object = "artifact") -> None:
+    """Check that loaded state arrays match the target architecture.
+
+    Raises :class:`~repro.utils.serialization.ArtifactError` naming every
+    missing array and every expected-vs-found shape mismatch (instead of a
+    bare ``KeyError`` or a numpy broadcast error mid-load).
+    """
+    expected = {
+        "input_weights": (n_input, n_exc),
+        "assignments": (n_exc,),
+    }
+    optional = {"theta": (n_exc,)}
+    problems = []
+    for key, shape in expected.items():
+        if key not in arrays:
+            problems.append(f"missing array {key!r} (expected shape {shape})")
+        elif tuple(arrays[key].shape) != shape:
+            problems.append(
+                f"{key!r} has shape {tuple(arrays[key].shape)}, expected {shape}"
+            )
+    for key, shape in optional.items():
+        if key in arrays and tuple(arrays[key].shape) != shape:
+            problems.append(
+                f"{key!r} has shape {tuple(arrays[key].shape)}, expected {shape}"
+            )
+    if problems:
+        raise ArtifactError(
+            f"cannot load {source} (schema version {schema_version}): "
+            + "; ".join(problems)
+        )
 
 
 class UnsupervisedDigitClassifier:
@@ -218,8 +359,29 @@ class UnsupervisedDigitClassifier:
 
     # -- persistence --------------------------------------------------------------
 
+    def encoder_spec(self) -> Dict[str, object]:
+        """Self-describing encoder declaration stored in the artifact."""
+        spec: Dict[str, object] = {
+            "type": type(self.encoder).__name__,
+            "duration": self.encoder.duration,
+            "dt": self.encoder.dt,
+            "timesteps": self.encoder.timesteps,
+        }
+        for attribute in ("max_rate", "intensity_scale"):
+            value = getattr(self.encoder, attribute, None)
+            if value is not None:
+                spec[attribute] = value
+        return spec
+
     def save(self, directory: PathLike) -> Path:
-        """Save the learned weights, assignments, and configuration.
+        """Save a versioned, self-describing model artifact.
+
+        The artifact is a directory holding ``state.npz`` (learned input
+        weights, neuron-label assignments, and — when the excitatory group
+        adapts — the threshold potential ``theta``) next to ``model.json``
+        (schema version, full configuration, model identity, and the encoder
+        spec).  :meth:`load_state` and :func:`repro.serving.artifacts.
+        load_artifact` restore it bit-for-bit.
 
         Returns the directory the files were written to.
         """
@@ -233,32 +395,58 @@ class UnsupervisedDigitClassifier:
         theta = getattr(excitatory, "theta", None)
         if theta is not None:
             arrays["theta"] = theta
-        save_arrays(arrays, directory / "state.npz")
+        save_arrays(arrays, directory / ARTIFACT_STATE_FILE)
         save_json(
-            {"config": self.config.to_dict(), "meta": self.describe()},
-            directory / "model.json",
+            {
+                "format": "spikedyn-repro-model",
+                "schema_version": ARTIFACT_SCHEMA_VERSION,
+                "config": self.config.to_dict(),
+                "meta": self.describe(),
+                "encoder": self.encoder_spec(),
+            },
+            directory / ARTIFACT_METADATA_FILE,
         )
         return directory
 
     def load_state(self, directory: PathLike) -> None:
-        """Restore weights and assignments written by :meth:`save`."""
+        """Restore weights, assignments, and theta written by :meth:`save`.
+
+        Raises
+        ------
+        ArtifactError
+            If the artifact's schema version is newer than this library
+            supports, its configuration does not match this model's (any
+            field other than ``seed`` — sizes, neuron constants, encoder
+            timing), or any stored array is missing or mis-shaped (the
+            error message lists expected-vs-found shapes).
+        """
         directory = Path(directory)
-        arrays = load_arrays(directory / "state.npz")
-        metadata = load_json(directory / "model.json")
-        stored_config = SpikeDynConfig.from_dict(metadata["config"])
+        metadata, arrays, schema_version = read_artifact_dir(directory)
+        try:
+            stored_config = SpikeDynConfig.from_dict(metadata["config"])
+        except (TypeError, ValueError) as error:
+            raise ArtifactError(
+                f"{directory} carries an invalid configuration: {error}"
+            ) from error
         if (stored_config.n_input, stored_config.n_exc) != (self.n_input, self.n_exc):
-            raise ValueError(
+            raise ArtifactError(
                 "stored model size "
                 f"({stored_config.n_input}x{stored_config.n_exc}) does not match "
-                f"this model ({self.n_input}x{self.n_exc})"
+                f"this model ({self.n_input}x{self.n_exc}) "
+                f"[schema version {schema_version}]"
             )
-        connection = self.network.connection("input_to_exc")
-        connection.weights[:] = arrays["input_weights"]
-        self.assignments = arrays["assignments"].astype(int)
-        excitatory = self.network.group("excitatory")
-        if "theta" in arrays and hasattr(excitatory, "theta"):
-            excitatory.theta[:] = arrays["theta"]
-        self.samples_trained = int(metadata["meta"].get("samples_trained", 0))
+        validate_config_compatibility(
+            stored_config, self.config,
+            schema_version=schema_version, source=directory,
+        )
+        validate_artifact_arrays(
+            arrays,
+            n_input=self.n_input,
+            n_exc=self.n_exc,
+            schema_version=schema_version,
+            source=directory,
+        )
+        apply_artifact_state(self, arrays, metadata)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

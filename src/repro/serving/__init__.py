@@ -1,0 +1,81 @@
+"""Online inference serving: artifacts, micro-batching, replicas, HTTP API.
+
+The serving subsystem turns a trained model into a concurrently-queryable
+service::
+
+    train --> save artifact --> ReplicaPool.from_artifact --> ModelServer
+
+* :mod:`repro.serving.artifacts` — versioned, self-describing model
+  artifacts (:func:`load_artifact`, :class:`ArtifactRegistry`);
+* :mod:`repro.serving.inference` — seeded per-request encoding and the
+  offline reference path serving is provably identical to;
+* :mod:`repro.serving.batcher` — thread-safe micro-batching queue
+  (``max_batch`` / ``max_wait_ms`` / backpressure);
+* :mod:`repro.serving.pool` — worker threads each owning an independent
+  model replica;
+* :mod:`repro.serving.server` — stdlib HTTP/JSON API (``POST /predict``,
+  ``GET /healthz``, ``GET /metrics``) behind ``repro serve``;
+* :mod:`repro.serving.metrics` / :mod:`repro.serving.drift` — request
+  counters, batch-size histogram, latency quantiles, and the online
+  spike-count drift alarm;
+* :mod:`repro.serving.loadgen` — concurrency-controlled load generation for
+  benchmarks, CI smoke tests, and examples.
+"""
+
+from repro.serving.artifacts import (
+    MODEL_CLASSES,
+    ArtifactRegistry,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
+from repro.serving.batcher import MicroBatcher, QueueClosedError, QueueFullError
+from repro.serving.drift import SpikeCountDriftDetector
+from repro.serving.inference import (
+    PredictionService,
+    PredictRequest,
+    PredictResult,
+    derive_request_seed,
+    encode_request,
+    offline_predictions,
+)
+from repro.serving.loadgen import (
+    LoadReport,
+    fetch_json,
+    http_sender,
+    pool_sender,
+    run_load,
+    wait_until_healthy,
+)
+from repro.serving.metrics import ServingMetrics
+from repro.serving.pool import ReplicaPool
+from repro.serving.server import ModelServer
+from repro.utils.serialization import ArtifactError
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactRegistry",
+    "LoadReport",
+    "MicroBatcher",
+    "MODEL_CLASSES",
+    "ModelArtifact",
+    "ModelServer",
+    "PredictRequest",
+    "PredictResult",
+    "PredictionService",
+    "QueueClosedError",
+    "QueueFullError",
+    "ReplicaPool",
+    "ServingMetrics",
+    "SpikeCountDriftDetector",
+    "derive_request_seed",
+    "encode_request",
+    "fetch_json",
+    "http_sender",
+    "load_artifact",
+    "offline_predictions",
+    "pool_sender",
+    "run_load",
+    "save_artifact",
+    "wait_until_healthy",
+]

@@ -1,0 +1,149 @@
+"""Thread-safe micro-batching request queue.
+
+Concurrent callers :meth:`MicroBatcher.submit` individual requests and get a
+:class:`~concurrent.futures.Future` back; worker threads call
+:meth:`MicroBatcher.next_batch`, which coalesces up to ``max_batch`` queued
+requests into one list, waiting at most ``max_wait_ms`` after the first
+request of a batch for stragglers.  That window is the classic
+latency/throughput dial: ``0`` serves every request the moment a worker is
+free, larger values trade a bounded queueing delay for bigger batches
+through ``Network.run_batch``.
+
+Backpressure is explicit: the queue holds at most ``max_queue`` pending
+requests and :meth:`submit` raises :class:`QueueFullError` beyond that —
+the HTTP layer maps it to ``503`` so overload sheds load instead of growing
+an unbounded queue.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.serving.inference import PredictRequest
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+class QueueFullError(RuntimeError):
+    """The request queue is at capacity; the caller should shed load."""
+
+
+class QueueClosedError(RuntimeError):
+    """The batcher has been closed and accepts no new requests."""
+
+
+@dataclass
+class PendingRequest:
+    """A queued request together with its completion future."""
+
+    request: PredictRequest
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into micro-batches.
+
+    Parameters
+    ----------
+    max_batch:
+        Largest number of requests handed to a worker at once.
+    max_wait_ms:
+        How long a forming batch waits for stragglers after its first
+        request is claimed.  ``0`` disables coalescing waits entirely.
+    max_queue:
+        Backpressure bound on pending (unclaimed) requests.
+    """
+
+    def __init__(self, max_batch: int = 32, max_wait_ms: float = 5.0,
+                 max_queue: int = 1024) -> None:
+        self.max_batch = check_positive_int(max_batch, "max_batch")
+        self.max_wait_ms = check_non_negative(max_wait_ms, "max_wait_ms")
+        self.max_queue = check_positive_int(max_queue, "max_queue")
+        self._queue: Deque[PendingRequest] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side -------------------------------------------------------
+
+    def submit(self, request: PredictRequest) -> Future:
+        """Enqueue one request; returns the future its result will land in."""
+        pending = PendingRequest(request=request)
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosedError("batcher is closed")
+            if len(self._queue) >= self.max_queue:
+                raise QueueFullError(
+                    f"request queue is full ({self.max_queue} pending)"
+                )
+            self._queue.append(pending)
+            self._not_empty.notify()
+        return pending.future
+
+    @property
+    def depth(self) -> int:
+        """Number of pending (unclaimed) requests."""
+        with self._lock:
+            return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- consumer side -------------------------------------------------------
+
+    def next_batch(self, timeout: Optional[float] = None
+                   ) -> Optional[List[PendingRequest]]:
+        """Claim the next micro-batch of up to ``max_batch`` requests.
+
+        Blocks up to ``timeout`` seconds for the first request.  Once one is
+        claimed, keeps absorbing queued requests until the batch is full or
+        ``max_wait_ms`` has elapsed since the batch started forming.
+
+        Returns ``[]`` when the timeout expires with nothing queued (the
+        caller should loop) and ``None`` when the batcher is closed and
+        fully drained (the caller should exit).
+        """
+        with self._not_empty:
+            if not self._queue:
+                if self._closed:
+                    return None
+                self._not_empty.wait(timeout)
+                if not self._queue:
+                    return None if self._closed else []
+            batch = [self._queue.popleft()]
+            deadline = time.perf_counter() + self.max_wait_ms / 1000.0
+            while len(batch) < self.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self._closed:
+                    break
+                self._not_empty.wait(remaining)
+                if not self._queue:
+                    # Timed out (or spurious wakeup past the deadline).
+                    if time.perf_counter() >= deadline or self._closed:
+                        break
+            return batch
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Refuse new submissions; optionally cancel still-queued requests.
+
+        Without ``cancel_pending`` the already-queued requests remain
+        claimable, so workers can drain the queue before exiting.
+        """
+        with self._not_empty:
+            self._closed = True
+            if cancel_pending:
+                while self._queue:
+                    self._queue.popleft().future.cancel()
+            self._not_empty.notify_all()

@@ -1,0 +1,198 @@
+"""Load generation: drive a serving target at configurable concurrency.
+
+The generator is target-agnostic: a *sender* is any callable taking
+``(image, seed)`` and returning the predicted class (raising on failure).
+:func:`pool_sender` drives a :class:`~repro.serving.pool.ReplicaPool`
+in-process (what the benchmarks use — no HTTP noise in the measurement);
+:func:`http_sender` drives a running server through ``POST /predict`` with
+stdlib ``urllib`` (what the CI smoke test and the example use).
+
+:func:`run_load` fans ``n`` requests over ``concurrency`` client threads
+pulling from a shared work queue, records per-request latency and the
+prediction of every request *by request index*, and returns a
+:class:`LoadReport` — so callers can assert the served predictions against
+:func:`~repro.serving.inference.offline_predictions` as well as measure
+throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.pool import ReplicaPool
+from repro.utils.validation import check_positive_int
+
+#: A sender maps ``(image, seed)`` to the predicted class.
+Sender = Callable[[np.ndarray, Optional[int]], int]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    n_requests: int
+    concurrency: int
+    elapsed_s: float
+    predictions: np.ndarray = field(repr=False)
+    latencies_s: np.ndarray = field(repr=False)
+    errors: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> int:
+        """Number of successful requests."""
+        return self.n_requests - len(self.errors)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Successful requests per second of wall-clock."""
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return self.ok / self.elapsed_s
+
+    def latency_quantile_ms(self, quantile: float) -> float:
+        """Latency quantile (e.g. 50, 95, 99) over successful requests."""
+        if self.latencies_s.size == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies_s, quantile) * 1000.0)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-safe summary of the run."""
+        return {
+            "requests": self.n_requests,
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "concurrency": self.concurrency,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_quantile_ms(50),
+            "latency_p95_ms": self.latency_quantile_ms(95),
+            "latency_p99_ms": self.latency_quantile_ms(99),
+        }
+
+
+def pool_sender(pool: ReplicaPool,
+                timeout: Optional[float] = 60.0) -> Sender:
+    """Sender driving a replica pool in-process (no HTTP)."""
+
+    def send(image: np.ndarray, seed: Optional[int]) -> int:
+        return pool.predict(image, seed=seed, timeout=timeout).prediction
+
+    return send
+
+
+def http_sender(url: str, timeout: float = 30.0) -> Sender:
+    """Sender driving ``POST <url>/predict`` with stdlib urllib."""
+    endpoint = url.rstrip("/") + "/predict"
+
+    def send(image: np.ndarray, seed: Optional[int]) -> int:
+        payload: Dict[str, object] = {
+            "image": np.asarray(image, dtype=float).ravel().tolist(),
+        }
+        if seed is not None:
+            payload["seed"] = int(seed)
+        request = urllib.request.Request(
+            endpoint,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = json.loads(response.read().decode("utf-8"))
+        return int(body["prediction"])
+
+    return send
+
+
+def fetch_json(url: str, path: str, timeout: float = 10.0) -> dict:
+    """GET ``<url><path>`` and decode the JSON body (for /healthz, /metrics)."""
+    with urllib.request.urlopen(url.rstrip("/") + path, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def wait_until_healthy(url: str, timeout: float = 30.0,
+                       interval: float = 0.2) -> dict:
+    """Poll ``GET /healthz`` until it answers 200 or ``timeout`` elapses."""
+    deadline = time.perf_counter() + timeout
+    last_error: Optional[Exception] = None
+    while time.perf_counter() < deadline:
+        try:
+            return fetch_json(url, "/healthz", timeout=interval * 10)
+        except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
+            last_error = error
+            time.sleep(interval)
+    raise TimeoutError(
+        f"server at {url} did not become healthy within {timeout:.0f} s "
+        f"(last error: {last_error})"
+    )
+
+
+def run_load(send: Sender, images: Sequence[np.ndarray],
+             seeds: Optional[Sequence[Optional[int]]] = None,
+             concurrency: int = 16) -> LoadReport:
+    """Fire one request per image at ``concurrency`` and collect the report.
+
+    Requests are pulled from a shared index queue by ``concurrency`` client
+    threads; predictions land at their request's index, so the report's
+    ``predictions`` array lines up with ``images``/``seeds`` for offline
+    comparison.
+    """
+    check_positive_int(concurrency, "concurrency")
+    n = len(images)
+    if n == 0:
+        raise ValueError("at least one request image is required")
+    if seeds is None:
+        seeds = [None] * n
+    if len(seeds) != n:
+        raise ValueError(f"got {n} images but {len(seeds)} seeds")
+
+    predictions = np.full(n, -1, dtype=int)
+    latencies = np.full(n, np.nan, dtype=float)
+    errors: List[Tuple[int, str]] = []
+    errors_lock = threading.Lock()
+    cursor = iter(range(n))
+    cursor_lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            with cursor_lock:
+                index = next(cursor, None)
+            if index is None:
+                return
+            started = time.perf_counter()
+            try:
+                prediction = send(np.asarray(images[index], dtype=float),
+                                  seeds[index])
+            except Exception as error:  # noqa: BLE001 - recorded per request
+                with errors_lock:
+                    errors.append((index, f"{type(error).__name__}: {error}"))
+                continue
+            latencies[index] = time.perf_counter() - started
+            predictions[index] = int(prediction)
+
+    threads = [
+        threading.Thread(target=client, name=f"repro-loadgen-{i}", daemon=True)
+        for i in range(min(concurrency, n))
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    return LoadReport(
+        n_requests=n,
+        concurrency=concurrency,
+        elapsed_s=elapsed,
+        predictions=predictions,
+        latencies_s=latencies[~np.isnan(latencies)],
+        errors=sorted(errors),
+    )

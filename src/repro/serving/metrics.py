@@ -1,0 +1,102 @@
+"""Thread-safe serving metrics: counters, batch histogram, latency quantiles.
+
+One :class:`ServingMetrics` instance is shared by the replica pool's worker
+threads and the HTTP layer.  Latencies are kept in a bounded ring buffer
+(the most recent ``latency_window`` requests) and the p50/p95/p99 quantiles
+are computed on demand when ``/metrics`` is scraped, so the per-request
+bookkeeping cost is a deque append under a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from typing import Deque, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+#: Quantiles reported by :meth:`ServingMetrics.snapshot`.
+LATENCY_QUANTILES = (50, 95, 99)
+
+
+class ServingMetrics:
+    """Aggregate request/batch/latency statistics of one serving deployment."""
+
+    def __init__(self, latency_window: int = 4096) -> None:
+        self.latency_window = check_positive_int(latency_window, "latency_window")
+        self._lock = threading.Lock()
+        self._requests_total = 0
+        self._responses_total = 0
+        self._errors_total = 0
+        self._rejected_total = 0
+        self._batches_total = 0
+        self._batch_sizes: Counter = Counter()
+        self._latencies_ms: Deque[float] = deque(maxlen=self.latency_window)
+        self._started_at = time.time()
+
+    # -- recording -----------------------------------------------------------
+
+    def record_request(self) -> None:
+        """One request accepted into the queue."""
+        with self._lock:
+            self._requests_total += 1
+
+    def record_rejected(self) -> None:
+        """One request shed by backpressure (queue full)."""
+        with self._lock:
+            self._rejected_total += 1
+
+    def record_batch(self, size: int, latencies_s: Sequence[float]) -> None:
+        """One completed micro-batch with its per-request latencies."""
+        with self._lock:
+            self._batches_total += 1
+            self._batch_sizes[int(size)] += 1
+            self._responses_total += int(size)
+            for latency in latencies_s:
+                self._latencies_ms.append(float(latency) * 1000.0)
+
+    def record_errors(self, count: int = 1) -> None:
+        """``count`` requests failed inside a worker."""
+        with self._lock:
+            self._errors_total += int(count)
+
+    # -- reading -------------------------------------------------------------
+
+    def snapshot(self, queue_depth: Optional[int] = None,
+                 drift: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """JSON-safe view of every metric (the ``/metrics`` payload)."""
+        with self._lock:
+            latencies = np.asarray(self._latencies_ms, dtype=float)
+            batch_sizes = dict(sorted(self._batch_sizes.items()))
+            batches_total = self._batches_total
+            snapshot: Dict[str, object] = {
+                "uptime_s": time.time() - self._started_at,
+                "requests_total": self._requests_total,
+                "responses_total": self._responses_total,
+                "errors_total": self._errors_total,
+                "rejected_total": self._rejected_total,
+                "batches_total": self._batches_total,
+                "batch_size_histogram": {
+                    str(size): count for size, count in batch_sizes.items()
+                },
+            }
+        if batches_total:
+            total = sum(size * count for size, count in batch_sizes.items())
+            snapshot["mean_batch_size"] = total / max(sum(batch_sizes.values()), 1)
+        latency: Dict[str, float] = {"window": float(latencies.size)}
+        if latencies.size:
+            latency["mean_ms"] = float(latencies.mean())
+            latency["max_ms"] = float(latencies.max())
+            for quantile in LATENCY_QUANTILES:
+                latency[f"p{quantile}_ms"] = float(
+                    np.percentile(latencies, quantile)
+                )
+        snapshot["latency"] = latency
+        if queue_depth is not None:
+            snapshot["queue_depth"] = int(queue_depth)
+        if drift is not None:
+            snapshot["drift"] = drift
+        return snapshot

@@ -1,0 +1,238 @@
+"""Replica pool: worker threads each owning an independent model copy.
+
+``N`` worker threads share one :class:`~repro.serving.batcher.MicroBatcher`.
+Each worker owns its *own* :class:`~repro.serving.inference.
+PredictionService` built from the artifact — independent networks, weights,
+and adaptation state, so replicas never contend on (or corrupt) shared
+mutable simulation state.  A free worker claims the next micro-batch,
+advances it through ``Network.run_batch`` in one vectorized step, and fans
+the results back out to the per-request futures.
+
+The pure-Python engine holds the GIL while numpy is *not* executing, but
+the batched hot path spends its time inside vectorized numpy calls that
+release it — so replicas overlap meaningfully on multi-core hosts, and the
+pool degrades gracefully to a fair queue on one core.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.models.base import UnsupervisedDigitClassifier
+from repro.serving.artifacts import ModelArtifact
+from repro.serving.batcher import MicroBatcher, PendingRequest
+from repro.serving.drift import SpikeCountDriftDetector
+from repro.serving.inference import PredictionService, PredictRequest, PredictResult
+from repro.serving.metrics import ServingMetrics
+from repro.utils.validation import check_positive_int
+
+
+class ReplicaPool:
+    """Micro-batching inference pool over ``workers`` model replicas.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable building one independent model replica;
+        called once per worker.  Use :meth:`from_artifact` for the common
+        case.
+    workers:
+        Number of worker threads (= replicas).
+    max_batch, max_wait_ms, max_queue:
+        Micro-batcher knobs (see :class:`~repro.serving.batcher.
+        MicroBatcher`).
+    metrics:
+        Shared metrics sink; created on demand when omitted.
+    drift_detector:
+        Optional online drift monitor fed every request's spike count.
+    """
+
+    def __init__(self, model_factory: Callable[[], UnsupervisedDigitClassifier],
+                 workers: int = 2, *, max_batch: int = 32,
+                 max_wait_ms: float = 5.0, max_queue: int = 1024,
+                 metrics: Optional[ServingMetrics] = None,
+                 drift_detector: Optional[SpikeCountDriftDetector] = None) -> None:
+        self.workers = check_positive_int(workers, "workers")
+        self.batcher = MicroBatcher(max_batch=max_batch, max_wait_ms=max_wait_ms,
+                                    max_queue=max_queue)
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self.drift_detector = drift_detector
+        self.replicas: List[PredictionService] = [
+            PredictionService(model_factory()) for _ in range(self.workers)
+        ]
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_artifact(cls, artifact: ModelArtifact, workers: int = 2,
+                      **kwargs) -> "ReplicaPool":
+        """Pool whose replicas are independent reconstructions of ``artifact``."""
+        return cls(artifact.build_model, workers, **kwargs)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def n_input(self) -> int:
+        """Input size every request image must match."""
+        return self.replicas[0].n_input
+
+    @property
+    def model_name(self) -> str:
+        return self.replicas[0].model.name
+
+    @property
+    def queue_depth(self) -> int:
+        return self.batcher.depth
+
+    @property
+    def running(self) -> bool:
+        with self._lock:
+            return self._started
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ReplicaPool":
+        """Start the worker threads (idempotent while running).
+
+        A stopped pool cannot be restarted: its queue is permanently
+        closed, so a second ``start()`` would report healthy workers that
+        all exit immediately.  Build a fresh pool instead.
+        """
+        if self.batcher.closed:
+            raise RuntimeError(
+                "this pool has been stopped and cannot be restarted; "
+                "build a new ReplicaPool"
+            )
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        for index, service in enumerate(self.replicas):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(service,),
+                name=f"repro-serve-worker-{index}", daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0, cancel_pending: bool = False) -> None:
+        """Close the queue, drain (or cancel) pending work, join the workers."""
+        self.batcher.close(cancel_pending=cancel_pending)
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+        with self._lock:
+            self._started = False
+
+    def __enter__(self) -> "ReplicaPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request path --------------------------------------------------------
+
+    def submit(self, image: np.ndarray, seed: Optional[int] = None) -> Future:
+        """Enqueue one request; the future resolves to a ``PredictResult``.
+
+        Raises :class:`~repro.serving.batcher.QueueFullError` under
+        backpressure and :class:`~repro.serving.batcher.QueueClosedError`
+        after :meth:`stop`; both are recorded in the metrics.
+        """
+        image = np.asarray(image, dtype=float)
+        if image.size != self.n_input:
+            self.metrics.record_rejected()
+            raise ValueError(
+                f"image has {image.size} pixels but the model expects "
+                f"{self.n_input}"
+            )
+        # Encoding rejects negative intensities — but only inside a worker,
+        # where one bad image would fail its whole micro-batch.  Catch it
+        # here so the error stays with the offending request.
+        if np.any(image < 0):
+            self.metrics.record_rejected()
+            raise ValueError("image intensities must be non-negative")
+        request = PredictRequest(image=image, seed=seed)
+        try:
+            future = self.batcher.submit(request)
+        except Exception:
+            self.metrics.record_rejected()
+            raise
+        self.metrics.record_request()
+        return future
+
+    def predict(self, image: np.ndarray, seed: Optional[int] = None,
+                timeout: Optional[float] = None) -> PredictResult:
+        """Synchronous convenience wrapper around :meth:`submit`.
+
+        On timeout the request is cancelled (best effort), so an abandoned
+        caller does not keep consuming worker compute.
+        """
+        future = self.submit(image, seed=seed)
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise
+
+    def metrics_snapshot(self) -> dict:
+        """Current metrics, including queue depth and drift state."""
+        drift = (self.drift_detector.state()
+                 if self.drift_detector is not None else None)
+        return self.metrics.snapshot(queue_depth=self.queue_depth, drift=drift)
+
+    # -- worker --------------------------------------------------------------
+
+    def _worker_loop(self, service: PredictionService) -> None:
+        while True:
+            batch = self.batcher.next_batch(timeout=0.1)
+            if batch is None:
+                return
+            if not batch:
+                continue
+            self._serve_batch(service, batch)
+
+    @staticmethod
+    def _resolve(future: Future, result=None, error=None) -> None:
+        """Set a future's outcome, tolerating a concurrent ``cancel()``.
+
+        These futures never enter RUNNING state, so a handler-side
+        ``cancel()`` (e.g. on request timeout) can succeed at any moment
+        before the worker's ``set_result`` — including between a
+        ``cancelled()`` check and the set call.  ``InvalidStateError`` from
+        that race means the caller is gone; the worker must shrug, not die.
+        """
+        try:
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+        except InvalidStateError:
+            pass
+
+    def _serve_batch(self, service: PredictionService,
+                     batch: Sequence[PendingRequest]) -> None:
+        try:
+            results = service.predict_batch([p.request for p in batch])
+        except Exception as error:  # noqa: BLE001 - fanned out to callers
+            for pending in batch:
+                self._resolve(pending.future, error=error)
+            self.metrics.record_errors(len(batch))
+            return
+        finished = time.perf_counter()
+        for pending, result in zip(batch, results):
+            self._resolve(pending.future, result=result)
+        self.metrics.record_batch(
+            len(batch), [finished - p.enqueued_at for p in batch]
+        )
+        if self.drift_detector is not None:
+            for result in results:
+                self.drift_detector.observe(result.spike_count)

@@ -1,0 +1,260 @@
+"""Stdlib HTTP/JSON front end for a replica pool.
+
+Endpoints
+---------
+``POST /predict``
+    Body ``{"image": [...], "seed": 123}`` (``seed`` optional; the image is
+    a flat or nested list of ``n_input`` pixel intensities).  Responds with
+    the prediction, per-class scores, the resolved seed, the spike count,
+    and the request's server-side latency.  ``400`` on malformed input,
+    ``503`` when the queue sheds load, ``504`` when the request times out.
+``GET /healthz``
+    Liveness/readiness: status, model identity, worker count, queue depth.
+``GET /metrics``
+    The full :class:`~repro.serving.metrics.ServingMetrics` snapshot,
+    including the batch-size histogram, latency quantiles, and the drift
+    detector's state.
+
+Implementation notes: ``ThreadingHTTPServer`` gives one handler thread per
+connection — handlers block on the request future while the replica pool's
+workers do the actual batched inference, so concurrent connections are what
+fills micro-batches.  Everything is stdlib (``http.server`` + ``json``);
+there is deliberately no framework dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import CancelledError, TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.serving.batcher import QueueClosedError, QueueFullError
+from repro.serving.pool import ReplicaPool
+
+#: Largest accepted request body (a 64x64 float image in JSON is ~100 KiB).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Default per-request wall-clock budget awaiting a worker result.
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+
+class _ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the pool/server references."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The socketserver default listen backlog (5) drops/resets connections
+    # when a burst of clients connects at once — exactly the load-generator
+    # and CI-hammer shape.  A deeper accept queue absorbs the burst.
+    request_queue_size = 128
+
+    pool: ReplicaPool
+    request_timeout_s: float
+    quiet: bool
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: _ServingHTTPServer
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - CLI verbose mode
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # -- GET -----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        pool = self.server.pool
+        if self.path == "/healthz":
+            self._send_json(200, {
+                "status": "ok" if pool.running else "stopped",
+                "model": pool.model_name,
+                "n_input": pool.n_input,
+                "workers": pool.workers,
+                "queue_depth": pool.queue_depth,
+                "max_batch": pool.batcher.max_batch,
+                "max_wait_ms": pool.batcher.max_wait_ms,
+            })
+        elif self.path == "/metrics":
+            self._send_json(200, pool.metrics_snapshot())
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    # -- POST ----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if self.path != "/predict":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(400, "invalid Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_json(
+                400, f"request body must be 1..{MAX_BODY_BYTES} bytes"
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            self._send_error_json(400, f"request body is not valid JSON: {error}")
+            return
+        parsed = self._parse_predict(payload)
+        if parsed is None:
+            return
+        image, seed = parsed
+
+        pool = self.server.pool
+        try:
+            future = pool.submit(image, seed=seed)
+        except QueueFullError as error:
+            self._send_error_json(503, str(error))
+            return
+        except QueueClosedError:
+            self._send_error_json(503, "server is shutting down")
+            return
+        except ValueError as error:
+            self._send_error_json(400, str(error))
+            return
+        try:
+            result = future.result(self.server.request_timeout_s)
+        except FutureTimeoutError:
+            future.cancel()
+            self._send_error_json(504, "request timed out awaiting a worker")
+            return
+        except CancelledError:
+            self._send_error_json(503, "request was cancelled at shutdown")
+            return
+        except Exception as error:  # noqa: BLE001 - worker-side failure
+            self._send_error_json(500, f"inference failed: {error}")
+            return
+        body = result.to_dict()
+        body["model"] = pool.model_name
+        self._send_json(200, body)
+
+    def _parse_predict(self, payload: object) -> Optional[Tuple[np.ndarray, Optional[int]]]:
+        """Validate the /predict payload; sends the 400 itself on failure."""
+        if not isinstance(payload, dict):
+            self._send_error_json(400, "request body must be a JSON object")
+            return None
+        if "image" not in payload:
+            self._send_error_json(400, "request is missing the 'image' field")
+            return None
+        try:
+            image = np.asarray(payload["image"], dtype=float)
+        except (TypeError, ValueError):
+            self._send_error_json(400, "'image' must be a (nested) list of numbers")
+            return None
+        if not np.all(np.isfinite(image)):
+            self._send_error_json(400, "'image' contains non-finite values")
+            return None
+        if np.any(image < 0):
+            self._send_error_json(400, "'image' intensities must be "
+                                       "non-negative")
+            return None
+        seed = payload.get("seed")
+        if seed is not None:
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                self._send_error_json(400, "'seed' must be an integer")
+                return None
+        return image, seed
+
+
+class ModelServer:
+    """Lifecycle wrapper: bind, serve (optionally in the background), stop.
+
+    Parameters
+    ----------
+    pool:
+        The (started or not-yet-started) replica pool to serve.
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address`).
+    request_timeout_s:
+        Per-request budget awaiting a worker result before ``504``.
+    quiet:
+        Suppress the per-request access log (default; the CLI turns it on
+        with ``-v``).
+    """
+
+    def __init__(self, pool: ReplicaPool, host: str = "127.0.0.1",
+                 port: int = 0, *,
+                 request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+                 quiet: bool = True) -> None:
+        self.pool = pool
+        self._httpd = _ServingHTTPServer((host, port), _Handler)
+        self._httpd.pool = pool
+        self._httpd.request_timeout_s = float(request_timeout_s)
+        self._httpd.quiet = bool(quiet)
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ephemeral ports."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ModelServer":
+        """Start the pool and serve requests from a background thread."""
+        self.pool.start()
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-serve-http", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Start the pool and serve on the calling thread (CLI mode)."""
+        self.pool.start()
+        self._serving = True
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._serving = False
+
+    def stop(self) -> None:
+        """Stop accepting connections, then drain and stop the pool.
+
+        ``shutdown()`` blocks until the serve loop acknowledges, so it is
+        only issued when a loop is (or was) actually running — calling
+        :meth:`stop` on a server whose loop never started must not hang.
+        """
+        if self._thread is not None or self._serving:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(10.0)
+            self._thread = None
+        self.pool.stop()
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -18,6 +18,17 @@ import numpy as np
 PathLike = Union[str, Path]
 
 
+class ArtifactError(ValueError):
+    """A saved model artifact is missing, incompatible, or corrupt.
+
+    Raised with a message that names the offending file and, for shape
+    mismatches, the expected-vs-found shapes and the artifact's schema
+    version — loading never silently mis-loads state.  Subclasses
+    :class:`ValueError` so pre-existing ``except ValueError`` handlers keep
+    working.
+    """
+
+
 def _json_default(obj: Any):
     """JSON encoder fallback that understands numpy scalars and arrays."""
     if isinstance(obj, (np.integer,)):

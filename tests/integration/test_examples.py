@@ -84,6 +84,17 @@ class TestExampleScripts:
         assert "Retention curve of task 0" in output
         assert "recurring" in output
 
+    def test_serve_and_query(self):
+        output = run_example(
+            "serve_and_query.py", "--classes", "0", "1", "--n-exc", "10",
+            "--train-per-class", "2", "--requests", "8",
+        )
+        assert "published artifact version v1" in output
+        assert "serving at http://" in output
+        assert "served == offline batched path: 8/8" in output
+        assert "micro-batches" in output
+        assert "drift" in output
+
     def test_inspect_receptive_fields(self):
         output = run_example(
             "inspect_receptive_fields.py", "--classes", "0", "1",

@@ -228,3 +228,20 @@ class TestRunAllExperiments:
         manifest = json.loads((tmp_path / "results" / "manifest.json").read_text())
         assert len(manifest["jobs"]) == 2
         assert all(job["status"] == "completed" for job in manifest["jobs"].values())
+
+
+@pytest.mark.integration
+class TestServingSmoke:
+    def test_self_contained_smoke_passes(self):
+        completed = run_script(
+            "serving_smoke.py", "--requests", "12", "--concurrency", "4",
+            "--n-exc", "10",
+        )
+        assert "prediction-identical to offline evaluation" in completed.stdout
+
+    def test_url_without_artifact_is_a_usage_error(self):
+        completed = run_script(
+            "serving_smoke.py", "--url", "http://127.0.0.1:1",
+            expect_code=2,
+        )
+        assert "--url requires --artifact" in completed.stderr

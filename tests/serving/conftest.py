@@ -1,0 +1,72 @@
+"""Shared fixtures for the serving tests.
+
+Training even a tiny model costs a couple of seconds, so the trained model
+and its saved artifact are session-scoped; everything that could mutate
+state (pools, servers) builds fresh replicas from the artifact instead of
+touching the shared model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SpikeDynConfig
+from repro.datasets.synthetic_mnist import SyntheticDigits
+from repro.models.spikedyn_model import SpikeDynModel
+from repro.serving import load_artifact
+
+#: Classes the shared serving model is trained on.
+SERVING_CLASSES = (0, 1, 2)
+
+
+@pytest.fixture(scope="session")
+def serving_config() -> SpikeDynConfig:
+    return SpikeDynConfig.scaled_down(n_input=196, n_exc=16, t_sim=40.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def serving_source() -> SyntheticDigits:
+    return SyntheticDigits(image_size=14, seed=0)
+
+
+@pytest.fixture(scope="session")
+def trained_model(serving_config, serving_source) -> SpikeDynModel:
+    """A tiny SpikeDyn model trained and labelled on three classes."""
+    model = SpikeDynModel(serving_config)
+    assign_images, assign_labels = [], []
+    for cls in SERVING_CLASSES:
+        for image in serving_source.generate(cls, 3, rng=1):
+            model.train_sample(image)
+        for image in serving_source.generate(cls, 2, rng=2):
+            assign_images.append(image)
+            assign_labels.append(cls)
+    model.assign_labels(assign_images, assign_labels)
+    return model
+
+
+@pytest.fixture(scope="session")
+def artifact_dir(tmp_path_factory, trained_model):
+    """The trained model saved as a schema-v2 artifact."""
+    directory = tmp_path_factory.mktemp("artifacts") / "spikedyn"
+    trained_model.save(directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def artifact(artifact_dir):
+    return load_artifact(artifact_dir)
+
+
+@pytest.fixture(scope="session")
+def request_images(serving_source) -> list:
+    """A dozen evaluation images spanning the trained classes."""
+    images = []
+    for cls in SERVING_CLASSES:
+        images.extend(serving_source.generate(cls, 4, rng=7))
+    return [np.asarray(image, dtype=float) for image in images]
+
+
+@pytest.fixture(scope="session")
+def request_seeds(request_images) -> list:
+    return list(range(len(request_images)))

@@ -1,0 +1,140 @@
+"""Micro-batcher unit tests: coalescing, timeouts, backpressure, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    MicroBatcher,
+    PredictRequest,
+    QueueClosedError,
+    QueueFullError,
+)
+
+
+def _request(value: float = 0.0) -> PredictRequest:
+    return PredictRequest(image=np.full(4, value), seed=0)
+
+
+class TestCoalescing:
+    def test_queued_requests_coalesce_into_one_batch(self):
+        batcher = MicroBatcher(max_batch=8, max_wait_ms=50.0)
+        futures = [batcher.submit(_request(i)) for i in range(5)]
+        batch = batcher.next_batch(timeout=1.0)
+        assert len(batch) == 5
+        assert batcher.depth == 0
+        assert all(not future.done() for future in futures)
+
+    def test_batch_size_is_capped_at_max_batch(self):
+        batcher = MicroBatcher(max_batch=3, max_wait_ms=0.0)
+        for i in range(7):
+            batcher.submit(_request(i))
+        sizes = [len(batcher.next_batch(timeout=1.0)) for _ in range(3)]
+        assert sizes == [3, 3, 1]
+
+    def test_requests_are_served_in_fifo_order(self):
+        batcher = MicroBatcher(max_batch=10, max_wait_ms=0.0)
+        for i in range(4):
+            batcher.submit(_request(float(i)))
+        batch = batcher.next_batch(timeout=1.0)
+        values = [pending.request.image[0] for pending in batch]
+        assert values == [0.0, 1.0, 2.0, 3.0]
+
+    def test_max_wait_absorbs_stragglers(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=250.0)
+        batcher.submit(_request(0))
+
+        def straggler():
+            time.sleep(0.05)
+            batcher.submit(_request(1))
+
+        thread = threading.Thread(target=straggler)
+        thread.start()
+        batch = batcher.next_batch(timeout=1.0)
+        thread.join()
+        assert len(batch) == 2
+
+    def test_zero_wait_serves_the_first_request_alone(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=0.0)
+        batcher.submit(_request(0))
+        batch = batcher.next_batch(timeout=1.0)
+        assert len(batch) == 1
+
+
+class TestTimeoutsAndBackpressure:
+    def test_empty_queue_times_out_with_empty_list(self):
+        batcher = MicroBatcher()
+        started = time.perf_counter()
+        assert batcher.next_batch(timeout=0.05) == []
+        assert time.perf_counter() - started < 1.0
+
+    def test_queue_full_raises_and_keeps_pending_intact(self):
+        batcher = MicroBatcher(max_batch=4, max_queue=2)
+        batcher.submit(_request(0))
+        batcher.submit(_request(1))
+        with pytest.raises(QueueFullError, match="full"):
+            batcher.submit(_request(2))
+        assert batcher.depth == 2
+        assert len(batcher.next_batch(timeout=1.0)) == 2
+
+    def test_depth_tracks_queue_occupancy(self):
+        batcher = MicroBatcher(max_batch=2, max_wait_ms=0.0)
+        assert batcher.depth == 0
+        batcher.submit(_request())
+        batcher.submit(_request())
+        batcher.submit(_request())
+        assert batcher.depth == 3
+        batcher.next_batch(timeout=1.0)
+        assert batcher.depth == 1
+
+
+class TestShutdown:
+    def test_submit_after_close_raises(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        with pytest.raises(QueueClosedError):
+            batcher.submit(_request())
+
+    def test_closed_and_drained_returns_none(self):
+        batcher = MicroBatcher(max_batch=4, max_wait_ms=0.0)
+        batcher.submit(_request())
+        batcher.close()
+        assert len(batcher.next_batch(timeout=1.0)) == 1  # drains
+        assert batcher.next_batch(timeout=1.0) is None  # signals exit
+
+    def test_close_wakes_a_blocked_consumer(self):
+        batcher = MicroBatcher()
+        result = {}
+
+        def consumer():
+            result["batch"] = batcher.next_batch(timeout=5.0)
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.05)
+        batcher.close()
+        thread.join(2.0)
+        assert not thread.is_alive()
+        assert result["batch"] is None
+
+    def test_cancel_pending_cancels_futures(self):
+        batcher = MicroBatcher()
+        futures = [batcher.submit(_request(i)) for i in range(3)]
+        batcher.close(cancel_pending=True)
+        assert all(future.cancelled() for future in futures)
+        assert batcher.depth == 0
+        assert batcher.next_batch(timeout=0.1) is None
+
+
+class TestValidation:
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ms=-1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_queue=0)

@@ -1,0 +1,104 @@
+"""CLI tests for ``repro serve`` (parser wiring and error paths)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestServeParser:
+    def test_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "some/artifact"])
+        assert args.artifact == "some/artifact"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 2
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 5.0
+        assert args.max_queue == 1024
+        assert args.drift_window == 256
+        assert not args.verbose
+
+    def test_knobs_parse(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve", "a", "--port", "0", "--workers", "4", "--max-batch",
+            "16", "--max-wait-ms", "2.5", "--max-queue", "64",
+            "--drift-window", "32", "--drift-threshold", "2.0", "-v",
+        ])
+        assert args.port == 0
+        assert args.workers == 4
+        assert args.max_batch == 16
+        assert args.max_wait_ms == 2.5
+        assert args.max_queue == 64
+        assert args.drift_window == 32
+        assert args.drift_threshold == 2.0
+        assert args.verbose
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "a", "--workers", "0"])
+
+    def test_missing_artifact_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+
+class TestServeHappyPath:
+    def test_serve_boots_and_shuts_down_cleanly(self, artifact_dir, capsys,
+                                                monkeypatch):
+        """Cover the full serve path: load, bind, announce, drain, exit 0.
+
+        ``serve_forever`` is patched to raise ``KeyboardInterrupt``
+        immediately — exactly what Ctrl-C produces — so the command runs
+        its whole lifecycle without blocking the test."""
+        from repro.serving.server import ModelServer
+
+        def interrupt(self):
+            self.pool.start()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ModelServer, "serve_forever", interrupt)
+        exit_code = main(["serve", str(artifact_dir), "--port", "0",
+                          "--workers", "1", "--max-batch", "4"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "serving spikedyn" in captured.out
+        assert "listening on http://127.0.0.1:" in captured.out
+        assert "POST /predict" in captured.out
+        assert "shutting down" in captured.err
+
+
+class TestServeErrors:
+    def test_nonexistent_artifact_exits_1(self, tmp_path, capsys):
+        exit_code = main(["serve", str(tmp_path / "ghost"), "--port", "0"])
+        assert exit_code == 1
+        assert "not a model artifact" in capsys.readouterr().err
+
+    def test_unknown_model_name_exits_1(self, artifact_dir, tmp_path, capsys):
+        """ArtifactError raised while building replicas (not just while
+        loading) must also take the clean error path."""
+        from repro.utils.serialization import load_json, save_json
+
+        target = tmp_path / "unknown-model"
+        target.mkdir()
+        (target / "state.npz").write_bytes(
+            (artifact_dir / "state.npz").read_bytes()
+        )
+        metadata = load_json(artifact_dir / "model.json")
+        metadata["meta"]["name"] = "transformer"
+        save_json(metadata, target / "model.json")
+        exit_code = main(["serve", str(target), "--port", "0"])
+        assert exit_code == 1
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_corrupt_artifact_exits_1(self, tmp_path, capsys):
+        directory = tmp_path / "broken"
+        directory.mkdir()
+        (directory / "model.json").write_text("{}", encoding="utf-8")
+        (directory / "state.npz").write_bytes(b"not an npz")
+        exit_code = main(["serve", str(directory), "--port", "0"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err

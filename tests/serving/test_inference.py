@@ -1,0 +1,138 @@
+"""Seeded encoding and the serving/offline equivalence contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    PredictionService,
+    PredictRequest,
+    derive_request_seed,
+    encode_request,
+    offline_predictions,
+)
+
+
+class TestSeededEncoding:
+    def test_derived_seed_is_deterministic(self, request_images):
+        image = request_images[0]
+        assert derive_request_seed(image) == derive_request_seed(image.copy())
+
+    def test_derived_seed_differs_across_images(self, request_images):
+        seeds = {derive_request_seed(image) for image in request_images}
+        assert len(seeds) == len(request_images)
+
+    def test_encoding_is_a_pure_function_of_image_and_seed(self, artifact,
+                                                           request_images):
+        model = artifact.build_model()
+        image = request_images[0]
+        first = encode_request(model, image, 123)
+        second = encode_request(model, image, 123)
+        np.testing.assert_array_equal(first, second)
+        assert first.shape == (model.encoder.timesteps, model.n_input)
+        assert first.dtype == bool
+
+    def test_different_seeds_give_different_trains(self, artifact,
+                                                   request_images):
+        model = artifact.build_model()
+        image = request_images[0]
+        first = encode_request(model, image, 1)
+        second = encode_request(model, image, 2)
+        assert not np.array_equal(first, second)
+
+    def test_encoder_state_is_never_consumed(self, artifact, request_images):
+        """Serving encoding must not advance the model's own encoder RNG."""
+        model = artifact.build_model()
+        before = model.encoder._rng.bit_generator.state
+        encode_request(model, request_images[0], 5)
+        after = model.encoder._rng.bit_generator.state
+        assert before == after
+
+    def test_request_resolves_missing_seed_from_image(self, request_images):
+        request = PredictRequest(image=request_images[0])
+        assert request.resolved_seed() == derive_request_seed(request_images[0])
+        explicit = PredictRequest(image=request_images[0], seed=7)
+        assert explicit.resolved_seed() == 7
+
+
+class TestBatchGroupingEquivalence:
+    @pytest.mark.parametrize("group_size", [1, 3, 5, 12])
+    def test_any_grouping_matches_offline_path(self, artifact, request_images,
+                                               request_seeds, group_size):
+        """Micro-batch composition must not affect any prediction."""
+        model = artifact.build_model()
+        reference = offline_predictions(model, request_images, request_seeds)
+
+        service = PredictionService(artifact.build_model())
+        requests = [PredictRequest(image=image, seed=seed)
+                    for image, seed in zip(request_images, request_seeds)]
+        grouped = []
+        for start in range(0, len(requests), group_size):
+            grouped.extend(
+                result.prediction for result in
+                service.predict_batch(requests[start:start + group_size])
+            )
+        np.testing.assert_array_equal(np.asarray(grouped), reference)
+
+    def test_results_carry_scores_and_spike_counts(self, artifact,
+                                                   request_images):
+        service = PredictionService(artifact.build_model())
+        results = service.predict_batch(
+            [PredictRequest(image=image, seed=index)
+             for index, image in enumerate(request_images[:4])]
+        )
+        assert len(results) == 4
+        for result in results:
+            assert result.scores.shape == (10,)
+            assert result.spike_count >= 0.0
+            assert result.prediction == int(np.argmax(result.scores))
+            payload = result.to_dict()
+            assert set(payload) == {"prediction", "seed", "spike_count",
+                                    "scores"}
+
+    def test_consecutive_batches_are_independent(self, artifact,
+                                                 request_images):
+        """A replica must not drift: same request, same answer, any history."""
+        service = PredictionService(artifact.build_model())
+        request = PredictRequest(image=request_images[0], seed=42)
+        first = service.predict_batch([request])[0]
+        # Serve unrelated traffic in between.
+        service.predict_batch([
+            PredictRequest(image=image, seed=index)
+            for index, image in enumerate(request_images)
+        ])
+        second = service.predict_batch([request])[0]
+        assert first.prediction == second.prediction
+        assert first.spike_count == second.spike_count
+        np.testing.assert_array_equal(first.scores, second.scores)
+
+    def test_empty_batch_is_a_no_op(self, artifact):
+        service = PredictionService(artifact.build_model())
+        assert service.predict_batch([]) == []
+
+
+class TestOfflineReference:
+    def test_offline_matches_derived_seeds(self, artifact, request_images):
+        """Omitted seeds derive from image content on both paths."""
+        model = artifact.build_model()
+        explicit = offline_predictions(
+            model, request_images,
+            [derive_request_seed(image) for image in request_images],
+        )
+        derived = offline_predictions(model, request_images)
+        np.testing.assert_array_equal(explicit, derived)
+
+    def test_chunk_size_does_not_matter(self, artifact, request_images,
+                                        request_seeds):
+        model = artifact.build_model()
+        full = offline_predictions(model, request_images, request_seeds,
+                                   batch_size=len(request_images))
+        single = offline_predictions(model, request_images, request_seeds,
+                                     batch_size=1)
+        np.testing.assert_array_equal(full, single)
+
+    def test_seed_count_mismatch_raises(self, artifact, request_images):
+        model = artifact.build_model()
+        with pytest.raises(ValueError, match="seeds"):
+            offline_predictions(model, request_images, [1, 2])

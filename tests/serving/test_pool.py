@@ -1,0 +1,163 @@
+"""Replica-pool tests: concurrent equivalence, isolation, failure paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    PredictRequest,
+    QueueClosedError,
+    ReplicaPool,
+    offline_predictions,
+    pool_sender,
+    run_load,
+)
+
+
+@pytest.fixture
+def pool(artifact):
+    pool = ReplicaPool.from_artifact(artifact, workers=2, max_batch=8,
+                                     max_wait_ms=5.0, max_queue=256)
+    with pool:
+        yield pool
+
+
+class TestConcurrentEquivalence:
+    def test_concurrent_predictions_match_offline_batched_path(
+            self, pool, artifact, request_images, request_seeds):
+        """The tentpole guarantee: micro-batched concurrent serving returns
+        predictions bit-identical to the offline ``eval_batch_size`` path."""
+        reference = offline_predictions(artifact.build_model(),
+                                        request_images, request_seeds)
+        report = run_load(pool_sender(pool), request_images, request_seeds,
+                          concurrency=8)
+        assert report.errors == []
+        np.testing.assert_array_equal(report.predictions, reference)
+
+    def test_equivalence_holds_per_seed(self, pool, artifact, request_images):
+        """Changing a request's seed changes (only) that request's answer."""
+        model = artifact.build_model()
+        image = request_images[0]
+        for seed in (0, 1, 99):
+            served = pool.predict(image, seed=seed, timeout=30.0)
+            reference = offline_predictions(model, [image], [seed])[0]
+            assert served.prediction == reference
+
+    def test_repeated_requests_are_reproducible(self, pool, request_images):
+        first = pool.predict(request_images[0], seed=5, timeout=30.0)
+        second = pool.predict(request_images[0], seed=5, timeout=30.0)
+        assert first.prediction == second.prediction
+        assert first.spike_count == second.spike_count
+        np.testing.assert_array_equal(first.scores, second.scores)
+
+
+class TestReplicaIsolation:
+    def test_replicas_share_no_mutable_state(self, pool):
+        services = pool.replicas
+        assert len(services) == 2
+        first, second = services[0].model, services[1].model
+        assert first is not second
+        assert first.network is not second.network
+        assert not np.shares_memory(first.input_weights, second.input_weights)
+        assert not np.shares_memory(first.assignments, second.assignments)
+        theta_a = first.network.group("excitatory").theta
+        theta_b = second.network.group("excitatory").theta
+        assert not np.shares_memory(theta_a, theta_b)
+
+    def test_corrupting_one_replica_does_not_leak(self, artifact,
+                                                  request_images):
+        """Zeroing replica 0's weights must leave replica 1's answers intact."""
+        pool = ReplicaPool.from_artifact(artifact, workers=2, max_batch=4)
+        clean = offline_predictions(artifact.build_model(),
+                                    request_images[:3], [0, 1, 2])
+        pool.replicas[0].model.input_weights[:] = 0.0
+        requests = [PredictRequest(image=image, seed=seed)
+                    for image, seed in zip(request_images[:3], [0, 1, 2])]
+        predictions = [result.prediction
+                       for result in pool.replicas[1].predict_batch(requests)]
+        np.testing.assert_array_equal(np.asarray(predictions), clean)
+
+
+class TestLifecycleAndFailures:
+    def test_wrong_image_size_is_rejected_synchronously(self, pool):
+        with pytest.raises(ValueError, match="pixels"):
+            pool.submit(np.zeros(7))
+        snapshot = pool.metrics_snapshot()
+        assert snapshot["rejected_total"] >= 1
+
+    def test_worker_exception_propagates_to_the_future(self, artifact,
+                                                       request_images):
+        pool = ReplicaPool.from_artifact(artifact, workers=1, max_batch=4)
+
+        def explode(requests):
+            raise RuntimeError("boom")
+
+        pool.replicas[0].predict_batch = explode
+        with pool:
+            future = pool.submit(request_images[0], seed=0)
+            with pytest.raises(RuntimeError, match="boom"):
+                future.result(10.0)
+        assert pool.metrics_snapshot()["errors_total"] == 1
+
+    def test_stop_drains_pending_requests(self, artifact, request_images):
+        pool = ReplicaPool.from_artifact(artifact, workers=1, max_batch=4,
+                                         max_wait_ms=0.0)
+        pool.start()
+        futures = [pool.submit(image, seed=index)
+                   for index, image in enumerate(request_images[:4])]
+        pool.stop()
+        assert all(future.done() for future in futures)
+        assert all(future.result(0).prediction >= 0 for future in futures)
+
+    def test_submit_after_stop_raises(self, artifact, request_images):
+        pool = ReplicaPool.from_artifact(artifact, workers=1)
+        pool.start()
+        pool.stop()
+        with pytest.raises(QueueClosedError):
+            pool.submit(request_images[0])
+
+    def test_restarting_a_stopped_pool_is_refused(self, artifact):
+        """A stopped pool's queue is closed forever; a second start() must
+        fail loudly instead of reporting healthy-but-dead workers."""
+        pool = ReplicaPool.from_artifact(artifact, workers=1)
+        pool.start()
+        pool.stop()
+        with pytest.raises(RuntimeError, match="cannot be restarted"):
+            pool.start()
+
+    def test_negative_intensities_are_rejected_synchronously(
+            self, pool, request_images):
+        """One bad image must not poison a whole micro-batch in a worker."""
+        bad = np.array(request_images[0], dtype=float)
+        bad[0] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            pool.submit(bad)
+
+    def test_predict_timeout_cancels_the_request(self, artifact,
+                                                 request_images):
+        """A timed-out predict() must not leave its request consuming a
+        worker later."""
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        pool = ReplicaPool.from_artifact(artifact, workers=1, max_batch=2)
+        # Workers never started: the request stays queued past the timeout.
+        with pytest.raises(FutureTimeoutError):
+            pool.predict(request_images[0], seed=0, timeout=0.05)
+        pending = pool.batcher.next_batch(timeout=0.1)
+        assert len(pending) == 1
+        assert pending[0].future.cancelled()
+
+    def test_metrics_account_for_every_request(self, pool, request_images,
+                                               request_seeds):
+        run_load(pool_sender(pool), request_images, request_seeds,
+                 concurrency=6)
+        snapshot = pool.metrics_snapshot()
+        n = len(request_images)
+        assert snapshot["requests_total"] >= n
+        assert snapshot["responses_total"] >= n
+        histogram = snapshot["batch_size_histogram"]
+        assert sum(int(size) * count for size, count in histogram.items()) \
+            >= n
+        assert "p99_ms" in snapshot["latency"]
+        assert snapshot["queue_depth"] == 0

@@ -1,0 +1,177 @@
+"""HTTP server tests: the end-to-end hammer plus protocol error paths."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    ModelServer,
+    ReplicaPool,
+    SpikeCountDriftDetector,
+    fetch_json,
+    http_sender,
+    offline_predictions,
+    run_load,
+)
+
+
+@pytest.fixture
+def server(artifact):
+    pool = ReplicaPool.from_artifact(
+        artifact, workers=2, max_batch=8, max_wait_ms=5.0, max_queue=256,
+        drift_detector=SpikeCountDriftDetector(window=8),
+    )
+    with ModelServer(pool, port=0) as server:
+        yield server
+
+
+def _post(url: str, payload: object, raw: bytes = None) -> tuple:
+    body = raw if raw is not None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url + "/predict", data=body,
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+@pytest.mark.integration
+class TestEndToEnd:
+    def test_sixteen_thread_hammer_matches_offline(self, server, artifact,
+                                                   request_images,
+                                                   request_seeds):
+        """Boot on an ephemeral port, hammer from 16 threads, and require
+        every response to be valid and bit-identical to the offline path."""
+        images = request_images * 4  # 48 requests
+        seeds = [seed + 1000 * repeat
+                 for repeat in range(4) for seed in request_seeds]
+        reference = offline_predictions(artifact.build_model(), images, seeds)
+        report = run_load(http_sender(server.url), images, seeds,
+                          concurrency=16)
+        assert report.errors == []
+        assert report.ok == len(images)
+        np.testing.assert_array_equal(report.predictions, reference)
+
+    def test_healthz_reports_deployment_shape(self, server):
+        health = fetch_json(server.url, "/healthz")
+        assert health["status"] == "ok"
+        assert health["model"] == "spikedyn"
+        assert health["workers"] == 2
+        assert health["max_batch"] == 8
+        assert health["n_input"] == 196
+
+    def test_metrics_after_load(self, server, request_images, request_seeds):
+        run_load(http_sender(server.url), request_images, request_seeds,
+                 concurrency=8)
+        metrics = fetch_json(server.url, "/metrics")
+        n = len(request_images)
+        assert metrics["requests_total"] >= n
+        assert metrics["responses_total"] >= n
+        assert metrics["errors_total"] == 0
+        histogram = metrics["batch_size_histogram"]
+        assert sum(int(size) * count
+                   for size, count in histogram.items()) >= n
+        latency = metrics["latency"]
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert latency[key] >= 0.0
+        assert latency["p50_ms"] <= latency["p99_ms"]
+        assert metrics["drift"]["observed"] >= n
+
+    def test_predict_response_shape(self, server, request_images):
+        status, body = _post(server.url, {
+            "image": request_images[0].ravel().tolist(), "seed": 3,
+        })
+        assert status == 200
+        assert body["seed"] == 3
+        assert body["model"] == "spikedyn"
+        assert isinstance(body["prediction"], int)
+        assert len(body["scores"]) == 10
+        assert body["spike_count"] >= 0.0
+
+    def test_nested_image_lists_are_accepted(self, server, request_images):
+        nested = request_images[0].reshape(14, 14).tolist()
+        status, body = _post(server.url, {"image": nested, "seed": 3})
+        assert status == 200
+        flat_status, flat_body = _post(server.url, {
+            "image": request_images[0].ravel().tolist(), "seed": 3,
+        })
+        assert flat_status == 200
+        assert body["prediction"] == flat_body["prediction"]
+
+
+@pytest.mark.integration
+class TestProtocolErrors:
+    def test_unknown_paths_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch_json(server.url, "/nope")
+        assert excinfo.value.code == 404
+        request = urllib.request.Request(
+            server.url + "/other", data=b"{}", method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_malformed_json_400(self, server):
+        status, body = _post(server.url, None, raw=b"{not json")
+        assert status == 400
+        assert "JSON" in body["error"]
+
+    def test_missing_image_field_400(self, server):
+        status, body = _post(server.url, {"seed": 1})
+        assert status == 400
+        assert "image" in body["error"]
+
+    def test_wrong_image_size_400(self, server):
+        status, body = _post(server.url, {"image": [0.1, 0.2, 0.3]})
+        assert status == 400
+        assert "pixels" in body["error"]
+
+    def test_non_numeric_image_400(self, server):
+        status, body = _post(server.url, {"image": ["a"] * 196})
+        assert status == 400
+
+    def test_non_finite_image_400(self, server):
+        status, body = _post(server.url, {
+            "image": [float("nan")] + [0.0] * 195,
+        })
+        assert status == 400
+        assert "finite" in body["error"]
+
+    def test_negative_image_400(self, server):
+        status, body = _post(server.url, {
+            "image": [-0.1] + [0.0] * 195,
+        })
+        assert status == 400
+        assert "non-negative" in body["error"]
+
+    def test_non_integer_seed_400(self, server, request_images):
+        status, body = _post(server.url, {
+            "image": request_images[0].ravel().tolist(), "seed": "abc",
+        })
+        assert status == 400
+        assert "seed" in body["error"]
+
+    def test_empty_body_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/predict", data=b"",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_shutdown_returns_503(self, server, request_images):
+        server.pool.stop()
+        status, body = _post(server.url, {
+            "image": request_images[0].ravel().tolist(),
+        })
+        assert status == 503
+        assert "shutting down" in body["error"]

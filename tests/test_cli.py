@@ -14,7 +14,8 @@ class TestParser:
                              if hasattr(action, "choices") and action.choices]
         commands = set(subparser_actions[0].choices)
         assert commands == {"info", "train", "evaluate", "search", "energy",
-                            "reproduce", "run-all", "scenarios", "cache"}
+                            "reproduce", "run-all", "scenarios", "serve",
+                            "cache"}
 
     def test_reproduce_knows_every_driver(self):
         assert set(EXPERIMENT_DRIVERS) == {
