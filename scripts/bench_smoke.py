@@ -100,6 +100,30 @@ def run_smoke(batch_size: int, repeats: int) -> Dict[str, object]:
 
     timings["training_stream_s"] = _time_best_of(training_stream, repeats)
 
+    # Compute backends: dense reference vs sparse event-driven kernels on the
+    # batched inference hot path.  The comparison runs at paper-like input
+    # width (28x28) with a mid-size excitatory layer and a low-density random
+    # spike train — the regime the sparse backend is built for; the tiny
+    # encoder-driven workloads above stay on the dense default.
+    backend_trains = (
+        np.random.default_rng(42).random((16, 30, 784)) < 0.03
+    )
+
+    def backend_runner(backend: str):
+        backend_config = SpikeDynConfig.scaled_down(
+            n_input=784, n_exc=200, t_sim=30.0, seed=0, backend=backend
+        )
+        network = SpikeDynModel(backend_config).network
+        return lambda: network.run_batch(backend_trains, learning=False)
+
+    timings["backends_dense_s"] = _time_best_of(backend_runner("dense"),
+                                                repeats)
+    timings["backends_sparse_s"] = _time_best_of(backend_runner("sparse"),
+                                                 repeats)
+    timings["backends_speedup_x"] = (
+        timings["backends_dense_s"] / timings["backends_sparse_s"]
+    )
+
     # Serving: micro-batched replica pool vs per-request sequential serving
     # under concurrent load (the in-process stack behind `repro serve`).
     import tempfile

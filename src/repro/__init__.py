@@ -22,6 +22,7 @@ Quickstart
 """
 
 from repro.core.config import SpikeDynConfig
+from repro.backends import available_backends, get_backend
 from repro.core.framework import SpikeDynFramework
 from repro.core.learning import SpikeDynLearningRule
 from repro.core.model_search import search_snn_model
@@ -32,7 +33,7 @@ from repro.models.spikedyn_model import SpikeDynModel
 
 # Part of every content-addressed job key: bumping the version invalidates
 # the on-disk result cache by design.
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ASPModel",
@@ -42,6 +43,8 @@ __all__ = [
     "SpikeDynLearningRule",
     "SpikeDynModel",
     "SyntheticDigits",
+    "available_backends",
+    "get_backend",
     "search_snn_model",
     "__version__",
 ]

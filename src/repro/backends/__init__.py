@@ -1,0 +1,137 @@
+"""Pluggable compute backends for the SNN simulation engine.
+
+The engine's state-update kernels (LIF membrane update, conductance/trace
+decay, synaptic propagation, STDP weight updates, threshold adaptation) live
+behind the :class:`~repro.backends.base.Backend` interface, selected by name
+through a small registry:
+
+>>> from repro.backends import get_backend
+>>> get_backend("dense")        # bit-for-bit reference kernels
+DenseBackend(name='dense')
+>>> get_backend("sparse")       # event-driven gather/scatter kernels
+SparseEventBackend(name='sparse')
+
+Backend selection threads through every layer of the system:
+``Network(backend=...)``, ``SpikeDynConfig(backend=...)`` (and therefore
+model artifacts, schema v3), ``ExperimentScale(backend=...)`` (and therefore
+runner cache keys), ``repro serve --backend``, and ``repro backends list``.
+
+Backends are stateless kernel bundles, so :func:`get_backend` hands out one
+shared instance per name.  Future accelerator backends (numba JIT, float32,
+GPU) register themselves with :func:`register_backend` and report
+:meth:`~repro.backends.base.Backend.available` based on their optional
+dependency, without the rest of the system changing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type, Union
+
+from repro.backends.base import Backend
+from repro.backends.dense import DenseBackend
+from repro.backends.sparse import SparseEventBackend
+
+#: Backend used when nothing selects one explicitly.
+DEFAULT_BACKEND = "dense"
+
+#: Registered backend classes by name, in registration order.
+_REGISTRY: Dict[str, Type[Backend]] = {}
+
+#: Shared stateless instances handed out by :func:`get_backend`.
+_INSTANCES: Dict[str, Backend] = {}
+
+BackendLike = Union[None, str, Backend]
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Register a :class:`Backend` subclass under its ``name`` (decorator).
+
+    Raises ``ValueError`` on an empty or already-taken name so two backends
+    can never silently shadow each other.
+    """
+    name = getattr(cls, "name", "")
+    if not name or name == Backend.name:
+        raise ValueError(f"backend class {cls.__name__} must set a name")
+    if name in _REGISTRY and _REGISTRY[name] is not cls:
+        raise ValueError(
+            f"a backend named {name!r} is already registered "
+            f"({_REGISTRY[name].__name__})"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def backend_names() -> List[str]:
+    """Names of every registered backend, in registration order."""
+    return list(_REGISTRY)
+
+
+def available_backends() -> Dict[str, Type[Backend]]:
+    """Registered backends whose dependencies are importable right now."""
+    return {name: cls for name, cls in _REGISTRY.items() if cls.available()}
+
+
+def describe_backend(name: str) -> Dict[str, object]:
+    """JSON-safe summary of a registered backend, without instantiating it.
+
+    Works for unavailable backends too (name, description, and availability
+    are all class-level), which is what lets ``repro backends list`` show
+    ``available: no`` instead of failing on the missing dependency.
+    """
+    cls = _REGISTRY[normalize_backend_name(name)]
+    return {
+        "name": cls.name,
+        "description": cls.description,
+        "available": cls.available(),
+    }
+
+
+def normalize_backend_name(name: str) -> str:
+    """Validate ``name`` against the registry and return it.
+
+    Raises ``ValueError`` naming the known backends — used by configuration
+    objects that must record a backend without instantiating it.
+    """
+    name = str(name)
+    if name not in _REGISTRY:
+        known = ", ".join(backend_names())
+        raise ValueError(f"unknown backend {name!r}; known backends: {known}")
+    return name
+
+
+def get_backend(backend: BackendLike = None) -> Backend:
+    """Resolve ``backend`` to a shared :class:`Backend` instance.
+
+    Accepts a registered name, an existing instance (returned as is), or
+    ``None`` for the default (``dense``).  Raises ``ValueError`` for unknown
+    names and ``RuntimeError`` for registered-but-unavailable backends.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    name = DEFAULT_BACKEND if backend is None else normalize_backend_name(backend)
+    if name not in _INSTANCES:
+        cls = _REGISTRY[name]
+        if not cls.available():
+            raise RuntimeError(
+                f"backend {name!r} is registered but not available in this "
+                "environment"
+            )
+        _INSTANCES[name] = cls()
+    return _INSTANCES[name]
+
+
+register_backend(DenseBackend)
+register_backend(SparseEventBackend)
+
+__all__ = [
+    "Backend",
+    "DenseBackend",
+    "SparseEventBackend",
+    "DEFAULT_BACKEND",
+    "available_backends",
+    "backend_names",
+    "describe_backend",
+    "get_backend",
+    "normalize_backend_name",
+    "register_backend",
+]

@@ -1,0 +1,137 @@
+"""The compute-backend kernel interface.
+
+A :class:`Backend` bundles every *state-update kernel* the simulation engine
+executes on its hot path — LIF membrane integration, threshold adaptation,
+conductance/trace decay, synaptic propagation, and the STDP weight-update
+deltas.  The orchestration layers (:mod:`repro.snn`, :mod:`repro.learning`)
+own shapes, lifecycles, and :class:`~repro.snn.simulation.OperationCounter`
+accounting; backends own nothing but the arithmetic.  That split is what
+makes the engine retargetable: a backend may reorder the arithmetic (e.g.
+visit only spike events), run at a different precision, or dispatch to a
+JIT/GPU kernel, without the network, models, runner, or serving layers
+knowing anything changed.
+
+Two implementations ship today — :class:`repro.backends.dense.DenseBackend`
+(the reference vectorized-NumPy kernels, bit-for-bit identical to the
+pre-backend engine) and :class:`repro.backends.sparse.SparseEventBackend`
+(event-driven gather/scatter kernels that touch only spiking rows/columns).
+Operation accounting is *modelled* (GPU-style dense charging, paper Section
+III) rather than measured, so every backend reports identical
+``OperationCounter`` tallies for the same simulation.
+
+Conventions shared by every kernel:
+
+* ``spikes`` arguments are boolean arrays shaped ``(n,)`` in single-sample
+  mode or ``(batch, n)`` in batch mode; kernels must handle both.
+* Decay factors are precomputed by the caller (``exp(-dt / tau)``) so all
+  backends see the exact same scalar.
+* Kernels may mutate arrays marked "in place" below and must *return* the
+  array holding the result either way; callers always rebind.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class Backend(abc.ABC):
+    """Abstract kernel set behind the simulation engine's hot path."""
+
+    #: Registry key (``repro.backends.get_backend(name)``).
+    name: str = "abstract"
+    #: One-line human-readable description (``repro backends list``).
+    description: str = ""
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current environment.
+
+        Pure-NumPy backends are always available; backends wrapping optional
+        accelerators (numba, GPU) override this to probe their dependency
+        instead of failing at first kernel call.
+        """
+        return True
+
+    # -- neuron kernels ------------------------------------------------------
+
+    @abc.abstractmethod
+    def lif_step(self, v: np.ndarray, refrac_remaining: np.ndarray,
+                 input_current: np.ndarray, threshold: np.ndarray, *,
+                 decay: float, v_rest: float, v_reset: float,
+                 refractory: float, dt: float):
+        """One LIF timestep: decay, integrate, fire, reset.
+
+        Returns the ``(v, spikes, refrac_remaining)`` triple for the next
+        timestep.  ``threshold`` broadcasts against ``v`` (it is ``(n,)``
+        for a fixed threshold even in batch mode).
+        """
+
+    @abc.abstractmethod
+    def theta_step(self, theta: np.ndarray, spikes: np.ndarray, *,
+                   decay: float, theta_plus: float) -> np.ndarray:
+        """Threshold-adaptation update: decay ``theta``, bump it on spikes."""
+
+    # -- synapse kernels -----------------------------------------------------
+
+    @abc.abstractmethod
+    def decay_state(self, values: np.ndarray, decay: float) -> np.ndarray:
+        """Exponential decay of a state vector, in place."""
+
+    @abc.abstractmethod
+    def propagate_spikes(self, conductance: np.ndarray,
+                         pre_spikes: np.ndarray,
+                         weights: np.ndarray) -> None:
+        """Add each spiking presynaptic neuron's weight row into the
+        postsynaptic conductance, in place.
+
+        ``conductance`` is ``(n_post,)`` / ``(batch, n_post)`` and
+        ``pre_spikes`` ``(n_pre,)`` / ``(batch, n_pre)``.
+        """
+
+    @abc.abstractmethod
+    def propagate_lateral(self, conductance: np.ndarray, spikes: np.ndarray,
+                          strength: float) -> None:
+        """Uniform lateral inhibition: every spike inhibits all *other*
+        neurons of the group by ``strength``, accumulated in place."""
+
+    # -- trace kernels -------------------------------------------------------
+
+    @abc.abstractmethod
+    def bump_trace(self, values: np.ndarray, spikes: np.ndarray,
+                   increment: float, mode: str) -> np.ndarray:
+        """Bump the traces of the spiking neurons (``'set'`` or ``'add'``)."""
+
+    # -- STDP weight-update kernels ------------------------------------------
+
+    @abc.abstractmethod
+    def stdp_potentiation(self, pre_trace: np.ndarray,
+                          post_spikes: np.ndarray, weights: np.ndarray, *,
+                          nu: float, w_max: float,
+                          soft_bounds: bool) -> np.ndarray:
+        """Weight *increment* triggered by postsynaptic spikes.
+
+        Returns a full ``weights``-shaped delta (zero outside the spiking
+        postsynaptic columns) so callers can apply and account for it
+        uniformly across backends.
+        """
+
+    @abc.abstractmethod
+    def stdp_depression(self, pre_spikes: np.ndarray,
+                        post_trace: np.ndarray, weights: np.ndarray, *,
+                        nu: float, w_min: float,
+                        soft_bounds: bool) -> np.ndarray:
+        """Weight *decrement* (returned negative) triggered by presynaptic
+        spikes; zero outside the spiking presynaptic rows."""
+
+    def describe(self) -> dict:
+        """JSON-safe summary used by the CLI and the serving metrics."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "available": type(self).available(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -27,6 +27,9 @@ driven without writing Python:
 ``spikedyn-repro serve``
     Serve a saved model artifact over HTTP with micro-batched concurrent
     inference (``POST /predict``, ``GET /healthz``, ``GET /metrics``).
+``spikedyn-repro backends``
+    List the registered compute backends (dense reference kernels, sparse
+    event-driven kernels, ...) and their availability.
 ``spikedyn-repro cache``
     Inspect or clear the on-disk result cache.
 
@@ -43,6 +46,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.backends import backend_names, describe_backend
 from repro.core.config import SpikeDynConfig
 from repro.core.model_search import search_snn_model
 from repro.datasets.streams import dynamic_task_stream, nondynamic_stream
@@ -90,6 +94,7 @@ def _build_config(args: argparse.Namespace) -> SpikeDynConfig:
         n_exc=args.n_exc,
         t_sim=args.t_sim,
         seed=args.seed,
+        backend=getattr(args, "backend", "dense"),
     )
 
 
@@ -137,6 +142,9 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eval-batch-size", type=_positive_int, default=32,
                         help="samples advanced per vectorized engine step "
                              "during evaluation (1 = sequential)")
+    parser.add_argument("--backend", choices=backend_names(), default="dense",
+                        help="compute backend executing the simulation "
+                             "kernels (see 'backends list')")
 
 
 def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
@@ -158,6 +166,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"SpikeDyn reproduction, version {repro.__version__}")
     print()
     print("models     :", ", ".join(sorted(MODEL_BUILDERS)))
+    print("backends   :", ", ".join(backend_names()))
     print("devices    :", ", ".join(device.name for device in default_devices()))
     print("experiments:", ", ".join(sorted(EXPERIMENT_DRIVERS)))
     print("scales     :", ", ".join(sorted(SCALE_PRESETS)))
@@ -356,7 +365,7 @@ def _summarize_run(records: Sequence[JobRecord]) -> int:
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
-    scale = SCALE_PRESETS[args.scale](seed=args.seed)
+    scale = SCALE_PRESETS[args.scale](seed=args.seed, backend=args.backend)
     if args.workers is None:
         ignored = [flag for flag, value in (
             ("--timeout", args.timeout is not None),
@@ -390,7 +399,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_run_all(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     scales = scales_for_preset(args.scale, seed=args.seed,
-                               paper_networks=args.paper_networks)
+                               paper_networks=args.paper_networks,
+                               backend=args.backend)
     jobs = build_suite(scales, experiments=args.drivers,
                        scale_overrides=default_scale_overrides(args.scale, scales),
                        timeout=args.timeout)
@@ -491,6 +501,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pool = ReplicaPool.from_artifact(
             artifact,
             workers=args.workers,
+            backend=args.backend,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue,
@@ -513,7 +524,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"schema v{described['schema_version']}) from {args.artifact}",
           flush=True)
     print(f"listening on http://{host}:{port} "
-          f"(workers={args.workers}, max_batch={args.max_batch}, "
+          f"(workers={args.workers}, backend={pool.backend_name}, "
+          f"max_batch={args.max_batch}, "
           f"max_wait_ms={args.max_wait_ms:g})", flush=True)
     print("endpoints: POST /predict, GET /healthz, GET /metrics", flush=True)
     try:
@@ -523,6 +535,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr, flush=True)
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    if args.action != "list":  # pragma: no cover - argparse enforces choices
+        print(f"error: unknown backends action {args.action!r}", file=sys.stderr)
+        return 2
+    rows = []
+    for name in backend_names():
+        # describe_backend works off the registered class, so unavailable
+        # backends (missing optional dependency) still render as a row with
+        # "no" instead of raising at instantiation.
+        info = describe_backend(name)
+        rows.append([
+            info["name"],
+            "yes" if info["available"] else "no",
+            info["description"],
+        ])
+    print(format_table(["backend", "available", "description"], rows))
     return 0
 
 
@@ -628,6 +659,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run through the parallel runner with N worker "
                                 "processes and result caching (default: run "
                                 "in-process without caching)")
+    reproduce.add_argument("--backend", choices=backend_names(),
+                           default="dense",
+                           help="compute backend the experiment's models run "
+                                "on (part of the result-cache key)")
     _add_runner_arguments(reproduce)
     reproduce.set_defaults(handler=_cmd_reproduce)
 
@@ -654,6 +689,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument("--no-resume", action="store_true",
                          help="ignore a pre-existing manifest instead of "
                               "resuming from it")
+    run_all.add_argument("--backend", choices=backend_names(), default="dense",
+                         help="compute backend every experiment's models run "
+                              "on (part of each job's cache key)")
     _add_runner_arguments(run_all)
     run_all.set_defaults(handler=_cmd_run_all)
 
@@ -706,9 +744,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drift-threshold", type=float, default=3.0,
                        help="drift alarm threshold in reference standard "
                             "deviations")
+    serve.add_argument("--backend", choices=backend_names(), default=None,
+                       help="compute backend the replicas run on (default: "
+                            "the backend recorded in the artifact)")
     serve.add_argument("--verbose", "-v", action="store_true",
                        help="log every HTTP request to stderr")
     serve.set_defaults(handler=_cmd_serve)
+
+    backends = subparsers.add_parser(
+        "backends",
+        help="list the registered compute backends",
+    )
+    backends.add_argument("action", choices=("list",),
+                          help="what to do with the backend registry")
+    backends.set_defaults(handler=_cmd_backends)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk result cache"

@@ -98,6 +98,7 @@ def build_baseline_network(
     exc_to_inh_strength: float = EXC_TO_INH_STRENGTH,
     inh_to_exc_strength: Optional[float] = None,
     name: str = "baseline",
+    backend=None,
 ) -> Network:
     """Build the excitatory + inhibitory architecture of Fig. 1(a).
 
@@ -117,13 +118,17 @@ def build_baseline_network(
         configuration's ``inhibition_strength``.
     name:
         Network identifier.
+    backend:
+        Compute backend (name or instance) for the network's kernels;
+        defaults to the configuration's ``backend`` field.
     """
     rng = ensure_rng(rng if rng is not None else config.seed)
     inh_strength = (
         config.inhibition_strength if inh_to_exc_strength is None else inh_to_exc_strength
     )
 
-    network = Network(config.simulation_parameters(), name=name)
+    network = Network(config.simulation_parameters(), name=name,
+                      backend=backend if backend is not None else config.backend)
     input_group, excitatory = _make_input_and_excitatory(config)
     inhibitory = LIFGroup(config.n_exc, name="inhibitory", **INHIBITORY_NEURON_DEFAULTS)
 
@@ -165,6 +170,7 @@ def build_spikedyn_network(
     learning_rule,
     rng: SeedLike = None,
     name: str = "spikedyn",
+    backend=None,
 ) -> Network:
     """Build SpikeDyn's optimized architecture (Fig. 4a, right).
 
@@ -185,10 +191,14 @@ def build_spikedyn_network(
         Seed or generator for the weight initialization.
     name:
         Network identifier.
+    backend:
+        Compute backend (name or instance) for the network's kernels;
+        defaults to the configuration's ``backend`` field.
     """
     rng = ensure_rng(rng if rng is not None else config.seed)
 
-    network = Network(config.simulation_parameters(), name=name)
+    network = Network(config.simulation_parameters(), name=name,
+                      backend=backend if backend is not None else config.backend)
     input_group, excitatory = _make_input_and_excitatory(config)
 
     policy = AdaptiveThresholdPolicy(

@@ -15,6 +15,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.backends import normalize_backend_name
 from repro.core.weight_decay import DECAY_SCALE, decay_rate_for_network_size
 from repro.snn.simulation import SimulationParameters
 from repro.utils.validation import (
@@ -70,6 +71,9 @@ class SpikeDynConfig:
         Bits per stored parameter, used by the analytical memory model.
     seed:
         Seed controlling weight initialization and Poisson encoding.
+    backend:
+        Registry name of the compute backend executing the simulation
+        kernels (``"dense"`` / ``"sparse"``; see :mod:`repro.backends`).
     """
 
     n_input: int = 784
@@ -124,6 +128,11 @@ class SpikeDynConfig:
     # Reproducibility.
     seed: Optional[int] = 0
 
+    # Compute backend executing the simulation kernels ("dense" / "sparse";
+    # see repro.backends).  Like ``seed`` it never changes *what* the model
+    # computes, only how, so artifact compatibility checks exempt it.
+    backend: str = "dense"
+
     def __post_init__(self) -> None:
         check_positive_int(self.n_input, "n_input")
         check_positive_int(self.n_exc, "n_exc")
@@ -149,6 +158,7 @@ class SpikeDynConfig:
         check_non_negative(self.decay_scale, "decay_scale")
         check_positive(self.tau_decay, "tau_decay")
         check_positive_int(self.bit_precision, "bit_precision")
+        normalize_backend_name(self.backend)
         if self.w_max <= self.w_min:
             raise ValueError(
                 f"w_max ({self.w_max}) must exceed w_min ({self.w_min})"

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.snn.simulation import OperationCounter
 from repro.snn.synapses import Connection
 from repro.snn.traces import SpikeTrace
@@ -43,10 +41,16 @@ class LearningRule:
         """Create the spike traces on first use (sizes come from the connection)."""
         if self.pre_trace is None or self.pre_trace.n != connection.pre.n:
             self.pre_trace = SpikeTrace(connection.pre.n, tau=self.tau_pre,
-                                        mode=self.trace_mode)
+                                        mode=self.trace_mode,
+                                        backend=connection.backend)
         if self.post_trace is None or self.post_trace.n != connection.post.n:
             self.post_trace = SpikeTrace(connection.post.n, tau=self.tau_post,
-                                         mode=self.trace_mode)
+                                         mode=self.trace_mode,
+                                         backend=connection.backend)
+        # Follow backend switches (e.g. Network.set_backend after traces
+        # were lazily created).
+        self.pre_trace.backend = connection.backend
+        self.post_trace.backend = connection.backend
 
     def _update_traces(self, connection: Connection, dt: float,
                        counter: Optional[OperationCounter]) -> None:
@@ -82,9 +86,3 @@ class LearningRule:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
-
-
-def outer_update(pre_vector: np.ndarray, post_vector: np.ndarray) -> np.ndarray:
-    """Outer product helper used by weight-update computations."""
-    return np.outer(np.asarray(pre_vector, dtype=float),
-                    np.asarray(post_vector, dtype=float))

@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.learning.base import LearningRule, outer_update
+from repro.learning.base import LearningRule
 from repro.snn.simulation import OperationCounter
 from repro.snn.synapses import Connection
 from repro.utils.validation import check_non_negative
@@ -64,20 +64,26 @@ class PairwiseSTDP(LearningRule):
     def _potentiation(self, connection: Connection,
                       post_spikes: np.ndarray) -> np.ndarray:
         """Weight increment triggered by the postsynaptic spikes."""
-        pre_trace = self.pre_trace.values
-        delta = self.nu_post * outer_update(pre_trace, post_spikes.astype(float))
-        if self.soft_bounds:
-            delta *= connection.w_max - connection.weights
-        return delta
+        return connection.backend.stdp_potentiation(
+            self.pre_trace.values,
+            post_spikes,
+            connection.weights,
+            nu=self.nu_post,
+            w_max=connection.w_max,
+            soft_bounds=self.soft_bounds,
+        )
 
     def _depression(self, connection: Connection,
                     pre_spikes: np.ndarray) -> np.ndarray:
         """Weight decrement triggered by the presynaptic spikes."""
-        post_trace = self.post_trace.values
-        delta = self.nu_pre * outer_update(pre_spikes.astype(float), post_trace)
-        if self.soft_bounds:
-            delta *= connection.weights - connection.w_min
-        return -delta
+        return connection.backend.stdp_depression(
+            pre_spikes,
+            self.post_trace.values,
+            connection.weights,
+            nu=self.nu_pre,
+            w_min=connection.w_min,
+            soft_bounds=self.soft_bounds,
+        )
 
     def step(self, connection: Connection, dt: float, t_index: int,
              counter: Optional[OperationCounter] = None) -> None:

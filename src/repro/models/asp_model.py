@@ -38,13 +38,17 @@ class ASPModel(UnsupervisedDigitClassifier):
     eval_batch_size:
         Samples advanced per vectorized engine step during evaluation
         (see :class:`~repro.models.base.UnsupervisedDigitClassifier`).
+    backend:
+        Compute backend (name or instance) executing the network's kernels;
+        defaults to the configuration's ``backend`` field.
     """
 
     def __init__(self, config: SpikeDynConfig, *,
                  learning_rule: Optional[ASPLearningRule] = None,
                  tau_leak: float = 2.0e4,
                  rng: SeedLike = None,
-                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE) -> None:
+                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE,
+                 backend=None) -> None:
         rule = learning_rule if learning_rule is not None else ASPLearningRule(
             nu_pre=config.nu_pre,
             nu_post=config.nu_post,
@@ -54,7 +58,8 @@ class ASPModel(UnsupervisedDigitClassifier):
             tau_leak=tau_leak,
         )
         network = build_baseline_network(
-            config, learning_rule=rule, rng=rng, name="asp"
+            config, learning_rule=rule, rng=rng, name="asp",
+            backend=backend,
         )
         super().__init__(config, network, name="asp",
                          eval_batch_size=eval_batch_size)

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.backends import BackendLike, normalize_backend_name
 from repro.core.config import SpikeDynConfig
 from repro.datasets.streams import StreamSample
 from repro.encoding.rate import PoissonRateEncoder
@@ -45,8 +46,10 @@ DEFAULT_EVAL_BATCH_SIZE = 32
 #: :meth:`UnsupervisedDigitClassifier.save`.  Version 1 is the legacy layout
 #: (no ``schema_version`` field, no encoder spec, no shape validation on
 #: load); version 2 adds the self-describing metadata consumed by the
-#: serving subsystem (:mod:`repro.serving.artifacts`).
-ARTIFACT_SCHEMA_VERSION = 2
+#: serving subsystem (:mod:`repro.serving.artifacts`); version 3 records the
+#: compute backend the model ran on (``backend`` key, validated against the
+#: backend registry on load — the stored state itself is backend-agnostic).
+ARTIFACT_SCHEMA_VERSION = 3
 
 #: JSON metadata file of a saved model artifact.
 ARTIFACT_METADATA_FILE = "model.json"
@@ -56,11 +59,13 @@ ARTIFACT_STATE_FILE = "state.npz"
 
 
 def read_artifact_dir(directory: PathLike):
-    """Read an artifact directory's ``(metadata, arrays, schema_version)``.
+    """Read an artifact directory's ``(metadata, arrays, schema_version,
+    backend)``.
 
     Shared by :meth:`UnsupervisedDigitClassifier.load_state` and
     :func:`repro.serving.artifacts.load_artifact` so both surfaces map
-    missing/corrupt files and unsupported schema versions to the same
+    missing/corrupt files, unsupported schema versions, and unknown compute
+    backends to the same
     :class:`~repro.utils.serialization.ArtifactError`.
     """
     directory = Path(directory)
@@ -87,7 +92,40 @@ def read_artifact_dir(directory: PathLike):
             f"{directory} uses artifact schema version {schema_version}, "
             f"but this library supports at most {ARTIFACT_SCHEMA_VERSION}"
         )
-    return metadata, arrays, schema_version
+    backend = validate_artifact_backend(metadata,
+                                        schema_version=schema_version,
+                                        source=directory)
+    return metadata, arrays, schema_version, backend
+
+
+def validate_artifact_backend(metadata: Dict[str, object], *,
+                              schema_version: int,
+                              source: object = "artifact") -> str:
+    """Check (and return) the compute backend recorded in an artifact.
+
+    Schema v3 artifacts must name a backend *registered* in this process
+    (earlier schemas predate the backend layer and default to ``"dense"``).
+    Registration is the whole requirement: an unavailable backend — one
+    whose optional dependency is missing — loads fine, because the stored
+    arrays are backend-agnostic and the recorded name is only the default
+    for rebuilds (``build_model(backend=...)`` can always override it).
+    Only a name no registered backend claims is rejected, exactly like any
+    other invalid configuration value.
+    """
+    backend = metadata.get("backend")
+    if backend is None:
+        if schema_version >= 3:
+            raise ArtifactError(
+                f"cannot load {source} (schema version {schema_version}): "
+                "missing the 'backend' field"
+            )
+        return "dense"
+    try:
+        return normalize_backend_name(str(backend))
+    except ValueError as error:
+        raise ArtifactError(
+            f"cannot load {source} (schema version {schema_version}): {error}"
+        ) from None
 
 
 def validate_config_compatibility(stored: "SpikeDynConfig",
@@ -96,15 +134,18 @@ def validate_config_compatibility(stored: "SpikeDynConfig",
                                   source: object = "artifact") -> None:
     """Check that a stored configuration matches the target model's.
 
-    Every field except ``seed`` must agree: the loaded weights and theta
-    assume the stored neuron constants, encoder timing (``t_sim``/``dt``),
-    and rate-coding parameters, so a mismatch silently degrades inference
-    rather than failing.  ``seed`` only controls stochastic draws and may
-    legitimately differ (e.g. evaluating a saved model on fresh samples).
+    Every field except ``seed`` and ``backend`` must agree: the loaded
+    weights and theta assume the stored neuron constants, encoder timing
+    (``t_sim``/``dt``), and rate-coding parameters, so a mismatch silently
+    degrades inference rather than failing.  ``seed`` only controls
+    stochastic draws and ``backend`` only controls which kernels execute the
+    arithmetic; both may legitimately differ (e.g. evaluating a saved model
+    on fresh samples, or serving a dense-trained artifact on the sparse
+    event backend).
     """
     mismatched = []
     for spec in dataclasses.fields(type(stored)):
-        if spec.name == "seed":
+        if spec.name in ("seed", "backend"):
             continue
         stored_value = getattr(stored, spec.name)
         current_value = getattr(current, spec.name)
@@ -199,6 +240,12 @@ class UnsupervisedDigitClassifier:
                  encoder: Optional[PoissonRateEncoder] = None,
                  name: str = "model",
                  eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE) -> None:
+        # Keep ``config.backend`` authoritative about the network actually
+        # running: a constructor-level backend override (``backend=`` kwarg
+        # on the model classes) would otherwise leave a saved artifact's
+        # top-level backend and ``config.backend`` disagreeing.
+        if network.backend_name != config.backend:
+            config = config.replace(backend=network.backend_name)
         self.config = config
         self.network = network
         self.name = str(name)
@@ -229,6 +276,21 @@ class UnsupervisedDigitClassifier:
     def counter(self) -> OperationCounter:
         """The network's cumulative operation counter."""
         return self.network.counter
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the compute backend the network runs on."""
+        return self.network.backend_name
+
+    def set_backend(self, backend: BackendLike) -> None:
+        """Retarget the model's network to another compute backend.
+
+        The configuration's ``backend`` field follows along so that a
+        subsequently saved artifact stays self-consistent (its top-level
+        ``backend`` key and ``config.backend`` always agree).
+        """
+        self.network.set_backend(backend)
+        self.config = self.config.replace(backend=self.network.backend_name)
 
     @property
     def input_weights(self) -> np.ndarray:
@@ -355,6 +417,7 @@ class UnsupervisedDigitClassifier:
             "n_input": self.n_input,
             "n_exc": self.n_exc,
             "samples_trained": self.samples_trained,
+            "backend": self.backend_name,
         }
 
     # -- persistence --------------------------------------------------------------
@@ -379,9 +442,10 @@ class UnsupervisedDigitClassifier:
         The artifact is a directory holding ``state.npz`` (learned input
         weights, neuron-label assignments, and — when the excitatory group
         adapts — the threshold potential ``theta``) next to ``model.json``
-        (schema version, full configuration, model identity, and the encoder
-        spec).  :meth:`load_state` and :func:`repro.serving.artifacts.
-        load_artifact` restore it bit-for-bit.
+        (schema version, compute backend, full configuration, model
+        identity, and the encoder spec).  :meth:`load_state` and
+        :func:`repro.serving.artifacts.load_artifact` restore it
+        bit-for-bit.
 
         Returns the directory the files were written to.
         """
@@ -400,6 +464,7 @@ class UnsupervisedDigitClassifier:
             {
                 "format": "spikedyn-repro-model",
                 "schema_version": ARTIFACT_SCHEMA_VERSION,
+                "backend": self.backend_name,
                 "config": self.config.to_dict(),
                 "meta": self.describe(),
                 "encoder": self.encoder_spec(),
@@ -421,7 +486,7 @@ class UnsupervisedDigitClassifier:
             error message lists expected-vs-found shapes).
         """
         directory = Path(directory)
-        metadata, arrays, schema_version = read_artifact_dir(directory)
+        metadata, arrays, schema_version, _ = read_artifact_dir(directory)
         try:
             stored_config = SpikeDynConfig.from_dict(metadata["config"])
         except (TypeError, ValueError) as error:

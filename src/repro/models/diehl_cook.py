@@ -37,12 +37,16 @@ class DiehlCookModel(UnsupervisedDigitClassifier):
     eval_batch_size:
         Samples advanced per vectorized engine step during evaluation
         (see :class:`~repro.models.base.UnsupervisedDigitClassifier`).
+    backend:
+        Compute backend (name or instance) executing the network's kernels;
+        defaults to the configuration's ``backend`` field.
     """
 
     def __init__(self, config: SpikeDynConfig, *,
                  learning_rule: Optional[PairwiseSTDP] = None,
                  rng: SeedLike = None,
-                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE) -> None:
+                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE,
+                 backend=None) -> None:
         rule = learning_rule if learning_rule is not None else PairwiseSTDP(
             nu_pre=config.nu_pre,
             nu_post=config.nu_post,
@@ -51,7 +55,8 @@ class DiehlCookModel(UnsupervisedDigitClassifier):
             soft_bounds=config.soft_bounds,
         )
         network = build_baseline_network(
-            config, learning_rule=rule, rng=rng, name="baseline"
+            config, learning_rule=rule, rng=rng, name="baseline",
+            backend=backend,
         )
         super().__init__(config, network, name="baseline",
                          eval_batch_size=eval_batch_size)

@@ -41,12 +41,16 @@ class SpikeDynModel(UnsupervisedDigitClassifier):
     eval_batch_size:
         Samples advanced per vectorized engine step during evaluation
         (see :class:`~repro.models.base.UnsupervisedDigitClassifier`).
+    backend:
+        Compute backend (name or instance) executing the network's kernels;
+        defaults to the configuration's ``backend`` field.
     """
 
     def __init__(self, config: SpikeDynConfig, *,
                  learning_rule: Optional[SpikeDynLearningRule] = None,
                  rng: SeedLike = None,
-                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE) -> None:
+                 eval_batch_size: Optional[int] = DEFAULT_EVAL_BATCH_SIZE,
+                 backend=None) -> None:
         rule = learning_rule if learning_rule is not None else SpikeDynLearningRule(
             nu_pre=config.nu_pre,
             nu_post=config.nu_post,
@@ -60,7 +64,8 @@ class SpikeDynModel(UnsupervisedDigitClassifier):
             tau_post=config.tau_post,
         )
         network = build_spikedyn_network(
-            config, learning_rule=rule, rng=rng, name="spikedyn"
+            config, learning_rule=rule, rng=rng, name="spikedyn",
+            backend=backend,
         )
         super().__init__(config, network, name="spikedyn",
                          eval_batch_size=eval_batch_size)

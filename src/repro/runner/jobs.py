@@ -4,8 +4,11 @@ A :class:`JobSpec` is one independent unit of work of a reproduction run: one
 experiment driver at one :class:`~repro.experiments.common.ExperimentScale`
 with one seed and optional driver overrides.  Its :meth:`JobSpec.key` is a
 SHA-256 digest of the canonical JSON payload — driver name, every scale
-field (including the seed), the overrides, and the package version — so two
-jobs share a cache entry exactly when they would compute the same report.
+field (including the seed and the compute backend), the overrides, and the
+package version — so two jobs share a cache entry exactly when they would
+compute the same report.  The backend is keyed deliberately even though
+cross-backend results are statistically equivalent: cache entries must be
+attributable to the exact kernels that produced them.
 """
 
 from __future__ import annotations
@@ -87,6 +90,11 @@ class JobSpec:
     def seed(self) -> int:
         """The seed every stochastic component of this job derives from."""
         return self.scale.seed
+
+    @property
+    def backend(self) -> str:
+        """Compute backend this job's models run on (part of the cache key)."""
+        return self.scale.backend
 
     @property
     def output_stem(self) -> str:

@@ -25,7 +25,7 @@ SUITE_OVERRIDES: Dict[str, Dict[str, Any]] = {
 
 
 def scales_for_preset(
-    preset: str, seed: int = 0, paper_networks: bool = False
+    preset: str, seed: int = 0, paper_networks: bool = False, backend: str = "dense"
 ) -> Dict[str, ExperimentScale]:
     """The per-family scales of one named preset (``tiny``/``small``/``paper``).
 
@@ -33,22 +33,23 @@ def scales_for_preset(
     minutes-scale accuracy settings with 28x28 energy estimation (N200/N400
     when ``paper_networks`` is set, N100/N200 otherwise), matching the scales
     the EXPERIMENTS.md record was produced at.  ``paper`` uses the paper's
-    own sizes throughout.
+    own sizes throughout.  ``backend`` selects the compute backend of every
+    scale (and therefore enters every job's cache key).
     """
     if preset == "tiny":
-        accuracy = ExperimentScale.tiny(seed=seed)
+        accuracy = ExperimentScale.tiny(seed=seed, backend=backend)
         energy = ExperimentScale.tiny(
-            image_size=28, network_sizes=(50, 100), t_sim=50.0, seed=seed
+            image_size=28, network_sizes=(50, 100), t_sim=50.0, seed=seed, backend=backend
         )
     elif preset == "small":
-        accuracy = ExperimentScale.small(seed=seed)
+        accuracy = ExperimentScale.small(seed=seed, backend=backend)
         sizes = (200, 400) if paper_networks else (100, 200)
         energy = ExperimentScale.tiny(
-            image_size=28, network_sizes=sizes, t_sim=100.0, seed=seed
+            image_size=28, network_sizes=sizes, t_sim=100.0, seed=seed, backend=backend
         )
     elif preset == "paper":
-        accuracy = ExperimentScale.paper(seed=seed)
-        energy = ExperimentScale.paper(seed=seed)
+        accuracy = ExperimentScale.paper(seed=seed, backend=backend)
+        energy = ExperimentScale.paper(seed=seed, backend=backend)
     else:
         raise ValueError(f"unknown scale preset {preset!r}; known: tiny, small, paper")
 

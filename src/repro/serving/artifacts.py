@@ -78,6 +78,10 @@ class ModelArtifact:
     arrays:
         The stored state arrays (``input_weights``, ``assignments``, and
         ``theta`` when present).
+    backend:
+        Compute backend the model was saved under (``"dense"`` for pre-v3
+        artifacts).  The arrays are backend-agnostic; this is the default
+        backend :meth:`build_model` rebuilds replicas on.
     """
 
     path: Path
@@ -87,6 +91,7 @@ class ModelArtifact:
     meta: Dict[str, object]
     encoder: Dict[str, object]
     arrays: Dict[str, np.ndarray]
+    backend: str = "dense"
 
     @property
     def n_input(self) -> int:
@@ -105,10 +110,12 @@ class ModelArtifact:
             "n_input": self.n_input,
             "n_exc": self.n_exc,
             "samples_trained": self.meta.get("samples_trained", 0),
+            "backend": self.backend,
             "encoder": dict(self.encoder),
         }
 
-    def build_model(self, *, eval_batch_size: Optional[int] = None
+    def build_model(self, *, eval_batch_size: Optional[int] = None,
+                    backend: Optional[str] = None
                     ) -> UnsupervisedDigitClassifier:
         """Reconstruct the trained classifier from this artifact.
 
@@ -117,6 +124,10 @@ class ModelArtifact:
         calls return *independent* model instances with bit-identical
         weights, assignments, and theta — exactly what the replica pool
         needs to shard load across workers.
+
+        ``backend`` selects the compute backend of the rebuilt network and
+        defaults to the backend recorded in the artifact; the stored state
+        is backend-agnostic, so any registered backend is valid.
         """
         if self.model_name not in MODEL_CLASSES:
             known = ", ".join(sorted(MODEL_CLASSES))
@@ -125,10 +136,12 @@ class ModelArtifact:
                 f"{self.model_name!r}; known models: {known}"
             )
         cls = MODEL_CLASSES[self.model_name]
+        build_kwargs: Dict[str, object] = {
+            "backend": self.backend if backend is None else backend
+        }
         if eval_batch_size is not None:
-            model = cls(self.config, eval_batch_size=eval_batch_size)
-        else:
-            model = cls(self.config)
+            build_kwargs["eval_batch_size"] = eval_batch_size
+        model = cls(self.config, **build_kwargs)
         # The arrays were validated at load time and the model is built
         # from the stored config, so the in-memory state applies directly —
         # no disk round-trip, and the artifact directory may since be gone.
@@ -153,7 +166,7 @@ def load_artifact(directory: PathLike) -> ModelArtifact:
         missing or mis-shaped for the declared architecture.
     """
     directory = Path(directory)
-    metadata, arrays, schema_version = read_artifact_dir(directory)
+    metadata, arrays, schema_version, backend = read_artifact_dir(directory)
     try:
         config = SpikeDynConfig.from_dict(metadata["config"])
     except (TypeError, ValueError) as error:
@@ -177,6 +190,7 @@ def load_artifact(directory: PathLike) -> ModelArtifact:
         meta=meta,
         encoder=dict(metadata.get("encoder", {})),
         arrays=arrays,
+        backend=backend,
     )
 
 

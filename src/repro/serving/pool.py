@@ -71,10 +71,17 @@ class ReplicaPool:
         self._lock = threading.Lock()
 
     @classmethod
-    def from_artifact(cls, artifact: ModelArtifact, workers: int = 2,
-                      **kwargs) -> "ReplicaPool":
-        """Pool whose replicas are independent reconstructions of ``artifact``."""
-        return cls(artifact.build_model, workers, **kwargs)
+    def from_artifact(cls, artifact: ModelArtifact, workers: int = 2, *,
+                      backend: Optional[str] = None, **kwargs) -> "ReplicaPool":
+        """Pool whose replicas are independent reconstructions of ``artifact``.
+
+        ``backend`` overrides the compute backend every replica runs on
+        (default: the backend recorded in the artifact).
+        """
+        if backend is None:
+            return cls(artifact.build_model, workers, **kwargs)
+        return cls(lambda: artifact.build_model(backend=backend), workers,
+                   **kwargs)
 
     # -- introspection -------------------------------------------------------
 
@@ -86,6 +93,11 @@ class ReplicaPool:
     @property
     def model_name(self) -> str:
         return self.replicas[0].model.name
+
+    @property
+    def backend_name(self) -> str:
+        """Compute backend the replicas run on (reported in ``/metrics``)."""
+        return self.replicas[0].model.backend_name
 
     @property
     def queue_depth(self) -> int:
@@ -184,10 +196,13 @@ class ReplicaPool:
             raise
 
     def metrics_snapshot(self) -> dict:
-        """Current metrics, including queue depth and drift state."""
+        """Current metrics, including queue depth, drift state, and backend."""
         drift = (self.drift_detector.state()
                  if self.drift_detector is not None else None)
-        return self.metrics.snapshot(queue_depth=self.queue_depth, drift=drift)
+        snapshot = self.metrics.snapshot(queue_depth=self.queue_depth,
+                                         drift=drift)
+        snapshot["backend"] = self.backend_name
+        return snapshot
 
     # -- worker --------------------------------------------------------------
 

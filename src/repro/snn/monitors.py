@@ -79,8 +79,18 @@ class SpikeMonitor:
         return np.stack(self._raster)
 
 
+#: Rows the state-monitor buffer starts with; doubled whenever it fills.
+_INITIAL_CAPACITY = 64
+
+
 class StateMonitor:
-    """Records a named numeric attribute of any simulation object each step."""
+    """Records a named numeric attribute of any simulation object each step.
+
+    Observations land in a preallocated buffer that doubles when full
+    (``np.copyto`` into the next row), so a long run costs one amortized
+    row copy per step instead of a fresh ``np.array(..., copy=True)``
+    allocation every timestep.
+    """
 
     def __init__(self, target, attribute: str) -> None:
         if not hasattr(target, attribute):
@@ -89,16 +99,42 @@ class StateMonitor:
             )
         self.target = target
         self.attribute = attribute
-        self._history: List[np.ndarray] = []
+        self._buffer: Optional[np.ndarray] = None
+        self._count = 0
+        # Observations whose shape disagrees with the buffer's (e.g. a
+        # batched run after a single-sample run without a reset).  They are
+        # kept — ``last`` still reports the most recent observation — and
+        # make ``history`` raise, exactly like the pre-buffer behaviour.
+        self._mismatched: List[np.ndarray] = []
+        self._last_was_mismatched = False
 
     def observe(self) -> None:
-        """Append a copy of the observed attribute's current value."""
-        value = getattr(self.target, self.attribute)
-        self._history.append(np.array(value, dtype=float, copy=True))
+        """Record the observed attribute's current value (copied)."""
+        value = np.asarray(getattr(self.target, self.attribute), dtype=float)
+        if self._buffer is None:
+            self._buffer = np.empty((_INITIAL_CAPACITY,) + value.shape,
+                                    dtype=float)
+        elif value.shape != self._buffer.shape[1:]:
+            self._mismatched.append(value.copy())
+            self._last_was_mismatched = True
+            return
+        if self._count == self._buffer.shape[0]:
+            grown = np.empty((2 * self._count,) + self._buffer.shape[1:],
+                             dtype=float)
+            grown[: self._count] = self._buffer
+            self._buffer = grown
+        # In-place row copy (0-d values assign through indexing, where
+        # np.copyto would see an unwritable scalar).
+        self._buffer[self._count] = value
+        self._count += 1
+        self._last_was_mismatched = False
 
     def reset(self) -> None:
-        """Clear the recorded history."""
-        self._history.clear()
+        """Clear the recorded history (the next run may change shapes)."""
+        self._buffer = None
+        self._count = 0
+        self._mismatched.clear()
+        self._last_was_mismatched = False
 
     @property
     def history(self) -> np.ndarray:
@@ -108,18 +144,25 @@ class StateMonitor:
         shapes (e.g. a batched and a single-sample run without a reset in
         between) raises a descriptive error.
         """
-        if not self._history:
-            return np.zeros((0,), dtype=float)
-        shapes = {value.shape for value in self._history}
-        if len(shapes) > 1:
+        if self._mismatched:
+            shapes = {self._buffer.shape[1:]}
+            shapes.update(value.shape for value in self._mismatched)
             raise ValueError(
                 "history mixes observations of different shapes "
                 f"({sorted(shapes)}); reset the monitor between runs of "
                 "different batch shapes"
             )
-        return np.stack(self._history)
+        if self._count == 0:
+            return np.zeros((0,), dtype=float)
+        return self._buffer[: self._count].copy()
 
     @property
     def last(self) -> Optional[np.ndarray]:
         """Most recently observed value, or ``None`` if nothing was recorded."""
-        return self._history[-1] if self._history else None
+        if self._last_was_mismatched:
+            return self._mismatched[-1]
+        if self._count == 0:
+            return None
+        # np.array keeps 0-d observations as 0-d arrays (plain indexing of a
+        # 1-D buffer would hand back an immutable numpy scalar).
+        return np.array(self._buffer[self._count - 1], dtype=float)

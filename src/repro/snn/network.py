@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.backends import BackendLike, get_backend
 from repro.snn.monitors import SpikeMonitor, StateMonitor
 from repro.snn.neurons import InputGroup, NeuronGroup
 from repro.snn.simulation import OperationCounter, SimulationParameters
@@ -70,12 +71,18 @@ class Network:
         this repository typically scale these down.
     name:
         Identifier used in reports.
+    backend:
+        Compute backend (name or instance) executing every state-update
+        kernel; defaults to ``"dense"``.  The network owns the compute
+        policy: every group and connection added to it is switched to this
+        backend, and :meth:`set_backend` retargets a built network in place.
     """
 
     def __init__(self, params: Optional[SimulationParameters] = None,
-                 name: str = "snn") -> None:
+                 name: str = "snn", backend: BackendLike = None) -> None:
         self.params = params if params is not None else SimulationParameters()
         self.name = str(name)
+        self.backend = get_backend(backend)
         self.groups: Dict[str, NeuronGroup] = {}
         self.connections: List[Connection] = []
         self.spike_monitors: List[SpikeMonitor] = []
@@ -90,6 +97,7 @@ class Network:
         if group.name in self.groups:
             raise ValueError(f"a group named {group.name!r} already exists")
         self.groups[group.name] = group
+        group.backend = self.backend
         if isinstance(group, InputGroup):
             if self._input_group is not None:
                 raise ValueError("network already has an input group")
@@ -105,6 +113,7 @@ class Network:
                     "before connections that use it"
                 )
         self.connections.append(connection)
+        connection.backend = self.backend
         return connection
 
     def add_spike_monitor(self, monitor: SpikeMonitor) -> SpikeMonitor:
@@ -118,6 +127,24 @@ class Network:
         return monitor
 
     # -- introspection -------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active compute backend."""
+        return self.backend.name
+
+    def set_backend(self, backend: BackendLike) -> None:
+        """Switch the whole network to ``backend`` (name or instance).
+
+        Backends are stateless kernel bundles, so switching mid-simulation is
+        safe: all state arrays stay where they are and only the kernels that
+        advance them change.
+        """
+        self.backend = get_backend(backend)
+        for group in self.groups.values():
+            group.backend = self.backend
+        for connection in self.connections:
+            connection.backend = self.backend
 
     @property
     def input_group(self) -> InputGroup:

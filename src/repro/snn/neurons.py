@@ -36,6 +36,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends import BackendLike, get_backend
 from repro.snn.simulation import OperationCounter
 from repro.utils.validation import check_non_negative, check_positive, check_positive_int
 
@@ -49,11 +50,18 @@ class NeuronGroup:
         Number of neurons in the group.
     name:
         Human-readable identifier used by the network and monitors.
+    backend:
+        Compute backend executing the group's state-update kernels; defaults
+        to the dense reference backend.  :meth:`repro.snn.network.Network.
+        add_group` overwrites it with the network's backend, so the network
+        is the single place that decides the compute policy.
     """
 
-    def __init__(self, n: int, name: str = "group") -> None:
+    def __init__(self, n: int, name: str = "group",
+                 backend: BackendLike = None) -> None:
         self.n = check_positive_int(n, "n")
         self.name = str(name)
+        self.backend = get_backend(backend)
         self._batch_size: Optional[int] = None
         self.spikes = np.zeros(self.n, dtype=bool)
 
@@ -291,22 +299,19 @@ class LIFGroup(NeuronGroup):
                 f"got {input_current.shape}"
             )
 
-        # Exponential membrane decay towards the resting potential.
-        decay = np.exp(-dt / self.tau_m)
-        self.v = self.v_rest + (self.v - self.v_rest) * decay
-
-        # Integrate input only outside the refractory period.
-        active = self.refrac_remaining <= 0.0
-        self.v = np.where(active, self.v + input_current * dt, self.v)
-
-        # Spike generation against the (possibly adaptive) threshold.
-        threshold = self.firing_threshold()
-        self.spikes = active & (self.v >= threshold)
-
-        # Reset and refractory bookkeeping.
-        self.v = np.where(self.spikes, self.v_reset, self.v)
-        self.refrac_remaining = np.where(
-            self.spikes, self.refractory, np.maximum(self.refrac_remaining - dt, 0.0)
+        # Decay, integrate, fire, reset — executed by the active backend
+        # (the decay factor is precomputed so every backend sees the same
+        # scalar).
+        self.v, self.spikes, self.refrac_remaining = self.backend.lif_step(
+            self.v,
+            self.refrac_remaining,
+            input_current,
+            self.firing_threshold(),
+            decay=np.exp(-dt / self.tau_m),
+            v_rest=self.v_rest,
+            v_reset=self.v_reset,
+            refractory=self.refractory,
+            dt=dt,
         )
 
         if counter is not None:
@@ -411,9 +416,12 @@ class AdaptiveLIFGroup(LIFGroup):
         if not self.adapt_theta:
             return
         # Exponential decay of theta, plus an additive boost on spikes.
-        self.theta = self.theta * np.exp(-dt / self.tau_theta)
-        if self.theta_plus > 0.0:
-            self.theta = self.theta + self.theta_plus * self.spikes
+        self.theta = self.backend.theta_step(
+            self.theta,
+            self.spikes,
+            decay=np.exp(-dt / self.tau_theta),
+            theta_plus=self.theta_plus,
+        )
         if counter is not None:
             batch = self._batch_size if self._batch_size is not None else 1
             counter.add(exponential_ops=self.n * batch, neuron_updates=self.n * batch)

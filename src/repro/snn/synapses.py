@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends import BackendLike, get_backend
 from repro.snn.neurons import NeuronGroup
 from repro.snn.simulation import OperationCounter
 from repro.utils.validation import check_positive, check_positive_int
@@ -49,6 +50,10 @@ class Connection:
         to this total (the standard Diehl & Cook weight normalization).
     name:
         Connection identifier.
+    backend:
+        Compute backend executing the propagation kernels; defaults to the
+        dense reference backend and is overwritten with the network's
+        backend by :meth:`repro.snn.network.Network.add_connection`.
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class Connection:
         learning_rule=None,
         norm: Optional[float] = None,
         name: str = "connection",
+        backend: BackendLike = None,
     ) -> None:
         weights = np.asarray(weights, dtype=float)
         if weights.shape != (pre.n, post.n):
@@ -87,6 +93,7 @@ class Connection:
         self.learning_rule = learning_rule
         self.norm = None if norm is None else float(norm)
         self.name = str(name)
+        self.backend = get_backend(backend)
 
         self.conductance = np.zeros(post.n, dtype=float)
         self._batch_size: Optional[int] = None
@@ -168,22 +175,15 @@ class Connection:
         delivered to the postsynaptic group (signed).
 
         In batch mode the presynaptic spikes have shape ``(batch_size, pre.n)``
-        and the returned current ``(batch_size, post.n)``.  The spike-to-
-        conductance projection is evaluated with one vector-matrix product per
-        spiking sample — the exact BLAS call the single-sample path performs —
-        so batched results are bit-for-bit identical to sequential ones
-        (a single ``(B, n)`` GEMM is faster but rounds differently).
+        and the returned current ``(batch_size, post.n)``.  Decay and the
+        spike-to-conductance projection run on the connection's compute
+        backend: the dense backend evaluates one vector-matrix product per
+        spiking sample (bit-for-bit identical to the sequential path), while
+        the sparse backend gathers only the spiking weight rows.
         """
-        self.conductance *= np.exp(-dt / self.tau_syn)
-        pre_spikes = self.pre.spikes
-        if pre_spikes.ndim == 1:
-            n_spiking = int(np.count_nonzero(pre_spikes))
-            if n_spiking:
-                self.conductance += pre_spikes.astype(float) @ self.weights
-        else:
-            spikes_float = pre_spikes.astype(float)
-            for index in np.flatnonzero(pre_spikes.any(axis=1)):
-                self.conductance[index] += spikes_float[index] @ self.weights
+        self.backend.decay_state(self.conductance, np.exp(-dt / self.tau_syn))
+        self.backend.propagate_spikes(self.conductance, self.pre.spikes,
+                                      self.weights)
         if counter is not None:
             # Dense (GPU-style) accounting: the stored projection is processed
             # once per timestep regardless of how many presynaptic spikes
@@ -269,11 +269,13 @@ class UniformLateralInhibition:
 
     def __init__(self, group: NeuronGroup, strength: float, *,
                  tau_syn: float = 2.0, gain: float = 1.0,
-                 name: str = "lateral_inhibition") -> None:
+                 name: str = "lateral_inhibition",
+                 backend: BackendLike = None) -> None:
         if strength < 0:
             raise ValueError(f"strength must be >= 0, got {strength}")
         self.pre = group
         self.post = group
+        self.backend = get_backend(backend)
         self.strength = float(strength)
         self.tau_syn = check_positive(tau_syn, "tau_syn")
         self.gain = float(gain)
@@ -330,19 +332,9 @@ class UniformLateralInhibition:
     def propagate(self, dt: float,
                   counter: Optional[OperationCounter] = None) -> np.ndarray:
         """Advance the conductance and return the (negative) lateral current."""
-        self.conductance *= np.exp(-dt / self.tau_syn)
-        spikes = self.pre.spikes
-        if spikes.ndim == 1:
-            n_spiking = int(np.count_nonzero(spikes))
-            if n_spiking:
-                # Every neuron is inhibited by the spikes of all *other* neurons.
-                total = self.strength * n_spiking
-                self.conductance += total - self.strength * spikes.astype(float)
-        elif spikes.any():
-            # Per-sample spike counts; elementwise arithmetic is identical to
-            # the single-sample path, so results stay bit-for-bit equal.
-            totals = self.strength * spikes.sum(axis=1, dtype=float)
-            self.conductance += totals[:, None] - self.strength * spikes.astype(float)
+        self.backend.decay_state(self.conductance, np.exp(-dt / self.tau_syn))
+        self.backend.propagate_lateral(self.conductance, self.pre.spikes,
+                                       self.strength)
         if counter is not None:
             # O(n) broadcast: decay plus a scalar subtraction per neuron.
             batch = self._batch_size if self._batch_size is not None else 1

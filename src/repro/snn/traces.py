@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backends import BackendLike, get_backend
 from repro.snn.simulation import OperationCounter
 from repro.utils.validation import check_choice, check_positive, check_positive_int
 
@@ -32,6 +33,9 @@ class SpikeTrace:
         ``'add'`` accumulates increments (the trace can exceed ``increment``);
         ``'set'`` clamps the trace to ``increment`` on each spike, which is
         the behaviour used by Diehl & Cook style pipelines.
+    backend:
+        Compute backend executing the decay/bump kernels; learning rules
+        keep it synchronized with their connection's backend.
     """
 
     def __init__(
@@ -40,11 +44,13 @@ class SpikeTrace:
         tau: float = 20.0,
         increment: float = 1.0,
         mode: str = "set",
+        backend: BackendLike = None,
     ) -> None:
         self.n = check_positive_int(n, "n")
         self.tau = check_positive(tau, "tau")
         self.increment = float(increment)
         self.mode = check_choice(mode, ("set", "add"), "mode")
+        self.backend = get_backend(backend)
         self._batch_size: Optional[int] = None
         self.values = np.zeros(self.n, dtype=float)
 
@@ -89,7 +95,7 @@ class SpikeTrace:
 
     def decay(self, dt: float, counter: Optional[OperationCounter] = None) -> None:
         """Apply one timestep of exponential decay."""
-        self.values *= np.exp(-dt / self.tau)
+        self.backend.decay_state(self.values, np.exp(-dt / self.tau))
         if counter is not None:
             batch = self._batch_size if self._batch_size is not None else 1
             counter.add(exponential_ops=self.n * batch, trace_updates=self.n * batch)
@@ -102,10 +108,9 @@ class SpikeTrace:
             raise ValueError(
                 f"spikes must have shape {self.state_shape}, got {spikes.shape}"
             )
-        if self.mode == "set":
-            self.values = np.where(spikes, self.increment, self.values)
-        else:
-            self.values = self.values + self.increment * spikes
+        self.values = self.backend.bump_trace(
+            self.values, spikes, self.increment, self.mode
+        )
         if counter is not None:
             counter.add(trace_updates=int(spikes.sum()))
 

@@ -1,0 +1,30 @@
+"""Every registered experiment is backend-independent at smoke scale.
+
+The acceptance bar for the sparse event backend: running any registered
+experiment driver at the tiny (CI) scale on ``backend="sparse"`` must render
+a report byte-identical to the dense reference — same predictions, labels,
+accuracies, and operation tallies.  The report text is the experiment's
+complete observable output, so string equality is the strongest cheap check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.registry import EXPERIMENTS
+
+#: Drivers whose tiny-scale runs stay fast enough for the unit-test budget;
+#: the full registry sweep is the same assertion at every entry.
+pytestmark = pytest.mark.integration
+
+
+@pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+def test_sparse_report_is_byte_identical_to_dense(name):
+    spec = EXPERIMENTS[name]
+    dense_report = spec.report(ExperimentScale.tiny(seed=0))
+    sparse_report = spec.report(ExperimentScale.tiny(seed=0, backend="sparse"))
+    assert sparse_report == dense_report, (
+        f"experiment {name!r} renders different reports on the sparse "
+        "backend"
+    )

@@ -1,0 +1,179 @@
+"""Kernel-level equivalence between the dense and sparse backends.
+
+Every sparse kernel must compute the same values as its dense counterpart;
+for the scatter-style kernels (trace bumps, theta bumps, STDP deltas) the
+scalar arithmetic is identical so the results must be *bit-for-bit* equal,
+while the gather/segment-sum propagation kernels may differ by last-ULP
+rounding (different association order) and are compared with a tight
+``allclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+
+DENSE = get_backend("dense")
+SPARSE = get_backend("sparse")
+
+
+def _spikes(shape, density, seed):
+    return np.random.default_rng(seed).random(shape) < density
+
+
+@pytest.mark.parametrize("density", [0.0, 0.03, 0.5, 1.0])
+@pytest.mark.parametrize("batched", [False, True])
+class TestPropagation:
+    def test_propagate_spikes_matches_dense(self, density, batched):
+        rng = np.random.default_rng(7)
+        n_pre, n_post, batch = 37, 11, 5
+        shape = (batch, n_pre) if batched else (n_pre,)
+        spikes = _spikes(shape, density, seed=1)
+        weights = rng.random((n_pre, n_post))
+        cond_shape = (batch, n_post) if batched else (n_post,)
+        dense_cond = rng.random(cond_shape)
+        sparse_cond = dense_cond.copy()
+
+        DENSE.propagate_spikes(dense_cond, spikes, weights)
+        SPARSE.propagate_spikes(sparse_cond, spikes, weights)
+        np.testing.assert_allclose(sparse_cond, dense_cond,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_propagate_lateral_matches_dense(self, density, batched):
+        rng = np.random.default_rng(8)
+        n, batch = 23, 4
+        shape = (batch, n) if batched else (n,)
+        spikes = _spikes(shape, density, seed=2)
+        dense_cond = rng.random(shape)
+        sparse_cond = dense_cond.copy()
+
+        DENSE.propagate_lateral(dense_cond, spikes, 17.0)
+        SPARSE.propagate_lateral(sparse_cond, spikes, 17.0)
+        np.testing.assert_array_equal(sparse_cond, dense_cond)
+
+
+class TestPropagationEvents:
+    def test_single_spike_adds_exactly_one_weight_row(self):
+        weights = np.arange(12.0).reshape(4, 3)
+        spikes = np.array([False, False, True, False])
+        conductance = np.zeros(3)
+        SPARSE.propagate_spikes(conductance, spikes, weights)
+        np.testing.assert_array_equal(conductance, weights[2])
+
+    def test_batched_segments_land_on_the_right_samples(self):
+        weights = np.eye(4)
+        spikes = np.zeros((3, 4), dtype=bool)
+        spikes[0, [0, 2]] = True  # sample 0: rows 0 and 2
+        spikes[2, 3] = True       # sample 2: row 3; sample 1 silent
+        conductance = np.zeros((3, 4))
+        SPARSE.propagate_spikes(conductance, spikes, weights)
+        np.testing.assert_array_equal(conductance[0], [1, 0, 1, 0])
+        np.testing.assert_array_equal(conductance[1], 0.0)
+        np.testing.assert_array_equal(conductance[2], [0, 0, 0, 1])
+
+    def test_no_spikes_is_a_no_op(self):
+        conductance = np.full((2, 3), 0.5)
+        SPARSE.propagate_spikes(conductance, np.zeros((2, 5), dtype=bool),
+                                np.ones((5, 3)))
+        np.testing.assert_array_equal(conductance, 0.5)
+
+
+@pytest.mark.parametrize("batched", [False, True])
+class TestNeuronKernels:
+    def test_lif_step_is_inherited_bitwise(self, batched):
+        rng = np.random.default_rng(3)
+        shape = (4, 9) if batched else (9,)
+        v = rng.uniform(-70, -50, shape)
+        refrac = rng.choice([0.0, 2.0], shape)
+        current = rng.uniform(0, 30, shape)
+        threshold = np.full(shape[-1], -54.0)
+        kwargs = dict(decay=0.98, v_rest=-65.0, v_reset=-65.0,
+                      refractory=5.0, dt=1.0)
+        dv, dspk, dref = DENSE.lif_step(v.copy(), refrac.copy(), current,
+                                        threshold, **kwargs)
+        sv, sspk, sref = SPARSE.lif_step(v.copy(), refrac.copy(), current,
+                                         threshold, **kwargs)
+        np.testing.assert_array_equal(sv, dv)
+        np.testing.assert_array_equal(sspk, dspk)
+        np.testing.assert_array_equal(sref, dref)
+
+    def test_theta_step_matches_dense_bitwise(self, batched):
+        rng = np.random.default_rng(4)
+        shape = (3, 8) if batched else (8,)
+        theta = rng.uniform(0, 1, shape)
+        spikes = _spikes(shape, 0.3, seed=5)
+        dense_theta = DENSE.theta_step(theta.copy(), spikes,
+                                       decay=0.999, theta_plus=0.05)
+        sparse_theta = SPARSE.theta_step(theta.copy(), spikes,
+                                         decay=0.999, theta_plus=0.05)
+        np.testing.assert_array_equal(sparse_theta, dense_theta)
+
+    def test_theta_step_without_bump(self, batched):
+        shape = (2, 5) if batched else (5,)
+        theta = np.full(shape, 0.25)
+        spikes = np.ones(shape, dtype=bool)
+        dense_theta = DENSE.theta_step(theta.copy(), spikes,
+                                       decay=0.5, theta_plus=0.0)
+        sparse_theta = SPARSE.theta_step(theta.copy(), spikes,
+                                         decay=0.5, theta_plus=0.0)
+        np.testing.assert_array_equal(sparse_theta, dense_theta)
+        np.testing.assert_array_equal(sparse_theta, 0.125)
+
+
+@pytest.mark.parametrize("mode", ["set", "add"])
+@pytest.mark.parametrize("batched", [False, True])
+class TestTraceKernels:
+    def test_bump_trace_matches_dense_bitwise(self, mode, batched):
+        rng = np.random.default_rng(6)
+        shape = (3, 12) if batched else (12,)
+        values = rng.uniform(0, 1, shape)
+        spikes = _spikes(shape, 0.25, seed=7)
+        dense_values = DENSE.bump_trace(values.copy(), spikes, 1.0, mode)
+        sparse_values = SPARSE.bump_trace(values.copy(), spikes, 1.0, mode)
+        np.testing.assert_array_equal(sparse_values, dense_values)
+
+    def test_decay_state_is_shared(self, mode, batched):
+        shape = (2, 6) if batched else (6,)
+        dense_values = np.full(shape, 2.0)
+        sparse_values = np.full(shape, 2.0)
+        DENSE.decay_state(dense_values, 0.5)
+        SPARSE.decay_state(sparse_values, 0.5)
+        np.testing.assert_array_equal(sparse_values, dense_values)
+        np.testing.assert_array_equal(sparse_values, 1.0)
+
+
+@pytest.mark.parametrize("soft_bounds", [True, False])
+@pytest.mark.parametrize("density", [0.0, 0.2, 1.0])
+class TestSTDPKernels:
+    def test_potentiation_matches_dense_bitwise(self, soft_bounds, density):
+        rng = np.random.default_rng(9)
+        n_pre, n_post = 15, 7
+        pre_trace = rng.uniform(0, 1, n_pre)
+        post_spikes = _spikes((n_post,), density, seed=10)
+        weights = rng.uniform(0, 1, (n_pre, n_post))
+        dense_delta = DENSE.stdp_potentiation(
+            pre_trace, post_spikes, weights,
+            nu=1e-2, w_max=1.0, soft_bounds=soft_bounds)
+        sparse_delta = SPARSE.stdp_potentiation(
+            pre_trace, post_spikes, weights,
+            nu=1e-2, w_max=1.0, soft_bounds=soft_bounds)
+        np.testing.assert_array_equal(sparse_delta, dense_delta)
+        # Quiet postsynaptic columns contribute exactly nothing.
+        np.testing.assert_array_equal(sparse_delta[:, ~post_spikes], 0.0)
+
+    def test_depression_matches_dense_bitwise(self, soft_bounds, density):
+        rng = np.random.default_rng(11)
+        n_pre, n_post = 15, 7
+        pre_spikes = _spikes((n_pre,), density, seed=12)
+        post_trace = rng.uniform(0, 1, n_post)
+        weights = rng.uniform(0, 1, (n_pre, n_post))
+        dense_delta = DENSE.stdp_depression(
+            pre_spikes, post_trace, weights,
+            nu=1e-4, w_min=0.0, soft_bounds=soft_bounds)
+        sparse_delta = SPARSE.stdp_depression(
+            pre_spikes, post_trace, weights,
+            nu=1e-4, w_min=0.0, soft_bounds=soft_bounds)
+        np.testing.assert_array_equal(sparse_delta, dense_delta)
+        assert (sparse_delta <= 0.0).all()

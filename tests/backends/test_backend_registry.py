@@ -1,0 +1,116 @@
+"""Tests for the compute-backend registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    Backend,
+    DenseBackend,
+    SparseEventBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    normalize_backend_name,
+    register_backend,
+)
+
+
+class TestRegistry:
+    def test_both_shipped_backends_are_registered(self):
+        assert backend_names() == ["dense", "sparse"]
+
+    def test_both_shipped_backends_are_available(self):
+        available = available_backends()
+        assert available["dense"] is DenseBackend
+        assert available["sparse"] is SparseEventBackend
+
+    def test_get_backend_returns_shared_instances(self):
+        assert get_backend("dense") is get_backend("dense")
+        assert get_backend("sparse") is get_backend("sparse")
+        assert get_backend("dense") is not get_backend("sparse")
+
+    def test_none_resolves_to_the_dense_default(self):
+        assert get_backend(None) is get_backend("dense")
+        assert get_backend().name == "dense"
+
+    def test_instances_pass_through(self):
+        instance = SparseEventBackend()
+        assert get_backend(instance) is instance
+
+    def test_unknown_name_lists_the_known_backends(self):
+        with pytest.raises(ValueError, match="dense.*sparse"):
+            get_backend("quantum")
+        with pytest.raises(ValueError, match="unknown backend"):
+            normalize_backend_name("quantum")
+
+    def test_normalize_returns_known_names(self):
+        assert normalize_backend_name("sparse") == "sparse"
+
+    def test_reregistering_the_same_class_is_idempotent(self):
+        assert register_backend(DenseBackend) is DenseBackend
+
+    def test_registering_a_name_clash_fails(self):
+        class Impostor(DenseBackend):
+            name = "dense"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(Impostor)
+
+    def test_registering_an_unnamed_backend_fails(self):
+        class Nameless(Backend):  # pragma: no cover - never instantiated
+            pass
+
+        with pytest.raises(ValueError, match="must set a name"):
+            register_backend(Nameless)
+
+    def test_unavailable_backend_is_reported_not_instantiated(self):
+        class Unavailable(DenseBackend):
+            name = "unavailable-for-testing"
+
+            @classmethod
+            def available(cls):
+                return False
+
+        register_backend(Unavailable)
+        try:
+            assert "unavailable-for-testing" not in available_backends()
+            with pytest.raises(RuntimeError, match="not available"):
+                get_backend("unavailable-for-testing")
+        finally:
+            from repro import backends as backends_module
+
+            backends_module._REGISTRY.pop("unavailable-for-testing", None)
+
+    def test_describe_is_json_safe(self):
+        info = get_backend("sparse").describe()
+        assert info["name"] == "sparse"
+        assert info["available"] is True
+        assert isinstance(info["description"], str) and info["description"]
+
+    def test_describe_backend_works_without_instantiation(self):
+        from repro.backends import describe_backend
+
+        class Unavailable(DenseBackend):
+            name = "describe-unavailable"
+            description = "never importable"
+
+            @classmethod
+            def available(cls):
+                return False
+
+            def __init__(self):  # pragma: no cover - must never run
+                raise AssertionError("describe_backend must not instantiate")
+
+        register_backend(Unavailable)
+        try:
+            info = describe_backend("describe-unavailable")
+            assert info == {
+                "name": "describe-unavailable",
+                "description": "never importable",
+                "available": False,
+            }
+        finally:
+            from repro import backends as backends_module
+
+            backends_module._REGISTRY.pop("describe-unavailable", None)

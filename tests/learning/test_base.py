@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.learning.base import LearningRule, outer_update
+from repro.learning.base import LearningRule
 from repro.snn.neurons import InputGroup, LIFGroup
 from repro.snn.synapses import Connection
 
@@ -14,17 +14,6 @@ def make_connection(n_pre=4, n_post=3, **kwargs) -> Connection:
     pre = InputGroup(n_pre, name="pre")
     post = LIFGroup(n_post, name="post")
     return Connection(pre, post, np.full((n_pre, n_post), 0.5), **kwargs)
-
-
-class TestOuterUpdate:
-    def test_matches_numpy_outer(self):
-        pre = np.array([1.0, 2.0])
-        post = np.array([3.0, 4.0, 5.0])
-        np.testing.assert_allclose(outer_update(pre, post), np.outer(pre, post))
-
-    def test_boolean_inputs_are_cast(self):
-        result = outer_update(np.array([True, False]), np.array([1.0, 2.0]))
-        np.testing.assert_allclose(result, [[1.0, 2.0], [0.0, 0.0]])
 
 
 class TestLearningRuleBase:

@@ -47,7 +47,7 @@ def trained_model(serving_config, serving_source) -> SpikeDynModel:
 
 @pytest.fixture(scope="session")
 def artifact_dir(tmp_path_factory, trained_model):
-    """The trained model saved as a schema-v2 artifact."""
+    """The trained model saved as a schema-v3 artifact."""
     directory = tmp_path_factory.mktemp("artifacts") / "spikedyn"
     trained_model.save(directory)
     return directory

@@ -19,6 +19,7 @@ class TestServeParser:
         assert args.max_wait_ms == 5.0
         assert args.max_queue == 1024
         assert args.drift_window == 256
+        assert args.backend is None  # use the backend recorded in the artifact
         assert not args.verbose
 
     def test_knobs_parse(self):
@@ -67,8 +68,22 @@ class TestServeHappyPath:
         captured = capsys.readouterr()
         assert "serving spikedyn" in captured.out
         assert "listening on http://127.0.0.1:" in captured.out
+        assert "backend=dense" in captured.out
         assert "POST /predict" in captured.out
         assert "shutting down" in captured.err
+
+    def test_serve_with_backend_override(self, artifact_dir, capsys,
+                                         monkeypatch):
+        from repro.serving.server import ModelServer
+
+        def interrupt(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ModelServer, "serve_forever", interrupt)
+        exit_code = main(["serve", str(artifact_dir), "--port", "0",
+                          "--workers", "1", "--backend", "sparse"])
+        assert exit_code == 0
+        assert "backend=sparse" in capsys.readouterr().out
 
 
 class TestServeErrors:

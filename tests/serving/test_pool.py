@@ -161,3 +161,23 @@ class TestLifecycleAndFailures:
             >= n
         assert "p99_ms" in snapshot["latency"]
         assert snapshot["queue_depth"] == 0
+
+    def test_metrics_report_the_active_backend(self, pool, artifact):
+        assert pool.backend_name == "dense"
+        assert pool.metrics_snapshot()["backend"] == "dense"
+        sparse_pool = ReplicaPool.from_artifact(artifact, workers=1,
+                                                backend="sparse")
+        assert sparse_pool.backend_name == "sparse"
+        assert sparse_pool.metrics_snapshot()["backend"] == "sparse"
+
+    def test_sparse_backend_replicas_predict_identically(
+            self, pool, artifact, request_images, request_seeds):
+        with ReplicaPool.from_artifact(artifact, workers=2,
+                                       backend="sparse") as sparse_pool:
+            sparse = [sparse_pool.predict(image, seed=seed, timeout=30.0)
+                      for image, seed in zip(request_images, request_seeds)]
+        # The shared pool fixture is already running.
+        dense = [pool.predict(image, seed=seed, timeout=30.0)
+                 for image, seed in zip(request_images, request_seeds)]
+        assert [r.prediction for r in sparse] == [r.prediction for r in dense]
+        assert [r.spike_count for r in sparse] == [r.spike_count for r in dense]

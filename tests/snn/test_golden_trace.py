@@ -37,9 +37,10 @@ NETWORK_SEED = 123
 TRAIN_SEED = 2024
 
 
-def _build_network():
+def _build_network(backend: str = "dense"):
     config = SpikeDynConfig.scaled_down(
-        n_input=N_INPUT, n_exc=N_EXC, t_sim=float(TIMESTEPS), seed=NETWORK_SEED
+        n_input=N_INPUT, n_exc=N_EXC, t_sim=float(TIMESTEPS),
+        seed=NETWORK_SEED, backend=backend,
     )
     return build_spikedyn_network(
         config, learning_rule=SpikeDynLearningRule(), rng=NETWORK_SEED
@@ -51,17 +52,17 @@ def _spike_trains() -> np.ndarray:
     return rng.random((BATCH, TIMESTEPS, N_INPUT)) < DENSITY
 
 
-def compute_trace() -> Dict[str, np.ndarray]:
+def compute_trace(backend: str = "dense") -> Dict[str, np.ndarray]:
     """The full golden trace, recomputed from the fixed seeds."""
     trains = _spike_trains()
 
-    inference_net = _build_network()
+    inference_net = _build_network(backend)
     inference = inference_net.run_batch(trains, learning=False)
     inference_counts = np.stack(
         [result.counts("excitatory") for result in inference]
     )
 
-    learning_net = _build_network()
+    learning_net = _build_network(backend)
     learning = learning_net.run_batch(trains, learning=True)
     learning_counts = np.stack(
         [result.counts("excitatory") for result in learning]
@@ -93,6 +94,36 @@ def test_run_batch_reproduces_the_golden_trace():
             actual[key], expected[key],
             err_msg=f"golden-trace field {key!r} diverged from the fixture",
         )
+
+
+def test_sparse_backend_replays_the_golden_trace():
+    """The event-driven backend reproduces the dense fixture.
+
+    Spike counts are integers and must match exactly.  Weights and theta may
+    in principle differ by summation-order rounding (the sparse backend
+    segment-sums only the spiking weight rows), so they are held to
+    double-precision tightness rather than bit equality.
+    """
+    expected = dict(np.load(FIXTURE))
+    actual = compute_trace(backend="sparse")
+    np.testing.assert_array_equal(
+        actual["inference_counts"], expected["inference_counts"],
+        err_msg="sparse-backend inference diverged from the golden trace",
+    )
+    np.testing.assert_array_equal(
+        actual["learning_counts"], expected["learning_counts"],
+        err_msg="sparse-backend learning diverged from the golden trace",
+    )
+    np.testing.assert_allclose(
+        actual["final_weights"], expected["final_weights"],
+        rtol=1e-10, atol=1e-12,
+        err_msg="sparse-backend weights diverged from the golden trace",
+    )
+    np.testing.assert_allclose(
+        actual["final_theta"], expected["final_theta"],
+        rtol=1e-10, atol=1e-12,
+        err_msg="sparse-backend theta diverged from the golden trace",
+    )
 
 
 def test_trace_is_stable_within_a_session():

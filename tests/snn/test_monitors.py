@@ -88,3 +88,49 @@ class TestStateMonitor:
         monitor.observe()
         monitor.reset()
         assert monitor.last is None
+
+    def test_long_runs_grow_the_buffer(self):
+        # 200 observations cross the initial capacity twice; every recorded
+        # value must survive the buffer growth verbatim and in order.
+        group = LIFGroup(3, name="g")
+        monitor = StateMonitor(group, "v")
+        for step in range(200):
+            group.v[:] = float(step)
+            monitor.observe()
+        history = monitor.history
+        assert history.shape == (200, 3)
+        np.testing.assert_array_equal(history[:, 0], np.arange(200.0))
+        np.testing.assert_allclose(monitor.last, 199.0)
+
+    def test_history_is_a_snapshot_not_a_live_view(self):
+        group = LIFGroup(2, name="g")
+        monitor = StateMonitor(group, "v")
+        monitor.observe()
+        history = monitor.history
+        group.v[:] = 0.0
+        monitor.observe()
+        np.testing.assert_allclose(history[0], group.v_rest)
+        assert history.shape == (1, 2)
+
+    def test_mixed_shapes_keep_last_and_raise_on_history(self):
+        group = LIFGroup(2, name="g")
+        monitor = StateMonitor(group, "v")
+        monitor.observe()
+        # Simulate a batched run without a reset: the attribute changes shape.
+        group.v = np.zeros((4, 2))
+        monitor.observe()
+        with pytest.raises(ValueError, match="mixes"):
+            monitor.history
+        assert monitor.last.shape == (4, 2)
+        monitor.reset()
+        monitor.observe()
+        assert monitor.history.shape == (1, 4, 2)
+
+    def test_reset_allows_a_new_shape(self):
+        group = LIFGroup(2, name="g")
+        monitor = StateMonitor(group, "v")
+        monitor.observe()
+        monitor.reset()
+        group.v = np.zeros((3, 2))
+        monitor.observe()
+        assert monitor.history.shape == (1, 3, 2)

@@ -15,7 +15,7 @@ class TestParser:
         commands = set(subparser_actions[0].choices)
         assert commands == {"info", "train", "evaluate", "search", "energy",
                             "reproduce", "run-all", "scenarios", "serve",
-                            "cache"}
+                            "backends", "cache"}
 
     def test_reproduce_knows_every_driver(self):
         assert set(EXPERIMENT_DRIVERS) == {
@@ -45,6 +45,24 @@ class TestInfo:
         assert "spikedyn" in output
         assert "Jetson Nano" in output
         assert "fig11" in output
+        assert "dense" in output and "sparse" in output
+
+
+class TestBackends:
+    def test_list_prints_every_registered_backend(self, capsys):
+        assert main(["backends", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "backend" in output and "available" in output
+        assert "dense" in output and "sparse" in output
+        assert "yes" in output
+
+    def test_unknown_action_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["backends", "frobnicate"])
+
+    def test_train_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--backend", "quantum"])
 
 
 class TestTrainAndEvaluate:
