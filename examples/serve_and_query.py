@@ -127,7 +127,7 @@ def main() -> None:
                   f"(p95 {report.latency_quantile_ms(95):.1f} ms)")
 
             # 5. Metrics.
-            metrics = fetch_json(server.url, "/metrics")
+            metrics = fetch_json(server.url, "/metrics.json")
             print()
             print("Serving metrics")
             print(f"  requests     : {metrics['requests_total']}")

@@ -36,17 +36,54 @@ import numpy as np
 from repro.core.config import SpikeDynConfig
 from repro.datasets.synthetic_mnist import SyntheticDigits
 from repro.models.spikedyn_model import SpikeDynModel
+from repro.observability import parse_prometheus_text
 from repro.serving import (
     ModelServer,
     ReplicaPool,
     SpikeCountDriftDetector,
     fetch_json,
+    fetch_text,
     http_sender,
     load_artifact,
     offline_predictions,
     run_load,
     wait_until_healthy,
 )
+
+#: Series every healthy /metrics exposition must carry.
+REQUIRED_METRICS = (
+    "repro_serving_requests_total",
+    "repro_serving_responses_total",
+    "repro_serving_batch_size_bucket",
+    "repro_serving_batch_size_count",
+    "repro_serving_latency_ms",
+    "repro_serving_info",
+)
+
+
+def check_prometheus(text: str, minimum_requests: int) -> list:
+    """Validate the /metrics exposition; returns a list of problems.
+
+    Parses every line with the strict text-format parser, asserts the
+    required series are present, and cross-checks the request counter
+    against the load that was actually generated.
+    """
+    problems = []
+    try:
+        families = parse_prometheus_text(text)
+    except ValueError as error:
+        return [f"/metrics is not valid Prometheus text format: {error}"]
+    for name in REQUIRED_METRICS:
+        if name not in families:
+            problems.append(f"/metrics is missing the {name!r} series")
+    samples = families.get("repro_serving_requests_total", {})
+    total = sum(samples.values()) if samples else 0.0
+    if total < minimum_requests:
+        problems.append(
+            f"repro_serving_requests_total is {total:g}, expected >= "
+            f"{minimum_requests}"
+        )
+    return problems
 
 
 def train_tiny_artifact(directory: Path, *, n_exc: int, seed: int) -> Path:
@@ -125,7 +162,8 @@ def main(argv=None) -> int:
             print(f"healthz: {json.dumps(health)}", flush=True)
             report = run_load(http_sender(args.url), images, seeds,
                               concurrency=args.concurrency)
-            metrics = fetch_json(args.url, "/metrics")
+            metrics = fetch_json(args.url, "/metrics.json")
+            prometheus_text = fetch_text(args.url, "/metrics")
         else:
             pool = ReplicaPool.from_artifact(
                 artifact, workers=args.workers, max_batch=args.max_batch,
@@ -138,7 +176,8 @@ def main(argv=None) -> int:
                 print(f"in-process server at {server.url}", flush=True)
                 report = run_load(http_sender(server.url), images, seeds,
                                   concurrency=args.concurrency)
-                metrics = fetch_json(server.url, "/metrics")
+                metrics = fetch_json(server.url, "/metrics.json")
+                prometheus_text = fetch_text(server.url, "/metrics")
 
     print(json.dumps(report.summary(), indent=2))
     failures = 0
@@ -158,6 +197,15 @@ def main(argv=None) -> int:
     histogram = metrics.get("batch_size_histogram", {})
     print(f"batch-size histogram: {json.dumps(histogram)}")
     print(f"latency: {json.dumps(metrics.get('latency', {}))}")
+    problems = check_prometheus(prometheus_text, minimum_requests=report.ok)
+    if problems:
+        failures += 1
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+    else:
+        lines = len(prometheus_text.strip().splitlines())
+        print(f"GET /metrics: valid Prometheus text exposition "
+              f"({lines} lines)")
     if failures:
         return 1
     print(f"OK: {report.ok}/{report.n_requests} responses valid and "

@@ -32,8 +32,14 @@ driven without writing Python:
     event-driven kernels, ...) and their availability.
 ``spikedyn-repro cache``
     Inspect or clear the on-disk result cache.
+``spikedyn-repro ledger``
+    Query the persistent execution ledger (``list``/``show``/``tail``):
+    every runner job and serving batch, with lineage back to content key,
+    artifact version, config hash, backend, and package version.
 
 Every subcommand prints plain text to stdout; exit code 0 means success.
+Setting ``REPRO_LOG_JSON=1`` additionally streams every internal event
+(scheduler, workers, serving) as structured JSON lines on stderr.
 Install the package (``pip install -e .``) to get the ``repro`` and
 ``spikedyn-repro`` entry points, or run ``python -m repro.cli ...`` directly.
 """
@@ -41,6 +47,7 @@ Install the package (``pip install -e .``) to get the ``repro`` and
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -61,6 +68,8 @@ from repro.experiments.common import (
     build_model,
 )
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.observability import KIND_JOB, KIND_SERVING_BATCH, RunLedger
+from repro.observability.structlog import configure_from_env
 from repro.runner import (
     JobRecord,
     JobSpec,
@@ -158,6 +167,15 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable the content-addressed result cache")
     parser.add_argument("--force", action="store_true",
                         help="re-execute every job, ignoring cache and manifest")
+    _add_ledger_arguments(parser)
+
+
+def _add_ledger_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--ledger-dir", default=None,
+                        help="execution-ledger directory (default: "
+                             "$REPRO_LEDGER_DIR or ~/.cache/repro/ledger)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="disable the persistent execution ledger")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -308,6 +326,14 @@ def _make_cache(args: argparse.Namespace) -> Optional[ResultCache]:
     return ResultCache(getattr(args, "cache_dir", None))
 
 
+def _make_ledger(args: argparse.Namespace) -> Optional[RunLedger]:
+    """The execution ledger selected by ``--ledger-dir`` / ``--no-ledger``."""
+    if getattr(args, "no_ledger", False):
+        return None
+    # RunLedger(None) resolves to $REPRO_LEDGER_DIR / the user cache dir.
+    return RunLedger(getattr(args, "ledger_dir", None))
+
+
 def _progress_printer(event: str, record: JobRecord) -> None:
     """One progress line per scheduler event (the runner's on_event hook).
 
@@ -372,6 +398,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
             ("--cache-dir", args.cache_dir is not None),
             ("--no-cache", args.no_cache),
             ("--force", args.force),
+            ("--ledger-dir", args.ledger_dir is not None),
+            ("--no-ledger", args.no_ledger),
         ) if value]
         if ignored:
             print(f"warning: {', '.join(ignored)} only take effect together "
@@ -384,7 +412,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     job = JobSpec(experiment=spec.name, scale=scale, output=spec.output,
                   timeout=args.timeout)
     runner = ParallelRunner(args.workers, cache=_make_cache(args),
-                            force=args.force, on_event=_progress_printer)
+                            force=args.force, ledger=_make_ledger(args),
+                            on_event=_progress_printer)
     record = runner.run([job])[0]
     if not record.ok:
         if record.error:
@@ -418,7 +447,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
 
     runner = ParallelRunner(args.workers, cache=_make_cache(args),
                             manifest=manifest, resume=not args.no_resume,
-                            force=args.force, on_event=on_event)
+                            force=args.force, ledger=_make_ledger(args),
+                            on_event=on_event)
     records = runner.run(jobs)
 
     # A manifest-resumed job carries no report text when caching is off; its
@@ -506,6 +536,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue,
             drift_detector=drift,
+            ledger=_make_ledger(args),
         )
     except ArtifactError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -527,7 +558,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"(workers={args.workers}, backend={pool.backend_name}, "
           f"max_batch={args.max_batch}, "
           f"max_wait_ms={args.max_wait_ms:g})", flush=True)
-    print("endpoints: POST /predict, GET /healthz, GET /metrics", flush=True)
+    print("endpoints: POST /predict, GET /healthz, GET /metrics, "
+          "GET /metrics.json", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -581,6 +613,69 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         return 0
     removed = cache.clear()
     print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+def _ledger_row(entry: Dict[str, object]) -> List[object]:
+    """One display row for a ledger entry (shared by list/tail)."""
+    ts = entry.get("ts")
+    when = (time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(float(ts)))
+            if isinstance(ts, (int, float)) else "?")
+    kind = str(entry.get("kind", "?"))
+    if kind == KIND_SERVING_BATCH:
+        what = str(entry.get("artifact_name") or entry.get("model") or "?")
+        detail = f"batch={entry.get('batch_size', '?')}"
+    else:
+        what = str(entry.get("experiment", "?"))
+        detail = str(entry.get("key", ""))[:16]
+    return [when, kind, what, entry.get("outcome", "?"),
+            entry.get("backend", "?"), entry.get("version", "?"), detail]
+
+
+_LEDGER_COLUMNS = ["when", "kind", "what", "outcome", "backend", "version",
+                   "key/detail"]
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger_dir)
+    kind = {"job": KIND_JOB, "serving": KIND_SERVING_BATCH,
+            "all": None}[args.kind]
+
+    if args.action == "list":
+        stats = ledger.stats()
+        rows = [_ledger_row(entry) for entry in ledger.entries(kind=kind)]
+        if not rows:
+            print(f"ledger at {ledger.path} is empty")
+            return 0
+        print(format_table(_LEDGER_COLUMNS, rows))
+        kinds = ", ".join(f"{name}={count}"
+                          for name, count in sorted(stats["kinds"].items()))
+        print(f"{stats['entries']} entries ({kinds}), "
+              f"{stats['bytes'] / 1024.0:.1f} KiB at {stats['path']}")
+        return 0
+
+    if args.action == "tail":
+        rows = [_ledger_row(entry)
+                for entry in ledger.tail(args.limit, kind=kind)]
+        if not rows:
+            print(f"ledger at {ledger.path} is empty")
+            return 0
+        print(format_table(_LEDGER_COLUMNS, rows))
+        return 0
+
+    # action == "show": full JSON of every entry matching the key prefix.
+    if not args.key:
+        print("error: 'ledger show' needs a job-key prefix "
+              "(see the key/detail column of 'ledger list')", file=sys.stderr)
+        return 2
+    matches = [entry for entry in ledger.find(args.key)
+               if kind is None or entry.get("kind") == kind]
+    if not matches:
+        print(f"no ledger entry matches key prefix {args.key!r}",
+              file=sys.stderr)
+        return 1
+    for entry in matches:
+        print(json.dumps(entry, indent=2, sort_keys=True))
     return 0
 
 
@@ -749,6 +844,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "the backend recorded in the artifact)")
     serve.add_argument("--verbose", "-v", action="store_true",
                        help="log every HTTP request to stderr")
+    _add_ledger_arguments(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     backends = subparsers.add_parser(
@@ -769,11 +865,31 @@ def build_parser() -> argparse.ArgumentParser:
                             "~/.cache/repro/results)")
     cache.set_defaults(handler=_cmd_cache)
 
+    ledger = subparsers.add_parser(
+        "ledger", help="query the persistent execution ledger"
+    )
+    ledger.add_argument("action", choices=("list", "show", "tail"),
+                        help="list every entry, show entries matching a "
+                             "job-key prefix as JSON, or tail the newest")
+    ledger.add_argument("key", nargs="?", default=None, metavar="KEY_PREFIX",
+                        help="job-key prefix (required for 'show')")
+    ledger.add_argument("--ledger-dir", default=None,
+                        help="ledger directory (default: $REPRO_LEDGER_DIR "
+                             "or ~/.cache/repro/ledger)")
+    ledger.add_argument("--kind", choices=("all", "job", "serving"),
+                        default="all", help="restrict to one entry kind")
+    ledger.add_argument("-n", "--limit", type=_positive_int, default=10,
+                        help="entries shown by 'tail' (default: 10)")
+    ledger.set_defaults(handler=_cmd_ledger)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    # REPRO_LOG_JSON=1 streams structured JSON events on stderr; a no-op
+    # otherwise, so report text on stdout is unaffected either way.
+    configure_from_env()
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:

@@ -1,0 +1,54 @@
+"""Observability layer: structured logging, execution ledger, Prometheus.
+
+Three small, dependency-free building blocks shared by the runner, the
+serving stack, and the CLI:
+
+:mod:`repro.observability.structlog`
+    A stdlib-only, structlog-inspired JSON-lines event logger with
+    ``bind(**ctx)`` context propagation.  Every job and request in the
+    stack emits machine-parseable key-value events through it.
+:mod:`repro.observability.ledger`
+    A persistent append-only :class:`RunLedger` (JSONL under
+    ``~/.cache/repro/ledger/``) recording every runner job and serving
+    batch with lineage back to content key, artifact version, config hash,
+    backend, and package version.
+:mod:`repro.observability.prometheus`
+    Renders a :class:`~repro.serving.metrics.ServingMetrics` snapshot into
+    Prometheus text exposition format (and parses it back for validation).
+"""
+
+from repro.observability.ledger import (
+    KIND_JOB,
+    KIND_SERVING_BATCH,
+    LEDGER_DIR_ENV,
+    RunLedger,
+    artifact_lineage,
+    config_hash,
+    default_ledger_root,
+    job_entry,
+)
+from repro.observability.prometheus import (
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.observability.structlog import (
+    StructLogger,
+    configure_structured_logging,
+    get_struct_logger,
+)
+
+__all__ = [
+    "KIND_JOB",
+    "KIND_SERVING_BATCH",
+    "LEDGER_DIR_ENV",
+    "RunLedger",
+    "StructLogger",
+    "artifact_lineage",
+    "config_hash",
+    "configure_structured_logging",
+    "default_ledger_root",
+    "get_struct_logger",
+    "job_entry",
+    "parse_prometheus_text",
+    "render_prometheus",
+]

@@ -1,0 +1,272 @@
+"""Persistent append-only execution ledger with lineage.
+
+Every runner job and serving batch is appended to a JSONL ledger under
+``~/.cache/repro/ledger/`` (one JSON object per line), so a deployment's
+full execution history — *which* artifact at *which* version, on *which*
+backend, under *which* config, with *what* outcome — survives the process
+and is queryable after the fact (``repro ledger list|show|tail``).
+
+Durability hygiene matches :class:`~repro.runner.cache.ResultCache`:
+
+* appends open the file ``O_APPEND`` and write one complete line in a
+  single ``os.write`` call, so concurrent writers (scheduler + serving
+  threads, even separate processes) never interleave *within* a line;
+* readers skip truncated or corrupt lines instead of failing, so a crash
+  mid-append costs at most that one entry;
+* the directory is created lazily on the first append and an unwritable
+  ledger degrades to a no-op rather than failing the job it records.
+
+The ledger is deliberately schema-light: entries are plain dictionaries
+with a ``kind`` discriminator, and the helpers :func:`job_entry` /
+:func:`artifact_lineage` assemble the canonical lineage fields for the two
+entry kinds the stack emits today.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+import repro
+
+PathLike = Union[str, Path]
+
+#: Environment variable overriding the default ledger location.
+LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
+
+#: Entry kinds written by the stack.
+KIND_JOB = "job"
+KIND_SERVING_BATCH = "serving_batch"
+
+#: Ledger file name inside the ledger directory.
+LEDGER_FILENAME = "ledger.jsonl"
+
+_VERSION_DIR = re.compile(r"^v\d{1,9}$")
+
+
+def default_ledger_root() -> Path:
+    """The default ledger directory.
+
+    ``$REPRO_LEDGER_DIR`` if set, else ``$XDG_CACHE_HOME/repro/ledger``,
+    else ``~/.cache/repro/ledger``.
+    """
+    env = os.environ.get(LEDGER_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "ledger"
+
+
+def config_hash(config: Any) -> str:
+    """Short content hash of a configuration object.
+
+    Accepts anything with a ``to_dict()`` method (e.g.
+    :class:`~repro.core.config.SpikeDynConfig`) or a plain mapping; the
+    digest is over the canonical sorted JSON, truncated to 16 hex chars —
+    enough to distinguish configs, short enough for log lines.
+    """
+    if hasattr(config, "to_dict"):
+        data = config.to_dict()
+    else:
+        data = dict(config)
+    canonical = json.dumps(data, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def artifact_lineage(artifact: Any) -> Dict[str, Any]:
+    """Lineage fields of a served model artifact.
+
+    Works off the duck-typed attributes of
+    :class:`~repro.serving.artifacts.ModelArtifact` (``path``,
+    ``model_name``, ``backend``, ``config``, ``schema_version``).  Registry
+    paths (``<root>/<name>/v000N``) yield a proper artifact name/version;
+    a plain save directory reports its directory name with version ``None``.
+    """
+    path = Path(getattr(artifact, "path", "."))
+    version: Optional[str] = None
+    name = path.name
+    if _VERSION_DIR.match(path.name) and path.parent.name:
+        version = path.name
+        name = path.parent.name
+    config = getattr(artifact, "config", None)
+    return {
+        "artifact_name": name,
+        "artifact_version": version,
+        "artifact_path": str(path),
+        "model": getattr(artifact, "model_name", None),
+        "backend": getattr(artifact, "backend", None),
+        "schema_version": getattr(artifact, "schema_version", None),
+        "config_hash": config_hash(config) if config is not None else None,
+    }
+
+
+def job_entry(job: Any, record: Any, outcome: Optional[str] = None) -> Dict[str, Any]:
+    """Canonical ledger entry for one runner job.
+
+    Parameters
+    ----------
+    job:
+        The :class:`~repro.runner.jobs.JobSpec` (duck-typed: ``key()``,
+        ``experiment``, ``seed``, ``backend``, ``scale``).
+    record:
+        The terminal :class:`~repro.runner.manifest.JobRecord`.
+    outcome:
+        Override for the recorded outcome; defaults to ``record.source``
+        for cache/manifest shortcuts and ``record.status`` for executed
+        jobs — so a cache hit is recorded as ``"cached"``, not skipped.
+    """
+    source = getattr(record, "source", "run")
+    if outcome is None:
+        if source == "run":
+            outcome = record.status
+        elif source == "cache":
+            outcome = "cached"
+        else:
+            outcome = "resumed"
+    scale = dataclasses.asdict(job.scale) if dataclasses.is_dataclass(job.scale) else {}
+    return {
+        "kind": KIND_JOB,
+        "key": job.key(),
+        "experiment": job.experiment,
+        "seed": job.seed,
+        "backend": job.backend,
+        "config_hash": config_hash(scale),
+        "outcome": outcome,
+        "status": record.status,
+        "source": source,
+        "elapsed_s": float(getattr(record, "elapsed", 0.0)),
+    }
+
+
+class RunLedger:
+    """Append-only JSONL ledger of jobs and serving batches.
+
+    Parameters
+    ----------
+    root:
+        Ledger directory; defaults to :func:`default_ledger_root`.  The
+        ledger file is ``<root>/ledger.jsonl``, created lazily on the
+        first append.
+    strict:
+        When true, append failures raise instead of degrading to a no-op
+        (tests use this; production recording must never fail a job).
+    """
+
+    def __init__(self, root: Optional[PathLike] = None, *, strict: bool = False) -> None:
+        self.root = Path(root) if root is not None else default_ledger_root()
+        self.strict = strict
+
+    @property
+    def path(self) -> Path:
+        """The ledger file (whether or not it exists yet)."""
+        return self.root / LEDGER_FILENAME
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, entry: Dict[str, Any], **fields: Any) -> Optional[Dict[str, Any]]:
+        """Append one entry (plus ``fields``) as a single JSONL line.
+
+        Timestamp (``ts``, unix seconds) and package version are stamped
+        automatically unless already present.  Returns the full entry as
+        written, or ``None`` when recording failed and ``strict`` is off.
+        """
+        full = dict(entry)
+        full.update(fields)
+        full.setdefault("ts", time.time())
+        full.setdefault("version", repro.__version__)
+        line = json.dumps(full, sort_keys=True, separators=(",", ":"), default=str) + "\n"
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+            try:
+                # One write() of one complete line: concurrent O_APPEND
+                # writers serialize at the file offset, so lines never
+                # interleave within each other.
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            if self.strict:
+                raise
+            return None
+        return full
+
+    # -- reading -------------------------------------------------------------
+
+    def entries(self, kind: Optional[str] = None) -> Iterator[Dict[str, Any]]:
+        """Yield every well-formed entry in append order.
+
+        Corrupt or truncated lines (crash mid-append, foreign garbage) are
+        skipped; ``kind`` filters on the entry's ``kind`` field.
+        """
+        try:
+            handle = open(self.path, "r", encoding="utf-8", errors="replace")
+        except OSError:
+            return
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if not isinstance(entry, dict):
+                    continue
+                if kind is not None and entry.get("kind") != kind:
+                    continue
+                yield entry
+
+    def tail(self, n: int = 10, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """The last ``n`` well-formed entries, oldest first."""
+        if n <= 0:
+            return []
+        window: List[Dict[str, Any]] = []
+        for entry in self.entries(kind=kind):
+            window.append(entry)
+            if len(window) > n:
+                window.pop(0)
+        return window
+
+    def find(self, key_prefix: str) -> List[Dict[str, Any]]:
+        """Every entry whose ``key`` starts with ``key_prefix``."""
+        matches: List[Dict[str, Any]] = []
+        for entry in self.entries():
+            if str(entry.get("key", "")).startswith(key_prefix):
+                matches.append(entry)
+        return matches
+
+    def count(self) -> int:
+        """Number of well-formed entries."""
+        return sum(1 for _ in self.entries())
+
+    def stats(self) -> Dict[str, Any]:
+        """Summary: path, entry/kind counts, bytes on disk."""
+        kinds: Dict[str, int] = {}
+        entries = 0
+        for entry in self.entries():
+            entries += 1
+            kind = str(entry.get("kind", "?"))
+            kinds[kind] = kinds.get(kind, 0) + 1
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            size = 0
+        return {"path": str(self.path), "entries": entries, "kinds": kinds, "bytes": size}
+
+    def clear(self) -> int:
+        """Remove the ledger file; returns how many entries were dropped."""
+        dropped = self.count()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        return dropped

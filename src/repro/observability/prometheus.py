@@ -1,0 +1,262 @@
+"""Prometheus text exposition rendering (and a validating parser).
+
+:func:`render_prometheus` turns a
+:class:`~repro.serving.metrics.ServingMetrics` snapshot (the JSON form
+served on ``GET /metrics.json``) into the Prometheus text exposition
+format (version 0.0.4) served on ``GET /metrics``:
+
+* scalar totals become ``counter`` samples;
+* queue depth, uptime, window sizes, and latency quantiles become
+  ``gauge`` samples;
+* the batch-size histogram becomes a proper cumulative ``histogram``
+  (``_bucket{le=...}`` / ``_sum`` / ``_count``);
+* the deployment's backend/model identity is exposed as an info-style
+  gauge with labels (``repro_serving_info{backend="dense"} 1``).
+
+Everything is stdlib string formatting — no client library.  The inverse,
+:func:`parse_prometheus_text`, is a strict line-level parser used by the
+CI serving smoke test and the endpoint tests to prove the output is
+well-formed.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Content type of the text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix of every exported metric.
+METRIC_PREFIX = "repro_serving"
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+_QUANTILE_KEY = re.compile(r"^p\d+(?:\.\d+)?_ms$")
+
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _escape_label_value(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):  # pragma: no cover - never produced by snapshots
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Writer:
+    """Accumulates HELP/TYPE/sample lines in exposition order."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def header(self, name: str, kind: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, value: float, labels: Optional[Mapping[str, str]] = None) -> None:
+        if labels:
+            parts = [f'{key}="{_escape_label_value(val)}"' for key, val in labels.items()]
+            rendered = ",".join(parts)
+            self.lines.append(f"{name}{{{rendered}}} {_format_value(value)}")
+        else:
+            self.lines.append(f"{name} {_format_value(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(snapshot: Mapping[str, Any], prefix: str = METRIC_PREFIX) -> str:
+    """Render a metrics snapshot as Prometheus text exposition format.
+
+    ``snapshot`` is the dictionary produced by
+    :meth:`repro.serving.metrics.ServingMetrics.snapshot` /
+    :meth:`repro.serving.pool.ReplicaPool.metrics_snapshot`; unknown keys
+    are ignored, missing keys are simply not exported, so the renderer
+    tolerates both bare-metrics and pool-level snapshots.
+    """
+    out = _Writer()
+
+    counters = (
+        ("requests_total", "Requests accepted into the queue."),
+        ("responses_total", "Requests answered by a worker."),
+        ("errors_total", "Requests failed inside a worker."),
+        ("rejected_total", "Requests shed by backpressure or validation."),
+        ("batches_total", "Micro-batches executed."),
+    )
+    for key, help_text in counters:
+        if key in snapshot:
+            name = f"{prefix}_{key}"
+            out.header(name, "counter", help_text)
+            out.sample(name, float(snapshot[key]))
+
+    if "uptime_s" in snapshot:
+        name = f"{prefix}_uptime_seconds"
+        out.header(name, "gauge", "Seconds since the metrics sink started.")
+        out.sample(name, float(snapshot["uptime_s"]))
+    if "queue_depth" in snapshot:
+        name = f"{prefix}_queue_depth"
+        out.header(name, "gauge", "Requests currently waiting in the queue.")
+        out.sample(name, float(snapshot["queue_depth"]))
+    if "mean_batch_size" in snapshot:
+        name = f"{prefix}_mean_batch_size"
+        out.header(name, "gauge", "Mean executed micro-batch size.")
+        out.sample(name, float(snapshot["mean_batch_size"]))
+
+    histogram = snapshot.get("batch_size_histogram")
+    if isinstance(histogram, Mapping) and histogram:
+        name = f"{prefix}_batch_size"
+        out.header(name, "histogram", "Distribution of executed micro-batch sizes.")
+        sizes = sorted((int(size), int(count)) for size, count in histogram.items())
+        cumulative = 0
+        total = 0.0
+        for size, count in sizes:
+            cumulative += count
+            total += size * count
+            out.sample(f"{name}_bucket", cumulative, {"le": str(size)})
+        out.sample(f"{name}_bucket", cumulative, {"le": "+Inf"})
+        out.sample(f"{name}_sum", total)
+        out.sample(f"{name}_count", cumulative)
+
+    latency = snapshot.get("latency")
+    if isinstance(latency, Mapping):
+        name = f"{prefix}_latency_window"
+        out.header(name, "gauge", "Requests in the rolling latency window.")
+        out.sample(name, float(latency.get("window", 0.0)))
+        quantile_keys = sorted(key for key in latency if _QUANTILE_KEY.match(key))
+        if quantile_keys:
+            name = f"{prefix}_latency_ms"
+            out.header(name, "gauge", "Request latency quantiles over the rolling window (ms).")
+            for key in quantile_keys:
+                quantile = float(key[1:-3]) / 100.0
+                out.sample(name, float(latency[key]), {"quantile": f"{quantile:g}"})
+        for key, label in (("mean_ms", "Mean"), ("max_ms", "Max")):
+            if key in latency:
+                name = f"{prefix}_latency_{key[:-3]}_ms"
+                out.header(name, "gauge", f"{label} request latency over the rolling window (ms).")
+                out.sample(name, float(latency[key]))
+
+    drift = snapshot.get("drift")
+    if isinstance(drift, Mapping):
+        for key, value in sorted(drift.items()):
+            if isinstance(value, bool):
+                value = float(value)
+            if not isinstance(value, (int, float)):
+                continue
+            name = f"{prefix}_drift_{key}"
+            out.header(name, "gauge", f"Spike-count drift detector field {key!r}.")
+            out.sample(name, float(value))
+
+    info_labels: Dict[str, str] = {}
+    for key in ("backend", "model"):
+        if snapshot.get(key) is not None:
+            info_labels[key] = str(snapshot[key])
+    if info_labels:
+        name = f"{prefix}_info"
+        out.header(name, "gauge", "Deployment identity (constant 1; identity in labels).")
+        out.sample(name, 1.0, info_labels)
+
+    return out.text()
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]:
+    """Parse (and thereby validate) Prometheus text exposition format.
+
+    Returns ``{metric_name: {((label, value), ...): sample_value}}``.
+
+    Raises
+    ------
+    ValueError
+        If any non-empty line is neither a ``# HELP``/``# TYPE`` header
+        nor a well-formed ``name{labels} value`` sample, if a ``# TYPE``
+        names an unknown type, or if a sample value is not a number.
+    """
+    samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: comment is neither # HELP nor # TYPE: {raw!r}")
+            if not _METRIC_NAME.match(parts[2]):
+                raise ValueError(f"line {lineno}: invalid metric name {parts[2]!r}")
+            if parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3].split()[0] not in _TYPES:
+                    raise ValueError(f"line {lineno}: invalid metric type in {raw!r}")
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample line {raw!r}")
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            for part in _split_labels(label_text, lineno):
+                label_match = _LABEL.match(part)
+                if not label_match:
+                    raise ValueError(f"line {lineno}: malformed label {part!r}")
+                labels[label_match.group("key")] = label_match.group("value")
+        value_text = match.group("value")
+        if value_text in ("+Inf", "Inf"):
+            value = math.inf
+        elif value_text == "-Inf":
+            value = -math.inf
+        elif value_text == "NaN":
+            value = math.nan
+        else:
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: sample value {value_text!r} is not a number"
+                ) from None
+        key = tuple(sorted(labels.items()))
+        samples.setdefault(match.group("name"), {})[key] = value
+    return samples
+
+
+def _split_labels(label_text: str, lineno: int) -> List[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    escaped = False
+    for char in label_text:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if in_quotes:
+        raise ValueError(f"line {lineno}: unterminated label value")
+    if current:
+        parts.append("".join(current))
+    return [part for part in parts if part]

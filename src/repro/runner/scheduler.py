@@ -30,6 +30,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.observability.ledger import RunLedger, job_entry
+from repro.observability.structlog import get_struct_logger
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import JobSpec
 from repro.runner.manifest import (
@@ -42,6 +44,8 @@ from repro.runner.manifest import (
     RunManifest,
 )
 from repro.runner.worker import execute_payload, worker_main
+
+_log = get_struct_logger("runner.scheduler")
 
 #: How often the scheduler polls running workers, in seconds.
 POLL_INTERVAL = 0.05
@@ -85,6 +89,12 @@ class ParallelRunner:
     force:
         When true, cache hits are ignored (everything re-executes);
         ``resume`` is ignored too.
+    ledger:
+        Optional persistent :class:`~repro.observability.ledger.RunLedger`.
+        Every terminal job — executed, cache-served (``outcome="cached"``),
+        or manifest-resumed — is appended with its full lineage (content
+        key, backend, config hash, package version, timing, outcome).
+        ``None`` disables ledger recording.
     on_event:
         Optional callback ``(event, record)`` invoked on ``"start"``,
         ``"cached"``, ``"resumed"``, and ``"done"`` transitions — the CLI
@@ -99,6 +109,7 @@ class ParallelRunner:
         manifest: Optional[RunManifest] = None,
         resume: bool = True,
         force: bool = False,
+        ledger: Optional[RunLedger] = None,
         on_event: Optional[EventCallback] = None,
     ) -> None:
         if workers < 0:
@@ -108,8 +119,10 @@ class ParallelRunner:
         self.manifest = manifest
         self.resume = resume
         self.force = force
+        self.ledger = ledger
         self.on_event = on_event
         self._context = multiprocessing.get_context("spawn")
+        self._jobs_by_key: Dict[str, JobSpec] = {}
 
     # -- public API ------------------------------------------------------------
 
@@ -124,8 +137,10 @@ class ParallelRunner:
         records: Dict[str, JobRecord] = {}
         to_run: List[JobSpec] = []
         queued: set = set()
+        _log.info("run_started", jobs=len(jobs), workers=self.workers)
         for job in jobs:
             key = job.key()
+            self._jobs_by_key[key] = job
             if key in records or key in queued:
                 continue
             shortcut = self._shortcut_record(job, key)
@@ -147,7 +162,14 @@ class ParallelRunner:
                 executed = self._run_pool(to_run)
             records.update(executed)
 
-        return [records[job.key()] for job in jobs]
+        ordered = [records[job.key()] for job in jobs]
+        _log.info(
+            "run_finished",
+            jobs=len(ordered),
+            completed=sum(1 for record in ordered if record.ok),
+            executed=len(to_run),
+        )
+        return ordered
 
     # -- shortcut paths --------------------------------------------------------
 
@@ -190,6 +212,14 @@ class ParallelRunner:
             )
         records: Dict[str, JobRecord] = {}
         for job in jobs:
+            _log.info(
+                "job_started",
+                key=job.key(),
+                experiment=job.experiment,
+                seed=job.seed,
+                backend=job.backend,
+                inline=True,
+            )
             self._emit("start", self._pending_record(job))
             record = JobRecord.from_dict(execute_payload(job.to_dict()))
             records[record.key] = record
@@ -229,6 +259,15 @@ class ParallelRunner:
             target=worker_main, args=(job.to_dict(), channel), daemon=True
         )
         process.start()
+        _log.info(
+            "job_started",
+            key=job.key(),
+            experiment=job.experiment,
+            seed=job.seed,
+            backend=job.backend,
+            pid=process.pid,
+            timeout_s=job.timeout,
+        )
         self._emit("start", self._pending_record(job))
         return _Running(
             job=job,
@@ -265,6 +304,12 @@ class ParallelRunner:
                 record.key = entry.key
                 return record
             self._kill(entry.process)
+            _log.warning(
+                "job_timeout",
+                key=entry.key,
+                experiment=entry.job.experiment,
+                timeout_s=entry.job.timeout,
+            )
             return JobRecord(
                 key=entry.key,
                 experiment=entry.job.experiment,
@@ -289,6 +334,12 @@ class ParallelRunner:
                 record.key = entry.key
                 return record
             # Died without reporting: crashed (segfault, os._exit, OOM kill).
+            _log.warning(
+                "job_crashed",
+                key=entry.key,
+                experiment=entry.job.experiment,
+                exitcode=entry.process.exitcode,
+            )
             return JobRecord(
                 key=entry.key,
                 experiment=entry.job.experiment,
@@ -317,8 +368,31 @@ class ParallelRunner:
             if self.cache is not None and record.ok:
                 self.cache.put(record.key, record.to_dict())
             self._emit("done", record)
+        self._ledger_record(record)
+        _log.info(
+            "job_finished",
+            key=record.key,
+            experiment=record.experiment,
+            status=record.status,
+            source=record.source,
+            elapsed_s=round(record.elapsed, 6),
+        )
         if self.manifest is not None:
             self.manifest.update(record, save=save)
+
+    def _ledger_record(self, record: JobRecord) -> None:
+        """Append ``record`` to the persistent ledger, if one is attached.
+
+        Cache- and manifest-served jobs are recorded too (with outcome
+        ``"cached"`` / ``"resumed"``): the ledger answers "what did this run
+        touch", not just "what did it execute".
+        """
+        if self.ledger is None:
+            return
+        job = self._jobs_by_key.get(record.key)
+        if job is None:  # pragma: no cover - records always follow a job
+            return
+        self.ledger.append(job_entry(job, record))
 
     def _emit(self, event: str, record: JobRecord) -> None:
         if self.on_event is not None:
@@ -356,6 +430,7 @@ def run_jobs(
     manifest: Optional[RunManifest] = None,
     resume: bool = True,
     force: bool = False,
+    ledger: Optional[RunLedger] = None,
     on_event: Optional[EventCallback] = None,
 ) -> List[JobRecord]:
     """Convenience wrapper: build a :class:`ParallelRunner` and run ``jobs``."""
@@ -365,6 +440,7 @@ def run_jobs(
         manifest=manifest,
         resume=resume,
         force=force,
+        ledger=ledger,
         on_event=on_event,
     )
     return runner.run(jobs)

@@ -22,8 +22,11 @@ from typing import Any, Callable, Dict
 
 from repro.experiments.common import ExperimentScale
 from repro.experiments.registry import EXPERIMENTS, render_report
+from repro.observability.structlog import configure_from_env, get_struct_logger
 from repro.runner.jobs import JobSpec
 from repro.runner.manifest import STATUS_COMPLETED, STATUS_FAILED
+
+_log = get_struct_logger("runner.worker")
 
 
 def resolve_runner(experiment: str) -> Callable[..., Any]:
@@ -55,6 +58,9 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     propagating (crash isolation also holds on the in-process path).
     """
     job = JobSpec.from_dict(payload)
+    job_log = _log.bind(
+        key=job.key(), experiment=job.experiment, seed=job.seed, backend=job.backend
+    )
     started = time.perf_counter()
     record: Dict[str, Any] = {
         "key": job.key(),
@@ -63,6 +69,7 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "seed": job.seed,
         "source": "run",
     }
+    job_log.info("execute_started")
     try:
         runner = resolve_runner(job.experiment)
         scale: ExperimentScale = job.scale
@@ -70,9 +77,11 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     except Exception:
         record["status"] = STATUS_FAILED
         record["error"] = traceback.format_exc()
+        job_log.error("execute_failed", error=record["error"].strip().splitlines()[-1])
     else:
         record["status"] = STATUS_COMPLETED
         record["report"] = report
+        job_log.info("execute_completed", elapsed_s=round(time.perf_counter() - started, 6))
     record["elapsed"] = time.perf_counter() - started
     return record
 
@@ -84,6 +93,10 @@ def worker_main(payload: Dict[str, Any], queue: Any) -> None:
     recorded as crashed by the scheduler, so even queue failures are reported
     as a failed record when possible.
     """
+    # ``spawn`` workers inherit no logging configuration from the parent;
+    # re-apply the environment's structured-logging request so a run under
+    # ``REPRO_LOG_JSON=1`` streams worker-side events too.
+    configure_from_env()
     try:
         record = execute_payload(payload)
     except BaseException:

@@ -13,8 +13,9 @@ service::
   (``max_batch`` / ``max_wait_ms`` / backpressure);
 * :mod:`repro.serving.pool` — worker threads each owning an independent
   model replica;
-* :mod:`repro.serving.server` — stdlib HTTP/JSON API (``POST /predict``,
-  ``GET /healthz``, ``GET /metrics``) behind ``repro serve``;
+* :mod:`repro.serving.server` — stdlib HTTP API (``POST /predict``,
+  ``GET /healthz``, ``GET /metrics`` in Prometheus text format,
+  ``GET /metrics.json``) behind ``repro serve``;
 * :mod:`repro.serving.metrics` / :mod:`repro.serving.drift` — request
   counters, batch-size histogram, latency quantiles, and the online
   spike-count drift alarm;
@@ -42,6 +43,7 @@ from repro.serving.inference import (
 from repro.serving.loadgen import (
     LoadReport,
     fetch_json,
+    fetch_text,
     http_sender,
     pool_sender,
     run_load,
@@ -71,6 +73,7 @@ __all__ = [
     "derive_request_seed",
     "encode_request",
     "fetch_json",
+    "fetch_text",
     "http_sender",
     "load_artifact",
     "offline_predictions",

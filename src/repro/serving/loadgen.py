@@ -112,9 +112,15 @@ def http_sender(url: str, timeout: float = 30.0) -> Sender:
 
 
 def fetch_json(url: str, path: str, timeout: float = 10.0) -> dict:
-    """GET ``<url><path>`` and decode the JSON body (for /healthz, /metrics)."""
+    """GET ``<url><path>`` and decode the JSON body (/healthz, /metrics.json)."""
     with urllib.request.urlopen(url.rstrip("/") + path, timeout=timeout) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+def fetch_text(url: str, path: str, timeout: float = 10.0) -> str:
+    """GET ``<url><path>`` and return the raw text body (Prometheus /metrics)."""
+    with urllib.request.urlopen(url.rstrip("/") + path, timeout=timeout) as response:
+        return response.read().decode("utf-8")
 
 
 def wait_until_healthy(url: str, timeout: float = 30.0,

@@ -3,8 +3,9 @@
 One :class:`ServingMetrics` instance is shared by the replica pool's worker
 threads and the HTTP layer.  Latencies are kept in a bounded ring buffer
 (the most recent ``latency_window`` requests) and the p50/p95/p99 quantiles
-are computed on demand when ``/metrics`` is scraped, so the per-request
-bookkeeping cost is a deque append under a lock.
+are computed on demand when ``/metrics`` (Prometheus text) or
+``/metrics.json`` is scraped, so the per-request bookkeeping cost is a
+deque append under a lock.
 """
 
 from __future__ import annotations
@@ -65,9 +66,23 @@ class ServingMetrics:
 
     # -- reading -------------------------------------------------------------
 
-    def snapshot(self, queue_depth: Optional[int] = None,
-                 drift: Optional[Dict[str, object]] = None) -> Dict[str, object]:
-        """JSON-safe view of every metric (the ``/metrics`` payload)."""
+    def snapshot(
+        self, queue_depth: Optional[int] = None, drift: Optional[Dict[str, object]] = None
+    ) -> Dict[str, object]:
+        """JSON-safe view of every metric (the ``/metrics.json`` payload).
+
+        The latency section is fully defined at every window size:
+
+        * **empty window** — quantiles, mean, and max are reported as an
+          explicit ``0.0`` (never NaN, never absent), so scrapers see a
+          stable schema from the first scrape on;
+        * **single sample** — every quantile equals that sample;
+        * **full window** — linear-interpolated percentiles over the ring
+          buffer (the most recent ``latency_window`` requests).
+
+        The ring buffer is copied under the lock, so a concurrent
+        ``record_batch`` can never resize the window mid-computation.
+        """
         with self._lock:
             latencies = np.asarray(self._latencies_ms, dtype=float)
             batch_sizes = dict(sorted(self._batch_sizes.items()))
@@ -79,21 +94,28 @@ class ServingMetrics:
                 "errors_total": self._errors_total,
                 "rejected_total": self._rejected_total,
                 "batches_total": self._batches_total,
-                "batch_size_histogram": {
-                    str(size): count for size, count in batch_sizes.items()
-                },
+                "batch_size_histogram": {str(size): count for size, count in batch_sizes.items()},
             }
         if batches_total:
             total = sum(size * count for size, count in batch_sizes.items())
             snapshot["mean_batch_size"] = total / max(sum(batch_sizes.values()), 1)
         latency: Dict[str, float] = {"window": float(latencies.size)}
-        if latencies.size:
+        if latencies.size == 0:
+            latency["mean_ms"] = 0.0
+            latency["max_ms"] = 0.0
+            for quantile in LATENCY_QUANTILES:
+                latency[f"p{quantile}_ms"] = 0.0
+        elif latencies.size == 1:
+            single = float(latencies[0])
+            latency["mean_ms"] = single
+            latency["max_ms"] = single
+            for quantile in LATENCY_QUANTILES:
+                latency[f"p{quantile}_ms"] = single
+        else:
             latency["mean_ms"] = float(latencies.mean())
             latency["max_ms"] = float(latencies.max())
             for quantile in LATENCY_QUANTILES:
-                latency[f"p{quantile}_ms"] = float(
-                    np.percentile(latencies, quantile)
-                )
+                latency[f"p{quantile}_ms"] = float(np.percentile(latencies, quantile))
         snapshot["latency"] = latency
         if queue_depth is not None:
             snapshot["queue_depth"] = int(queue_depth)

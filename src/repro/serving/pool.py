@@ -25,12 +25,16 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.models.base import UnsupervisedDigitClassifier
+from repro.observability.ledger import KIND_SERVING_BATCH, RunLedger, artifact_lineage
+from repro.observability.structlog import get_struct_logger
 from repro.serving.artifacts import ModelArtifact
 from repro.serving.batcher import MicroBatcher, PendingRequest
 from repro.serving.drift import SpikeCountDriftDetector
 from repro.serving.inference import PredictionService, PredictRequest, PredictResult
 from repro.serving.metrics import ServingMetrics
 from repro.utils.validation import check_positive_int
+
+_log = get_struct_logger("serving.pool")
 
 
 class ReplicaPool:
@@ -51,18 +55,33 @@ class ReplicaPool:
         Shared metrics sink; created on demand when omitted.
     drift_detector:
         Optional online drift monitor fed every request's spike count.
+    ledger:
+        Optional persistent :class:`~repro.observability.ledger.RunLedger`.
+        Every executed micro-batch is appended as a ``serving_batch`` entry
+        carrying the deployment's lineage (see ``lineage``) plus size,
+        latency, and outcome.  ``None`` (the default — benchmarks and tests
+        construct pools directly) disables recording; ``repro serve``
+        attaches the default ledger.
+    lineage:
+        Extra lineage fields stamped on every ledger entry (artifact
+        name/version, config hash, ...).  :meth:`from_artifact` fills this
+        from the artifact automatically.
     """
 
     def __init__(self, model_factory: Callable[[], UnsupervisedDigitClassifier],
                  workers: int = 2, *, max_batch: int = 32,
                  max_wait_ms: float = 5.0, max_queue: int = 1024,
                  metrics: Optional[ServingMetrics] = None,
-                 drift_detector: Optional[SpikeCountDriftDetector] = None) -> None:
+                 drift_detector: Optional[SpikeCountDriftDetector] = None,
+                 ledger: Optional[RunLedger] = None,
+                 lineage: Optional[dict] = None) -> None:
         self.workers = check_positive_int(workers, "workers")
         self.batcher = MicroBatcher(max_batch=max_batch, max_wait_ms=max_wait_ms,
                                     max_queue=max_queue)
         self.metrics = metrics if metrics is not None else ServingMetrics()
         self.drift_detector = drift_detector
+        self.ledger = ledger
+        self.lineage = dict(lineage or {})
         self.replicas: List[PredictionService] = [
             PredictionService(model_factory()) for _ in range(self.workers)
         ]
@@ -76,8 +95,14 @@ class ReplicaPool:
         """Pool whose replicas are independent reconstructions of ``artifact``.
 
         ``backend`` overrides the compute backend every replica runs on
-        (default: the backend recorded in the artifact).
+        (default: the backend recorded in the artifact).  The artifact's
+        lineage (name, version, config hash, backend) is attached to the
+        pool so ledger entries can attribute every batch to it.
         """
+        lineage = artifact_lineage(artifact)
+        if backend is not None:
+            lineage["backend"] = backend
+        kwargs.setdefault("lineage", lineage)
         if backend is None:
             return cls(artifact.build_model, workers, **kwargs)
         return cls(lambda: artifact.build_model(backend=backend), workers,
@@ -133,6 +158,9 @@ class ReplicaPool:
             )
             self._threads.append(thread)
             thread.start()
+        _log.info("pool_started", workers=self.workers,
+                  model=self.model_name, backend=self.backend_name,
+                  max_batch=self.batcher.max_batch)
         return self
 
     def stop(self, timeout: float = 10.0, cancel_pending: bool = False) -> None:
@@ -202,6 +230,7 @@ class ReplicaPool:
         snapshot = self.metrics.snapshot(queue_depth=self.queue_depth,
                                          drift=drift)
         snapshot["backend"] = self.backend_name
+        snapshot["model"] = self.model_name
         return snapshot
 
     # -- worker --------------------------------------------------------------
@@ -241,13 +270,38 @@ class ReplicaPool:
             for pending in batch:
                 self._resolve(pending.future, error=error)
             self.metrics.record_errors(len(batch))
+            _log.error("batch_failed", size=len(batch), error=str(error))
+            self._ledger_batch(len(batch), [], outcome="error",
+                               error=str(error))
             return
         finished = time.perf_counter()
         for pending, result in zip(batch, results):
             self._resolve(pending.future, result=result)
-        self.metrics.record_batch(
-            len(batch), [finished - p.enqueued_at for p in batch]
-        )
+        latencies = [finished - p.enqueued_at for p in batch]
+        self.metrics.record_batch(len(batch), latencies)
+        self._ledger_batch(len(batch), latencies, outcome="ok")
         if self.drift_detector is not None:
             for result in results:
                 self.drift_detector.observe(result.spike_count)
+
+    def _ledger_batch(self, size: int, latencies_s: Sequence[float],
+                      outcome: str, error: Optional[str] = None) -> None:
+        """Append one ``serving_batch`` entry with the pool's lineage."""
+        if self.ledger is None:
+            return
+        entry = {
+            "kind": KIND_SERVING_BATCH,
+            "outcome": outcome,
+            "batch_size": int(size),
+            "backend": self.backend_name,
+            "model": self.model_name,
+        }
+        entry.update(self.lineage)
+        if latencies_s:
+            entry["latency_mean_ms"] = round(
+                1000.0 * sum(latencies_s) / len(latencies_s), 3
+            )
+            entry["latency_max_ms"] = round(1000.0 * max(latencies_s), 3)
+        if error is not None:
+            entry["error"] = error
+        self.ledger.append(entry)

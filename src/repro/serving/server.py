@@ -11,9 +11,14 @@ Endpoints
 ``GET /healthz``
     Liveness/readiness: status, model identity, worker count, queue depth.
 ``GET /metrics``
-    The full :class:`~repro.serving.metrics.ServingMetrics` snapshot,
-    including the batch-size histogram, latency quantiles, and the drift
-    detector's state.
+    Prometheus text exposition format (version 0.0.4): request/response/
+    error counters, queue-depth and latency-quantile gauges, the batch-size
+    histogram with cumulative buckets, drift-detector gauges, and an
+    info-style identity gauge — directly scrapeable by a Prometheus
+    ``scrape_config``.
+``GET /metrics.json``
+    The same :class:`~repro.serving.metrics.ServingMetrics` snapshot as
+    JSON (the pre-1.6 ``/metrics`` contract, unchanged).
 
 Implementation notes: ``ThreadingHTTPServer`` gives one handler thread per
 connection — handlers block on the request future while the replica pool's
@@ -32,8 +37,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.observability.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
+from repro.observability.structlog import get_struct_logger
 from repro.serving.batcher import QueueClosedError, QueueFullError
 from repro.serving.pool import ReplicaPool
+
+_log = get_struct_logger("serving.server")
 
 #: Largest accepted request body (a 64x64 float image in JSON is ~100 KiB).
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -75,7 +87,17 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_json(self, status: int, message: str) -> None:
+        _log.warning("request_rejected", path=self.path, status=status,
+                     error=message)
         self._send_json(status, {"error": message})
+
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
 
     # -- GET -----------------------------------------------------------------
 
@@ -92,6 +114,9 @@ class _Handler(BaseHTTPRequestHandler):
                 "max_wait_ms": pool.batcher.max_wait_ms,
             })
         elif self.path == "/metrics":
+            self._send_text(200, render_prometheus(pool.metrics_snapshot()),
+                            PROMETHEUS_CONTENT_TYPE)
+        elif self.path == "/metrics.json":
             self._send_json(200, pool.metrics_snapshot())
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
@@ -227,6 +252,9 @@ class ModelServer:
                 name="repro-serve-http", daemon=True,
             )
             self._thread.start()
+        host, port = self.address
+        _log.info("server_started", host=host, port=port,
+                  model=self.pool.model_name, workers=self.pool.workers)
         return self
 
     def serve_forever(self) -> None:

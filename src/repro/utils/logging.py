@@ -1,8 +1,18 @@
-"""Lightweight run logging.
+"""Lightweight run logging, plain and structured.
 
 The experiments in the benchmark harness can run for a while; a tiny logging
 facade keeps progress visible without pulling in heavyweight dependencies or
 configuring the root logger behind the user's back.
+
+Two flavours share the ``repro.*`` stdlib logger hierarchy:
+
+* :func:`get_logger` / :func:`configure_logging` — classic human-readable
+  lines (``%(asctime)s %(name)s %(levelname)s: message``);
+* :func:`get_struct_logger` / :func:`configure_structured_logging` — the
+  JSON-lines key-value emitter from
+  :mod:`repro.observability.structlog` (``bind(**ctx)``-style context,
+  one JSON object per event) adopted by the runner scheduler, the worker,
+  and the serving stack.  ``REPRO_LOG_JSON=1`` switches the CLI onto it.
 """
 
 from __future__ import annotations
@@ -10,6 +20,20 @@ from __future__ import annotations
 import logging
 import sys
 from typing import Optional
+
+from repro.observability.structlog import (
+    StructLogger,
+    configure_structured_logging,
+    get_struct_logger,
+)
+
+__all__ = [
+    "StructLogger",
+    "configure_logging",
+    "configure_structured_logging",
+    "get_logger",
+    "get_struct_logger",
+]
 
 _LIBRARY_LOGGER_NAME = "repro"
 
@@ -40,9 +64,7 @@ def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
         if getattr(handler, "_repro_handler", False):
             logger.removeHandler(handler)
     handler = logging.StreamHandler(stream)
-    handler.setFormatter(
-        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
-    )
+    handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s"))
     handler._repro_handler = True
     logger.addHandler(handler)
     return logger

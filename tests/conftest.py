@@ -65,3 +65,13 @@ def digit_image(tiny_source: SyntheticDigits,
                 rng: np.random.Generator) -> np.ndarray:
     """One 14x14 synthetic digit-3 image."""
     return tiny_source.generate(3, 1, rng=rng)[0]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the execution ledger at a per-test directory.
+
+    The CLI attaches a ledger by default, so without this every test that
+    goes through ``repro.cli.main`` would append to the developer's real
+    ``~/.cache/repro/ledger``."""
+    monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))

@@ -1,0 +1,160 @@
+"""Bench-history pipeline tests: normalization, schema gate, baseline drift."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SCRIPTS_DIR = Path(__file__).resolve().parent.parent.parent / "scripts"
+
+
+@pytest.fixture(scope="module")
+def history():
+    sys.path.insert(0, str(SCRIPTS_DIR))
+    try:
+        import bench_history
+    finally:
+        sys.path.remove(str(SCRIPTS_DIR))
+    return bench_history
+
+
+@pytest.fixture
+def report():
+    return {
+        "version": repro.__version__,
+        "python": "3.11.7",
+        "numpy": "1.26.0",
+        "platform": "test",
+        "batch_size": 32,
+        "repeats": 3,
+        "timings": {
+            "calibration_s": 0.002,
+            "training_s": 0.2,
+            "inference_s": 0.04,
+            "speedup_x": 3.5,
+        },
+    }
+
+
+class TestNormalization:
+    def test_timings_divide_by_calibration(self, history, report):
+        normalized = history.normalize_timings(report["timings"])
+        assert normalized["training_s"] == pytest.approx(100.0)
+        assert normalized["inference_s"] == pytest.approx(20.0)
+
+    def test_ratio_metrics_pass_through(self, history, report):
+        normalized = history.normalize_timings(report["timings"])
+        assert normalized["speedup_x"] == pytest.approx(3.5)
+
+    def test_calibration_itself_is_excluded(self, history, report):
+        assert "calibration_s" not in history.normalize_timings(report["timings"])
+
+    def test_missing_calibration_raises(self, history):
+        with pytest.raises(ValueError, match="calibration_s"):
+            history.normalize_timings({"training_s": 1.0})
+
+
+class TestSnapshotSchema:
+    def test_build_then_validate_round_trip(self, history, report):
+        snapshot = history.build_snapshot(report)
+        assert history.validate_snapshot(snapshot, expect_version=repro.__version__) == []
+
+    def test_missing_report_keys_are_an_error(self, history, report):
+        del report["platform"]
+        with pytest.raises(ValueError, match="platform"):
+            history.build_snapshot(report)
+
+    def test_version_mismatch_is_flagged(self, history, report):
+        snapshot = history.build_snapshot(report)
+        problems = history.validate_snapshot(snapshot, expect_version="9.9.9")
+        assert any("9.9.9" in problem for problem in problems)
+
+    def test_tampered_normalized_section_is_flagged(self, history, report):
+        snapshot = history.build_snapshot(report)
+        snapshot["normalized"]["training_s"] *= 2.0
+        problems = history.validate_snapshot(snapshot)
+        assert any("inconsistent" in problem for problem in problems)
+
+    def test_dropped_normalized_metric_is_flagged(self, history, report):
+        snapshot = history.build_snapshot(report)
+        del snapshot["normalized"]["training_s"]
+        problems = history.validate_snapshot(snapshot)
+        assert any("do not match" in problem for problem in problems)
+
+
+class TestBaselineDrift:
+    def write_baseline(self, tmp_path, timings) -> Path:
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"timings": timings}), encoding="utf-8")
+        return path
+
+    def test_consistent_snapshot_passes(self, history, report, tmp_path):
+        snapshot = history.build_snapshot(report)
+        # A machine 10x faster than the baseline: raw timings differ, but the
+        # calibration normalization cancels the machine speed entirely.
+        baseline = self.write_baseline(
+            tmp_path, {name: value * 10.0 for name, value in report["timings"].items()}
+        )
+        assert history.check_against_baseline(snapshot, baseline, tolerance=3.0) == []
+
+    def test_drifted_metric_fails_both_directions(self, history, report, tmp_path):
+        slow = dict(report["timings"], training_s=report["timings"]["training_s"] * 10.0)
+        baseline = self.write_baseline(tmp_path, slow)
+        problems = history.check_against_baseline(
+            history.build_snapshot(report), baseline, tolerance=3.0
+        )
+        assert any("training_s" in problem for problem in problems)
+
+        fast = dict(report["timings"], training_s=report["timings"]["training_s"] / 10.0)
+        baseline = self.write_baseline(tmp_path, fast)
+        problems = history.check_against_baseline(
+            history.build_snapshot(report), baseline, tolerance=3.0
+        )
+        assert any("training_s" in problem for problem in problems)
+
+    def test_unreadable_baseline_is_reported(self, history, report, tmp_path):
+        problems = history.check_against_baseline(
+            history.build_snapshot(report), tmp_path / "missing.json", tolerance=3.0
+        )
+        assert any("cannot read" in problem for problem in problems)
+
+
+class TestCliModes:
+    def test_from_report_writes_snapshot_and_check_passes(self, history, report, tmp_path):
+        report_path = tmp_path / "report.json"
+        report_path.write_text(json.dumps(report), encoding="utf-8")
+        assert history.main(["--from-report", str(report_path), "--root", str(tmp_path)]) == 0
+        written = history.snapshot_path(repro.__version__, tmp_path)
+        assert written.is_file()
+        # --check against the real committed benchmarks/baseline_smoke.json
+        # would be machine-independent only by luck for this synthetic
+        # report, so validate the snapshot directly instead.
+        snapshot = json.loads(written.read_text(encoding="utf-8"))
+        assert history.validate_snapshot(snapshot, expect_version=repro.__version__) == []
+
+    def test_check_fails_without_a_snapshot(self, history, tmp_path, capsys):
+        assert history.main(["--check", "--root", str(tmp_path)]) == 1
+        assert "no benchmark-history snapshot" in capsys.readouterr().err
+
+    def test_list_renders_the_history(self, history, report, tmp_path, capsys):
+        snapshot = history.build_snapshot(report)
+        path = history.snapshot_path(repro.__version__, tmp_path)
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        assert history.main(["--list", "--root", str(tmp_path)]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_check_and_list_are_mutually_exclusive(self, history, tmp_path):
+        with pytest.raises(SystemExit):
+            history.main(["--check", "--list", "--root", str(tmp_path)])
+
+    def test_committed_snapshot_for_current_version_is_valid(self, history):
+        """The repo must ship a valid BENCH_v<current>.json (the CI gate)."""
+        path = history.snapshot_path(repro.__version__)
+        assert path.is_file(), f"missing committed snapshot {path.name}"
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+        assert history.validate_snapshot(snapshot, expect_version=repro.__version__) == []

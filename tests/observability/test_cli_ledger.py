@@ -1,0 +1,125 @@
+"""CLI tests for `repro ledger` and default ledger recording in run-all."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability.ledger import KIND_JOB, KIND_SERVING_BATCH, RunLedger
+
+
+@pytest.fixture
+def populated(tmp_path) -> RunLedger:
+    ledger = RunLedger(tmp_path / "ledger", strict=True)
+    ledger.append(
+        {
+            "kind": KIND_JOB,
+            "key": "aabb0011" * 8,
+            "experiment": "fig5",
+            "outcome": "completed",
+            "backend": "dense",
+        }
+    )
+    ledger.append(
+        {
+            "kind": KIND_SERVING_BATCH,
+            "model": "spikedyn",
+            "outcome": "ok",
+            "backend": "dense",
+            "batch_size": 4,
+        }
+    )
+    return ledger
+
+
+class TestLedgerCommand:
+    def test_list_renders_table_and_stats(self, populated, capsys):
+        assert main(["ledger", "list", "--ledger-dir", str(populated.root)]) == 0
+        output = capsys.readouterr().out
+        assert "fig5" in output
+        assert "completed" in output
+        assert "2 entries (job=1, serving_batch=1)" in output
+
+    def test_list_empty_ledger(self, tmp_path, capsys):
+        assert main(["ledger", "list", "--ledger-dir", str(tmp_path / "nothing")]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_kind_filter(self, populated, capsys):
+        args = ["ledger", "list", "--ledger-dir", str(populated.root), "--kind", "serving"]
+        assert main(args) == 0
+        output = capsys.readouterr().out
+        assert "spikedyn" in output
+        assert "fig5" not in output
+
+    def test_tail_respects_limit(self, tmp_path, capsys):
+        ledger = RunLedger(tmp_path / "ledger", strict=True)
+        for index in range(5):
+            ledger.append({"kind": KIND_JOB, "experiment": f"exp-{index}", "key": str(index)})
+        assert main(["ledger", "tail", "--ledger-dir", str(ledger.root), "-n", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "exp-4" in output and "exp-3" in output
+        assert "exp-0" not in output
+
+    def test_show_dumps_full_json_by_key_prefix(self, populated, capsys):
+        assert main(["ledger", "show", "aabb", "--ledger-dir", str(populated.root)]) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert entry["experiment"] == "fig5"
+        assert entry["key"].startswith("aabb0011")
+
+    def test_show_without_key_is_usage_error(self, populated, capsys):
+        assert main(["ledger", "show", "--ledger-dir", str(populated.root)]) == 2
+        assert "needs a job-key prefix" in capsys.readouterr().err
+
+    def test_show_unmatched_prefix_fails(self, populated, capsys):
+        assert main(["ledger", "show", "ffff", "--ledger-dir", str(populated.root)]) == 1
+        assert "no ledger entry matches" in capsys.readouterr().err
+
+
+@pytest.mark.integration
+class TestRunAllRecordsByDefault:
+    def test_run_all_writes_the_env_ledger(self, tmp_path, capsys, monkeypatch):
+        ledger_dir = tmp_path / "env-ledger"
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(ledger_dir))
+        args = [
+            "run-all",
+            "--scale",
+            "tiny",
+            "--workers",
+            "1",
+            "--drivers",
+            "table1",
+            "--out",
+            str(tmp_path / "out"),
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        (entry,) = list(RunLedger(ledger_dir).entries(kind=KIND_JOB))
+        assert entry["experiment"] == "table1"
+        assert entry["outcome"] == "completed"
+
+        # And the ledger CLI reads the same environment default.
+        assert main(["ledger", "list"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_no_ledger_flag_disables_recording(self, tmp_path, capsys, monkeypatch):
+        ledger_dir = tmp_path / "env-ledger"
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(ledger_dir))
+        args = [
+            "run-all",
+            "--scale",
+            "tiny",
+            "--workers",
+            "0",
+            "--drivers",
+            "table1",
+            "--out",
+            str(tmp_path / "out"),
+            "--no-cache",
+            "--no-ledger",
+        ]
+        assert main(args) == 0
+        assert RunLedger(ledger_dir).count() == 0

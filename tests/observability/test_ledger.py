@@ -1,0 +1,219 @@
+"""RunLedger tests: round-trips, corruption tolerance, concurrency, lineage."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+import repro
+from repro.observability.ledger import (
+    KIND_JOB,
+    KIND_SERVING_BATCH,
+    LEDGER_DIR_ENV,
+    RunLedger,
+    artifact_lineage,
+    config_hash,
+    default_ledger_root,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path) -> RunLedger:
+    return RunLedger(tmp_path / "ledger", strict=True)
+
+
+class TestRoundTrip:
+    def test_append_then_read_back(self, ledger):
+        written = ledger.append({"kind": KIND_JOB, "key": "abc", "outcome": "completed"})
+        (entry,) = list(ledger.entries())
+        assert entry == written
+        assert entry["key"] == "abc"
+
+    def test_ts_and_version_are_stamped(self, ledger):
+        entry = ledger.append({"kind": KIND_JOB})
+        assert entry["version"] == repro.__version__
+        assert entry["ts"] > 0
+
+    def test_explicit_ts_and_version_win(self, ledger):
+        entry = ledger.append({"kind": KIND_JOB, "ts": 123.0, "version": "0.0.0"})
+        assert entry["ts"] == 123.0
+        assert entry["version"] == "0.0.0"
+
+    def test_extra_fields_merge_over_the_entry(self, ledger):
+        ledger.append({"kind": KIND_JOB, "outcome": "completed"}, outcome="cached", extra=1)
+        (entry,) = list(ledger.entries())
+        assert entry["outcome"] == "cached"
+        assert entry["extra"] == 1
+
+    def test_append_order_is_preserved(self, ledger):
+        for index in range(10):
+            ledger.append({"kind": KIND_JOB, "index": index})
+        assert [entry["index"] for entry in ledger.entries()] == list(range(10))
+
+    def test_each_entry_is_one_jsonl_line(self, ledger):
+        ledger.append({"kind": KIND_JOB, "nested": {"a": [1, 2]}})
+        ledger.append({"kind": KIND_SERVING_BATCH})
+        lines = ledger.path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+
+class TestReading:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        ledger = RunLedger(tmp_path / "never-created")
+        assert list(ledger.entries()) == []
+        assert ledger.count() == 0
+        assert ledger.tail() == []
+
+    def test_kind_filter(self, ledger):
+        ledger.append({"kind": KIND_JOB, "index": 0})
+        ledger.append({"kind": KIND_SERVING_BATCH, "index": 1})
+        ledger.append({"kind": KIND_JOB, "index": 2})
+        assert [entry["index"] for entry in ledger.entries(kind=KIND_JOB)] == [0, 2]
+        assert [entry["index"] for entry in ledger.entries(kind=KIND_SERVING_BATCH)] == [1]
+
+    def test_corrupt_lines_are_skipped_not_fatal(self, ledger):
+        ledger.append({"kind": KIND_JOB, "index": 0})
+        with open(ledger.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "job", "trunca\n')
+            handle.write("not json at all\n")
+            handle.write('"a bare string, not an object"\n')
+            handle.write("\n")
+        ledger.append({"kind": KIND_JOB, "index": 1})
+        assert [entry["index"] for entry in ledger.entries()] == [0, 1]
+        assert ledger.count() == 2
+
+    def test_tail_returns_last_n_oldest_first(self, ledger):
+        for index in range(7):
+            ledger.append({"kind": KIND_JOB, "index": index})
+        assert [entry["index"] for entry in ledger.tail(3)] == [4, 5, 6]
+        assert ledger.tail(0) == []
+        assert len(ledger.tail(100)) == 7
+
+    def test_find_by_key_prefix(self, ledger):
+        ledger.append({"kind": KIND_JOB, "key": "aabbcc"})
+        ledger.append({"kind": KIND_JOB, "key": "aaddee"})
+        ledger.append({"kind": KIND_SERVING_BATCH})
+        assert len(ledger.find("aa")) == 2
+        assert len(ledger.find("aabb")) == 1
+        assert ledger.find("zz") == []
+
+    def test_stats_and_clear(self, ledger):
+        ledger.append({"kind": KIND_JOB})
+        ledger.append({"kind": KIND_SERVING_BATCH})
+        stats = ledger.stats()
+        assert stats["entries"] == 2
+        assert stats["kinds"] == {KIND_JOB: 1, KIND_SERVING_BATCH: 1}
+        assert stats["bytes"] > 0
+        assert ledger.clear() == 2
+        assert ledger.count() == 0
+        assert ledger.stats()["bytes"] == 0
+
+
+class TestDurability:
+    def test_concurrent_appends_never_interleave(self, ledger):
+        threads_n, per_thread = 8, 50
+
+        def writer(thread_id: int) -> None:
+            for index in range(per_thread):
+                ledger.append({"kind": KIND_JOB, "thread": thread_id, "index": index})
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        entries = list(ledger.entries())
+        assert len(entries) == threads_n * per_thread
+        seen = {(entry["thread"], entry["index"]) for entry in entries}
+        assert len(seen) == threads_n * per_thread
+
+    def test_unwritable_root_degrades_to_none_when_not_strict(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the directory should go")
+        ledger = RunLedger(blocker / "ledger")
+        assert ledger.append({"kind": KIND_JOB}) is None
+        assert list(ledger.entries()) == []
+
+    def test_unwritable_root_raises_when_strict(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the directory should go")
+        ledger = RunLedger(blocker / "ledger", strict=True)
+        with pytest.raises(OSError):
+            ledger.append({"kind": KIND_JOB})
+
+
+class TestDefaultRoot:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LEDGER_DIR_ENV, str(tmp_path / "from-env"))
+        assert default_ledger_root() == tmp_path / "from-env"
+
+    def test_xdg_cache_home_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(LEDGER_DIR_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_ledger_root() == tmp_path / "xdg" / "repro" / "ledger"
+
+
+class TestLineageHelpers:
+    def test_config_hash_is_canonical_and_short(self):
+        first = config_hash({"b": 2, "a": 1})
+        second = config_hash({"a": 1, "b": 2})
+        assert first == second
+        assert len(first) == 16
+        assert config_hash({"a": 1}) != first
+
+    def test_config_hash_accepts_to_dict_objects(self):
+        class Config:
+            def to_dict(self):
+                return {"a": 1, "b": 2}
+
+        assert config_hash(Config()) == config_hash({"a": 1, "b": 2})
+
+    def test_artifact_lineage_parses_registry_paths(self, tmp_path):
+        class Artifact:
+            path = tmp_path / "spikedyn" / "v0003"
+            model_name = "spikedyn"
+            backend = "dense"
+            schema_version = 2
+            config = {"n_exc": 12}
+
+        lineage = artifact_lineage(Artifact())
+        assert lineage["artifact_name"] == "spikedyn"
+        assert lineage["artifact_version"] == "v0003"
+        assert lineage["model"] == "spikedyn"
+        assert lineage["backend"] == "dense"
+        assert lineage["config_hash"] == config_hash({"n_exc": 12})
+
+    def test_artifact_lineage_plain_directory(self, tmp_path):
+        class Artifact:
+            path = tmp_path / "my-export"
+            model_name = "spikedyn"
+            backend = "sparse"
+            schema_version = 2
+            config = None
+
+        lineage = artifact_lineage(Artifact())
+        assert lineage["artifact_name"] == "my-export"
+        assert lineage["artifact_version"] is None
+        assert lineage["config_hash"] is None
+
+
+def test_single_write_per_append(ledger, monkeypatch):
+    """The atomicity contract: one os.write call per appended line."""
+    calls = []
+    real_write = os.write
+
+    def counting_write(fd, data):
+        calls.append(data)
+        return real_write(fd, data)
+
+    monkeypatch.setattr(os, "write", counting_write)
+    ledger.append({"kind": KIND_JOB, "key": "atomic"})
+    assert len(calls) == 1
+    assert calls[0].endswith(b"\n")
+    json.loads(calls[0])

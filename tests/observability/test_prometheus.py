@@ -1,0 +1,157 @@
+"""Prometheus renderer/parser tests: round-trips and strict rejection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.observability.prometheus import (
+    METRIC_PREFIX,
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus_text,
+    render_prometheus,
+)
+from repro.serving.metrics import ServingMetrics
+
+
+@pytest.fixture
+def snapshot():
+    metrics = ServingMetrics()
+    metrics.record_request()
+    metrics.record_request()
+    metrics.record_batch(2, [0.001, 0.004])
+    metrics.record_batch(4, [0.002, 0.002, 0.003, 0.008])
+    metrics.record_rejected()
+    metrics.record_errors(1)
+    snapshot = metrics.snapshot(queue_depth=3, drift={"observed": 6, "alerts": 1})
+    snapshot["backend"] = "dense"
+    snapshot["model"] = "spikedyn"
+    return snapshot
+
+
+class TestRender:
+    def test_round_trip_through_the_parser(self, snapshot):
+        series = parse_prometheus_text(render_prometheus(snapshot))
+        assert series[f"{METRIC_PREFIX}_requests_total"][()] == 2.0
+        assert series[f"{METRIC_PREFIX}_responses_total"][()] == 6.0
+        assert series[f"{METRIC_PREFIX}_errors_total"][()] == 1.0
+        assert series[f"{METRIC_PREFIX}_rejected_total"][()] == 1.0
+        assert series[f"{METRIC_PREFIX}_batches_total"][()] == 2.0
+        assert series[f"{METRIC_PREFIX}_queue_depth"][()] == 3.0
+
+    def test_histogram_buckets_are_cumulative(self, snapshot):
+        series = parse_prometheus_text(render_prometheus(snapshot))
+        buckets = series[f"{METRIC_PREFIX}_batch_size_bucket"]
+        assert buckets[(("le", "2"),)] == 1.0
+        assert buckets[(("le", "4"),)] == 2.0
+        assert buckets[(("le", "+Inf"),)] == 2.0
+        assert series[f"{METRIC_PREFIX}_batch_size_count"][()] == 2.0
+        assert series[f"{METRIC_PREFIX}_batch_size_sum"][()] == 6.0
+
+    def test_latency_quantiles_use_quantile_labels(self, snapshot):
+        series = parse_prometheus_text(render_prometheus(snapshot))
+        quantiles = series[f"{METRIC_PREFIX}_latency_ms"]
+        labels = {key[0][1] for key in quantiles}
+        assert labels == {"0.5", "0.95", "0.99"}
+        assert all(value >= 0.0 for value in quantiles.values())
+        assert series[f"{METRIC_PREFIX}_latency_window"][()] == 6.0
+        assert series[f"{METRIC_PREFIX}_latency_mean_ms"][()] > 0.0
+        assert series[f"{METRIC_PREFIX}_latency_max_ms"][()] == pytest.approx(8.0)
+
+    def test_info_gauge_carries_identity_labels(self, snapshot):
+        series = parse_prometheus_text(render_prometheus(snapshot))
+        info = series[f"{METRIC_PREFIX}_info"]
+        ((labels, value),) = info.items()
+        assert dict(labels) == {"backend": "dense", "model": "spikedyn"}
+        assert value == 1.0
+
+    def test_drift_fields_become_gauges(self, snapshot):
+        series = parse_prometheus_text(render_prometheus(snapshot))
+        assert series[f"{METRIC_PREFIX}_drift_observed"][()] == 6.0
+        assert series[f"{METRIC_PREFIX}_drift_alerts"][()] == 1.0
+
+    def test_missing_sections_are_simply_absent(self):
+        series = parse_prometheus_text(render_prometheus({"requests_total": 1}))
+        assert set(series) == {f"{METRIC_PREFIX}_requests_total"}
+
+    def test_empty_metrics_render_without_histogram(self):
+        text = render_prometheus(ServingMetrics().snapshot())
+        series = parse_prometheus_text(text)
+        assert f"{METRIC_PREFIX}_batch_size_bucket" not in series
+        assert series[f"{METRIC_PREFIX}_latency_window"][()] == 0.0
+
+    def test_every_sample_has_help_and_type(self, snapshot):
+        lines = render_prometheus(snapshot).splitlines()
+        documented = {line.split()[2] for line in lines if line.startswith("# TYPE")}
+        for line in lines:
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split()[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix):
+                    base = name[: -len(suffix)]
+            assert base in documented, f"undocumented sample {name}"
+
+    def test_label_values_are_escaped(self):
+        text = render_prometheus({"requests_total": 1, "backend": 'we"ird\\name', "model": "m"})
+        series = parse_prometheus_text(text)
+        ((labels, _),) = series[f"{METRIC_PREFIX}_info"].items()
+        assert dict(labels)["backend"] == 'we\\"ird\\\\name'
+
+    def test_content_type_pins_exposition_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestParserRejections:
+    def test_accepts_inf_and_nan_values(self):
+        series = parse_prometheus_text("a 1\nb +Inf\nc -Inf\nd NaN\n")
+        assert series["b"][()] == math.inf
+        assert series["c"][()] == -math.inf
+        assert math.isnan(series["d"][()])
+
+    def test_rejects_unknown_comment(self):
+        with pytest.raises(ValueError, match="neither # HELP nor # TYPE"):
+            parse_prometheus_text("# COMMENT something\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="invalid metric type"):
+            parse_prometheus_text("# TYPE a frobnicator\n")
+
+    def test_rejects_bad_metric_name_in_header(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            parse_prometheus_text("# HELP 9bad help text\n")
+
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("9starts_with_digit 1\n")
+
+    def test_rejects_missing_value(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus_text("lonely_name\n")
+
+    def test_rejects_malformed_label(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse_prometheus_text("a{key=unquoted} 1\n")
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(ValueError, match="not a number"):
+            parse_prometheus_text("a{} twelve\n")
+
+    def test_rejects_unterminated_label_value(self):
+        with pytest.raises(ValueError, match="unterminated|malformed"):
+            parse_prometheus_text('a{key="open 1\n')
+
+    def test_error_messages_carry_line_numbers(self):
+        with pytest.raises(ValueError, match="line 3"):
+            parse_prometheus_text("a 1\nb 2\nbroken line here extra\n")
+
+    def test_labels_with_escaped_quotes_and_commas(self):
+        series = parse_prometheus_text('a{k="x,y",j="a\\"b"} 4\n')
+        ((labels, value),) = series["a"].items()
+        assert dict(labels) == {"k": "x,y", "j": 'a\\"b'}
+        assert value == 4.0
+
+    def test_blank_lines_are_ignored(self):
+        assert parse_prometheus_text("\n\na 1\n\n")["a"][()] == 1.0

@@ -9,11 +9,14 @@ import urllib.request
 import numpy as np
 import pytest
 
+from repro.observability import parse_prometheus_text
+from repro.observability.prometheus import PROMETHEUS_CONTENT_TYPE
 from repro.serving import (
     ModelServer,
     ReplicaPool,
     SpikeCountDriftDetector,
     fetch_json,
+    fetch_text,
     http_sender,
     offline_predictions,
     run_load,
@@ -71,7 +74,7 @@ class TestEndToEnd:
     def test_metrics_after_load(self, server, request_images, request_seeds):
         run_load(http_sender(server.url), request_images, request_seeds,
                  concurrency=8)
-        metrics = fetch_json(server.url, "/metrics")
+        metrics = fetch_json(server.url, "/metrics.json")
         n = len(request_images)
         assert metrics["requests_total"] >= n
         assert metrics["responses_total"] >= n
@@ -84,6 +87,38 @@ class TestEndToEnd:
             assert latency[key] >= 0.0
         assert latency["p50_ms"] <= latency["p99_ms"]
         assert metrics["drift"]["observed"] >= n
+
+    def test_prometheus_metrics_endpoint(self, server, request_images,
+                                         request_seeds):
+        """GET /metrics serves parseable Prometheus text exposition that
+        agrees with the JSON snapshot on /metrics.json."""
+        run_load(http_sender(server.url), request_images, request_seeds,
+                 concurrency=8)
+        request = urllib.request.Request(server.url + "/metrics")
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+            text = response.read().decode("utf-8")
+        series = parse_prometheus_text(text)
+        n = len(request_images)
+        assert series["repro_serving_requests_total"][()] >= n
+        assert series["repro_serving_responses_total"][()] >= n
+        buckets = series["repro_serving_batch_size_bucket"]
+        inf_key = (("le", "+Inf"),)
+        assert buckets[inf_key] == series["repro_serving_batch_size_count"][()]
+        info = series["repro_serving_info"]
+        labels = dict(next(iter(info)))
+        assert labels["model"] == "spikedyn"
+        assert labels["backend"] in ("dense", "sparse")
+        # Prometheus and JSON views come from the same snapshot machinery.
+        json_metrics = fetch_json(server.url, "/metrics.json")
+        assert series["repro_serving_latency_window"][()] == \
+            json_metrics["latency"]["window"]
+
+    def test_metrics_text_matches_fetch_text_helper(self, server):
+        text = fetch_text(server.url, "/metrics")
+        assert "# TYPE repro_serving_requests_total counter" in text
+        parse_prometheus_text(text)  # must not raise
 
     def test_predict_response_shape(self, server, request_images):
         status, body = _post(server.url, {
