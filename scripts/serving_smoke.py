@@ -10,10 +10,16 @@ Two modes:
 * ``--url`` given — drive an already-running server (e.g. a backgrounded
   ``repro serve``) over HTTP; ``--artifact`` must point at the artifact it
   serves so the offline reference can be computed locally.  The script
-  polls ``GET /healthz`` until the server is up.
+  polls the health endpoint until the server is up.
 * no ``--url`` — self-contained: train a tiny model (or load
   ``--artifact``), boot an in-process server on an ephemeral port, and
   hammer that.
+
+All HTTP goes through :class:`repro.client.ServingClient`.  By default the
+requests hit the deprecated ``/predict`` alias (proving pre-1.7 clients
+still work); ``--model NAME`` switches to the versioned
+``/v1/models/NAME/predict`` route and validates the per-model ``/v1``
+metrics instead.
 
 Exit code 0 only when every response arrived and matched.
 
@@ -21,6 +27,7 @@ Usage::
 
     python scripts/serving_smoke.py                      # fully self-contained
     python scripts/serving_smoke.py --artifact dir --url http://127.0.0.1:8765
+    python scripts/serving_smoke.py --artifact dir --url http://... --model m
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.client import ServingClient
 from repro.core.config import SpikeDynConfig
 from repro.datasets.synthetic_mnist import SyntheticDigits
 from repro.models.spikedyn_model import SpikeDynModel
@@ -41,13 +49,10 @@ from repro.serving import (
     ModelServer,
     ReplicaPool,
     SpikeCountDriftDetector,
-    fetch_json,
-    fetch_text,
     http_sender,
     load_artifact,
     offline_predictions,
     run_load,
-    wait_until_healthy,
 )
 
 #: Series every healthy /metrics exposition must carry.
@@ -110,6 +115,9 @@ def main(argv=None) -> int:
     parser.add_argument("--url", default=None,
                         help="base URL of a running server (in-process "
                              "server on an ephemeral port when omitted)")
+    parser.add_argument("--model", default=None,
+                        help="drive POST /v1/models/<MODEL>/predict and the "
+                             "/v1 metrics instead of the deprecated aliases")
     parser.add_argument("--requests", type=int, default=64,
                         help="number of requests to fire (default: 64)")
     parser.add_argument("--concurrency", type=int, default=16,
@@ -156,14 +164,35 @@ def main(argv=None) -> int:
               "requests ...", flush=True)
         reference = offline_predictions(model, images, seeds)
 
+        def hammer(url: str):
+            client = ServingClient(url, retries=0)
+            report = run_load(http_sender(url, model=args.model),
+                              images, seeds, concurrency=args.concurrency)
+            if args.model is not None:
+                snapshots = client.metrics_json()["models"]
+                key = next(
+                    (key for key in snapshots
+                     if key == args.model
+                     or key.startswith(f"{args.model}@")),
+                    None,
+                )
+                if key is None:
+                    raise SystemExit(
+                        f"/v1/metrics.json has no snapshot for model "
+                        f"{args.model!r} (got: {sorted(snapshots)})"
+                    )
+                return report, snapshots[key], client.metrics_text()
+            # deprecated aliases: default-model metrics, 1.6-shaped
+            return (report, client.request("GET", "/metrics.json"),
+                    client.request("GET", "/metrics")["text"])
+
         if args.url is not None:
             print(f"waiting for {args.url} ...", flush=True)
-            health = wait_until_healthy(args.url, timeout=args.startup_timeout)
+            health = ServingClient(args.url, retries=0).wait_until_healthy(
+                timeout=args.startup_timeout
+            )
             print(f"healthz: {json.dumps(health)}", flush=True)
-            report = run_load(http_sender(args.url), images, seeds,
-                              concurrency=args.concurrency)
-            metrics = fetch_json(args.url, "/metrics.json")
-            prometheus_text = fetch_text(args.url, "/metrics")
+            report, metrics, prometheus_text = hammer(args.url)
         else:
             pool = ReplicaPool.from_artifact(
                 artifact, workers=args.workers, max_batch=args.max_batch,
@@ -174,10 +203,7 @@ def main(argv=None) -> int:
             )
             with ModelServer(pool, port=0) as server:
                 print(f"in-process server at {server.url}", flush=True)
-                report = run_load(http_sender(server.url), images, seeds,
-                                  concurrency=args.concurrency)
-                metrics = fetch_json(server.url, "/metrics.json")
-                prometheus_text = fetch_text(server.url, "/metrics")
+                report, metrics, prometheus_text = hammer(server.url)
 
     print(json.dumps(report.summary(), indent=2))
     failures = 0

@@ -25,8 +25,11 @@ driven without writing Python:
     List the continual-learning scenario catalogue or run one scenario
     through the continual-learning evaluation harness.
 ``spikedyn-repro serve``
-    Serve a saved model artifact over HTTP with micro-batched concurrent
-    inference (``POST /predict``, ``GET /healthz``, ``GET /metrics``).
+    Serve one or more saved model artifacts over HTTP with micro-batched
+    concurrent inference behind the versioned ``/v1`` API
+    (``POST /v1/models/<name>/predict``, ``GET /v1/models``,
+    ``GET /v1/metrics``), optionally sharded across worker processes
+    (``--shards``), with the pre-1.7 endpoints kept as deprecated aliases.
 ``spikedyn-repro backends``
     List the registered compute backends (dense reference kernels, sparse
     event-driven kernels, ...) and their availability.
@@ -68,7 +71,12 @@ from repro.experiments.common import (
     build_model,
 )
 from repro.experiments.registry import EXPERIMENTS, get_experiment
-from repro.observability import KIND_JOB, KIND_SERVING_BATCH, RunLedger
+from repro.observability import (
+    KIND_JOB,
+    KIND_SERVING_BATCH,
+    KIND_SERVING_SHARD,
+    RunLedger,
+)
 from repro.observability.structlog import configure_from_env
 from repro.runner import (
     JobRecord,
@@ -513,53 +521,121 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_model_spec(spec: str) -> "tuple[str, str]":
+    """Split a ``NAME=PATH`` (or bare ``PATH``) serve argument.
+
+    Without an explicit name, a registry version directory
+    (``<name>/v000N``) serves as ``<name>``; any other directory serves
+    under its own basename.
+    """
+    import re as _re
+    from pathlib import Path
+
+    if "=" in spec:
+        name, _, path = spec.partition("=")
+        if not name:
+            raise ValueError(f"empty model name in {spec!r}")
+        return name, path
+    path = Path(spec)
+    if _re.fullmatch(r"v\d{1,9}", path.name) and path.parent.name:
+        return path.parent.name, spec
+    return path.name or spec, spec
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import (
         ArtifactError,
+        ArtifactRegistry,
+        ModelRouter,
         ModelServer,
         ReplicaPool,
+        ShardProcessPool,
         SpikeCountDriftDetector,
         load_artifact,
     )
 
-    drift = SpikeCountDriftDetector(window=args.drift_window,
-                                    threshold=args.drift_threshold)
-    try:
-        artifact = load_artifact(args.artifact)
-        # Building the replicas can also fail with ArtifactError (e.g. the
-        # artifact names a model class this library does not know).
-        pool = ReplicaPool.from_artifact(
-            artifact,
+    if not args.artifacts and args.registry is None:
+        print("error: name at least one artifact (NAME=PATH) or pass "
+              "--registry", file=sys.stderr)
+        return 2
+    ledger = _make_ledger(args)
+
+    def pool_factory(artifact_dir: str):
+        drift = SpikeCountDriftDetector(window=args.drift_window,
+                                        threshold=args.drift_threshold)
+        if args.shards > 0:
+            return ShardProcessPool(
+                artifact_dir,
+                shards=args.shards,
+                backend=args.backend,
+                max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                max_queue=args.max_queue,
+                drift_detector=drift,
+                ledger=ledger,
+            )
+        return ReplicaPool.from_artifact(
+            load_artifact(artifact_dir),
             workers=args.workers,
             backend=args.backend,
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue,
             drift_detector=drift,
-            ledger=_make_ledger(args),
+            ledger=ledger,
         )
-    except ArtifactError as error:
+
+    registry = ArtifactRegistry(args.registry) if args.registry else None
+    router = ModelRouter(
+        pool_factory,
+        registry=registry,
+        max_models=args.max_models,
+        rate_rps=args.rate_rps,
+        rate_burst=args.rate_burst,
+        breaker_failures=args.breaker_failures or None,
+        breaker_window_s=args.breaker_window_s,
+        breaker_reset_s=args.breaker_reset_s,
+        retries=args.retries,
+        retry_backoff_s=args.retry_backoff_s,
+    )
+    served = []
+    try:
+        for spec in args.artifacts:
+            name, path = _parse_model_spec(spec)
+            described = load_artifact(path).describe()
+            router.add_model(name, path)
+            served.append((name, path, described))
+    except (ArtifactError, ValueError) as error:
+        router.stop()
         print(f"error: {error}", file=sys.stderr)
         return 1
     try:
-        server = ModelServer(pool, host=args.host, port=args.port,
+        server = ModelServer(router, host=args.host, port=args.port,
                              quiet=not args.verbose)
     except OSError as error:
+        router.stop()
         print(f"error: cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)
         return 1
     host, port = server.address
-    described = artifact.describe()
-    print(f"serving {described['model']} "
-          f"({described['n_input']}x{described['n_exc']}, "
-          f"schema v{described['schema_version']}) from {args.artifact}",
-          flush=True)
+    for name, path, described in served:
+        print(f"serving {name}: {described['model']} "
+              f"({described['n_input']}x{described['n_exc']}, "
+              f"schema v{described['schema_version']}, "
+              f"backend={args.backend or described['backend']}) from {path}",
+              flush=True)
+    if registry is not None:
+        print(f"registry: {args.registry} "
+              f"(lazy-loading up to {args.max_models} models)", flush=True)
+    plane = (f"shards={args.shards} processes" if args.shards > 0
+             else f"workers={args.workers} threads")
     print(f"listening on http://{host}:{port} "
-          f"(workers={args.workers}, backend={pool.backend_name}, "
-          f"max_batch={args.max_batch}, "
+          f"({plane}, max_batch={args.max_batch}, "
           f"max_wait_ms={args.max_wait_ms:g})", flush=True)
-    print("endpoints: POST /predict, GET /healthz, GET /metrics, "
-          "GET /metrics.json", flush=True)
+    print("endpoints: POST /v1/models/<name>/predict, GET /v1/models, "
+          "GET /v1/models/<name>/healthz, GET /v1/metrics[.json]; "
+          "deprecated aliases: POST /predict, GET /healthz, "
+          "GET /metrics[.json]", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -625,6 +701,13 @@ def _ledger_row(entry: Dict[str, object]) -> List[object]:
     if kind == KIND_SERVING_BATCH:
         what = str(entry.get("artifact_name") or entry.get("model") or "?")
         detail = f"batch={entry.get('batch_size', '?')}"
+        if "shard" in entry:
+            detail += f" shard={entry['shard']}"
+    elif kind == KIND_SERVING_SHARD:
+        what = str(entry.get("artifact_name") or entry.get("model") or "?")
+        detail = f"shard={entry.get('shard', '?')} pid={entry.get('pid', '?')}"
+        return [when, kind, what, entry.get("event", "?"),
+                entry.get("backend", "?"), entry.get("version", "?"), detail]
     else:
         what = str(entry.get("experiment", "?"))
         detail = str(entry.get("key", ""))[:16]
@@ -639,7 +722,7 @@ _LEDGER_COLUMNS = ["when", "kind", "what", "outcome", "backend", "version",
 def _cmd_ledger(args: argparse.Namespace) -> int:
     ledger = RunLedger(args.ledger_dir)
     kind = {"job": KIND_JOB, "serving": KIND_SERVING_BATCH,
-            "all": None}[args.kind]
+            "serving_shard": KIND_SERVING_SHARD, "all": None}[args.kind]
 
     if args.action == "list":
         stats = ledger.stats()
@@ -813,18 +896,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve",
-        help="serve a saved model artifact over HTTP (micro-batched)",
+        help="serve model artifacts over HTTP (multi-tenant /v1 API, "
+             "micro-batched)",
     )
-    serve.add_argument("artifact",
-                       help="artifact directory written by 'train --save' or "
-                            "an ArtifactRegistry version directory")
+    serve.add_argument("artifacts", nargs="*", metavar="NAME=PATH",
+                       help="artifact to pin: NAME=PATH, or a bare PATH "
+                            "(served under the directory's name); repeat "
+                            "for multiple models")
+    serve.add_argument("--registry", default=None, metavar="DIR",
+                       help="ArtifactRegistry root to lazy-load further "
+                            "models from on first request")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default: 127.0.0.1)")
     serve.add_argument("--port", type=_nonnegative_int, default=8080,
                        help="bind port; 0 picks an ephemeral port")
     serve.add_argument("--workers", type=_positive_int, default=2,
-                       help="replica worker threads, each owning an "
-                            "independent network copy")
+                       help="replica worker threads per model when "
+                            "--shards is 0")
+    serve.add_argument("--shards", type=_nonnegative_int, default=0,
+                       help="worker *processes* per model (crash-isolated, "
+                            "GIL-free); 0 serves from threads (default)")
+    serve.add_argument("--max-models", type=_positive_int, default=4,
+                       help="registry-loaded models resident at once "
+                            "before LRU eviction")
+    serve.add_argument("--rate-rps", type=float, default=None,
+                       help="per-tenant token-bucket rate limit in "
+                            "requests/s (default: unlimited)")
+    serve.add_argument("--rate-burst", type=float, default=None,
+                       help="token-bucket burst capacity (default: "
+                            "max(1, rate))")
+    serve.add_argument("--breaker-failures", type=_nonnegative_int, default=5,
+                       help="failures within --breaker-window-s that open "
+                            "a model's circuit breaker; 0 disables it")
+    serve.add_argument("--breaker-window-s", type=float, default=30.0,
+                       help="sliding window the breaker counts failures "
+                            "over")
+    serve.add_argument("--breaker-reset-s", type=float, default=5.0,
+                       help="how long an open breaker sheds load before "
+                            "probing")
+    serve.add_argument("--retries", type=_nonnegative_int, default=2,
+                       help="transparent retries for transient shard "
+                            "crashes")
+    serve.add_argument("--retry-backoff-s", type=float, default=0.05,
+                       help="initial jittered backoff between shard "
+                            "retries")
     serve.add_argument("--max-batch", type=_positive_int, default=32,
                        help="largest micro-batch coalesced into one "
                             "vectorized engine call")
@@ -876,7 +991,7 @@ def build_parser() -> argparse.ArgumentParser:
     ledger.add_argument("--ledger-dir", default=None,
                         help="ledger directory (default: $REPRO_LEDGER_DIR "
                              "or ~/.cache/repro/ledger)")
-    ledger.add_argument("--kind", choices=("all", "job", "serving"),
+    ledger.add_argument("--kind", choices=("all", "job", "serving", "serving_shard"),
                         default="all", help="restrict to one entry kind")
     ledger.add_argument("-n", "--limit", type=_positive_int, default=10,
                         help="entries shown by 'tail' (default: 10)")

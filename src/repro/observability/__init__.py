@@ -20,6 +20,7 @@ serving stack, and the CLI:
 from repro.observability.ledger import (
     KIND_JOB,
     KIND_SERVING_BATCH,
+    KIND_SERVING_SHARD,
     LEDGER_DIR_ENV,
     RunLedger,
     artifact_lineage,
@@ -40,6 +41,7 @@ from repro.observability.structlog import (
 __all__ = [
     "KIND_JOB",
     "KIND_SERVING_BATCH",
+    "KIND_SERVING_SHARD",
     "LEDGER_DIR_ENV",
     "RunLedger",
     "StructLogger",

@@ -43,6 +43,7 @@ LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
 #: Entry kinds written by the stack.
 KIND_JOB = "job"
 KIND_SERVING_BATCH = "serving_batch"
+KIND_SERVING_SHARD = "serving_shard"
 
 #: Ledger file name inside the ledger directory.
 LEDGER_FILENAME = "ledger.jsonl"

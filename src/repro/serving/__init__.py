@@ -1,9 +1,10 @@
-"""Online inference serving: artifacts, micro-batching, replicas, HTTP API.
+"""Online inference serving: artifacts, shards, routing, HTTP ``/v1`` API.
 
-The serving subsystem turns a trained model into a concurrently-queryable
-service::
+The serving subsystem turns trained models into a concurrently-queryable,
+multi-tenant service::
 
-    train --> save artifact --> ReplicaPool.from_artifact --> ModelServer
+    train --> save artifact --> ShardProcessPool / ReplicaPool
+          --> ModelRouter --> ModelServer (/v1)
 
 * :mod:`repro.serving.artifacts` — versioned, self-describing model
   artifacts (:func:`load_artifact`, :class:`ArtifactRegistry`);
@@ -12,10 +13,18 @@ service::
 * :mod:`repro.serving.batcher` — thread-safe micro-batching queue
   (``max_batch`` / ``max_wait_ms`` / backpressure);
 * :mod:`repro.serving.pool` — worker threads each owning an independent
-  model replica;
-* :mod:`repro.serving.server` — stdlib HTTP API (``POST /predict``,
-  ``GET /healthz``, ``GET /metrics`` in Prometheus text format,
-  ``GET /metrics.json``) behind ``repro serve``;
+  model replica (single-core friendly);
+* :mod:`repro.serving.shards` — worker *processes* with crash supervision
+  and respawn (multi-core throughput, fault isolation);
+* :mod:`repro.serving.router` — the multi-tenant control plane: LRU model
+  loading from the registry, per-tenant token-bucket rate limiting,
+  per-model circuit breaker, bounded retry for transient shard failures;
+* :mod:`repro.serving.errors` / :mod:`repro.serving.ratelimit` — the
+  structured error envelope and the hardening primitives;
+* :mod:`repro.serving.server` — stdlib HTTP API
+  (``POST /v1/models/<name>/predict``, ``GET /v1/models``, per-model
+  ``healthz``, Prometheus ``/v1/metrics``; deprecated pre-1.7 aliases)
+  behind ``repro serve``;
 * :mod:`repro.serving.metrics` / :mod:`repro.serving.drift` — request
   counters, batch-size histogram, latency quantiles, and the online
   spike-count drift alarm;
@@ -32,6 +41,14 @@ from repro.serving.artifacts import (
 )
 from repro.serving.batcher import MicroBatcher, QueueClosedError, QueueFullError
 from repro.serving.drift import SpikeCountDriftDetector
+from repro.serving.errors import (
+    ApiError,
+    CircuitOpenError,
+    ModelNotFoundError,
+    RateLimitedError,
+    ShardCrashedError,
+    error_envelope,
+)
 from repro.serving.inference import (
     PredictionService,
     PredictRequest,
@@ -51,27 +68,40 @@ from repro.serving.loadgen import (
 )
 from repro.serving.metrics import ServingMetrics
 from repro.serving.pool import ReplicaPool
+from repro.serving.ratelimit import CircuitBreaker, TokenBucket
+from repro.serving.router import ModelRouter
 from repro.serving.server import ModelServer
+from repro.serving.shards import ShardProcessPool
 from repro.utils.serialization import ArtifactError
 
 __all__ = [
+    "ApiError",
     "ArtifactError",
     "ArtifactRegistry",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "LoadReport",
     "MicroBatcher",
     "MODEL_CLASSES",
     "ModelArtifact",
+    "ModelNotFoundError",
+    "ModelRouter",
     "ModelServer",
     "PredictRequest",
     "PredictResult",
     "PredictionService",
     "QueueClosedError",
     "QueueFullError",
+    "RateLimitedError",
     "ReplicaPool",
     "ServingMetrics",
+    "ShardCrashedError",
+    "ShardProcessPool",
     "SpikeCountDriftDetector",
+    "TokenBucket",
     "derive_request_seed",
     "encode_request",
+    "error_envelope",
     "fetch_json",
     "fetch_text",
     "http_sender",

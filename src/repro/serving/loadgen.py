@@ -4,8 +4,10 @@ The generator is target-agnostic: a *sender* is any callable taking
 ``(image, seed)`` and returning the predicted class (raising on failure).
 :func:`pool_sender` drives a :class:`~repro.serving.pool.ReplicaPool`
 in-process (what the benchmarks use — no HTTP noise in the measurement);
-:func:`http_sender` drives a running server through ``POST /predict`` with
-stdlib ``urllib`` (what the CI smoke test and the example use).
+:func:`http_sender` drives a running server over HTTP through
+:class:`~repro.client.ServingClient` — the ``/v1`` model route when a
+model is named, the deprecated ``/predict`` alias otherwise (what the CI
+smoke test and the example use).
 
 :func:`run_load` fans ``n`` requests over ``concurrency`` client threads
 pulling from a shared work queue, records per-request latency and the
@@ -88,24 +90,26 @@ def pool_sender(pool: ReplicaPool,
     return send
 
 
-def http_sender(url: str, timeout: float = 30.0) -> Sender:
-    """Sender driving ``POST <url>/predict`` with stdlib urllib."""
-    endpoint = url.rstrip("/") + "/predict"
+def http_sender(url: str, timeout: float = 30.0, *,
+                model: Optional[str] = None,
+                version: Optional[str] = None,
+                tenant: Optional[str] = None,
+                retries: int = 0) -> Sender:
+    """Sender driving a server through :class:`~repro.client.ServingClient`.
+
+    ``model=None`` posts to the deprecated ``/predict`` alias; naming a
+    model (and optionally a version) posts to the ``/v1`` route.
+    ``retries=0`` keeps every failure visible to the load report; smoke
+    tests that only care about steady state pass a positive budget.
+    """
+    from repro.client import ServingClient
+
+    client = ServingClient(url, timeout=timeout, retries=retries,
+                           tenant=tenant)
 
     def send(image: np.ndarray, seed: Optional[int]) -> int:
-        payload: Dict[str, object] = {
-            "image": np.asarray(image, dtype=float).ravel().tolist(),
-        }
-        if seed is not None:
-            payload["seed"] = int(seed)
-        request = urllib.request.Request(
-            endpoint,
-            data=json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            body = json.loads(response.read().decode("utf-8"))
+        body = client.predict(np.asarray(image, dtype=float).ravel(),
+                              seed=seed, model=model, version=version)
         return int(body["prediction"])
 
     return send

@@ -1,49 +1,78 @@
-"""Stdlib HTTP/JSON front end for a replica pool.
+"""Stdlib HTTP/JSON front end: the versioned ``/v1`` multi-model API.
 
 Endpoints
 ---------
-``POST /predict``
-    Body ``{"image": [...], "seed": 123}`` (``seed`` optional; the image is
-    a flat or nested list of ``n_input`` pixel intensities).  Responds with
+``POST /v1/models/<name>/predict``
+    Predict against the latest resident version of ``<name>``.  Body
+    ``{"image": [...], "seed": 123}`` (``seed`` optional; the image is a
+    flat or nested list of ``n_input`` pixel intensities).  Responds with
     the prediction, per-class scores, the resolved seed, the spike count,
-    and the request's server-side latency.  ``400`` on malformed input,
-    ``503`` when the queue sheds load, ``504`` when the request times out.
-``GET /healthz``
-    Liveness/readiness: status, model identity, worker count, queue depth.
-``GET /metrics``
-    Prometheus text exposition format (version 0.0.4): request/response/
-    error counters, queue-depth and latency-quantile gauges, the batch-size
-    histogram with cumulative buckets, drift-detector gauges, and an
-    info-style identity gauge — directly scrapeable by a Prometheus
-    ``scrape_config``.
-``GET /metrics.json``
-    The same :class:`~repro.serving.metrics.ServingMetrics` snapshot as
-    JSON (the pre-1.6 ``/metrics`` contract, unchanged).
+    and the serving model/version.  Optional ``X-Tenant`` header selects
+    the rate-limiting tenant (default ``"default"``).
+``POST /v1/models/<name>/versions/<vN>/predict``
+    Same, pinned to registry version ``<vN>`` (``v3`` / ``v0003`` / ``3``).
+``GET /v1/models``
+    Catalogue: resident models plus the registry listing.
+``GET /v1/models/<name>/healthz``
+    Per-model health: pool shape, shard PIDs, breaker state, counters.
+``GET /v1/healthz``
+    Whole-server liveness: status plus the resident model keys.
+``GET /v1/metrics`` / ``GET /v1/metrics.json``
+    All resident models' metrics — Prometheus text exposition with a
+    ``model`` label per sample, or the raw snapshots as JSON.
+
+Every error, on every route, is one structured envelope::
+
+    {"error": {"code": "rate_limited", "message": "...", "detail": {...}}}
+
+with stable codes from :mod:`repro.serving.errors`.  Backpressure and
+rate-limit rejections are ``429`` with a ``Retry-After`` header (not the
+bare ``503`` of the pre-1.7 API); an open circuit breaker is ``503`` with
+``Retry-After``.
+
+Deprecated aliases
+------------------
+The pre-1.7 single-model surface — ``POST /predict``, ``GET /healthz``,
+``GET /metrics``, ``GET /metrics.json`` — still works, pinned to the
+*default* model (the first one registered).  Alias responses carry a
+``Deprecation: true`` header and a ``Link: <successor>;
+rel="successor-version"`` pointer; success bodies are bit-identical to
+v1.6.0 (the equivalence tests assert this).
 
 Implementation notes: ``ThreadingHTTPServer`` gives one handler thread per
-connection — handlers block on the request future while the replica pool's
-workers do the actual batched inference, so concurrent connections are what
-fills micro-batches.  Everything is stdlib (``http.server`` + ``json``);
-there is deliberately no framework dependency.
+connection — handlers block on the request future while the pools' workers
+(threads or shard processes) do the actual batched inference, so concurrent
+connections are what fills micro-batches.  Everything is stdlib
+(``http.server`` + ``json``); there is deliberately no framework dependency.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import threading
 from concurrent.futures import CancelledError, TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.observability.prometheus import (
     PROMETHEUS_CONTENT_TYPE,
     render_prometheus,
+    render_prometheus_multi,
 )
 from repro.observability.structlog import get_struct_logger
-from repro.serving.batcher import QueueClosedError, QueueFullError
-from repro.serving.pool import ReplicaPool
+from repro.serving.errors import (
+    ApiError,
+    CODE_INTERNAL,
+    CODE_INVALID_REQUEST,
+    CODE_NOT_FOUND,
+    CODE_PAYLOAD_TOO_LARGE,
+    CODE_SHUTTING_DOWN,
+    CODE_TIMEOUT,
+)
+from repro.serving.router import DEFAULT_TENANT, ModelRouter
 
 _log = get_struct_logger("serving.server")
 
@@ -53,9 +82,24 @@ MAX_BODY_BYTES = 4 * 1024 * 1024
 #: Default per-request wall-clock budget awaiting a worker result.
 DEFAULT_REQUEST_TIMEOUT_S = 30.0
 
+#: Header naming the rate-limiting tenant of a request.
+TENANT_HEADER = "X-Tenant"
+
+_MODEL_PREDICT = re.compile(r"^/v1/models/([^/]+)/predict$")
+_VERSION_PREDICT = re.compile(r"^/v1/models/([^/]+)/versions/([^/]+)/predict$")
+_MODEL_HEALTHZ = re.compile(r"^/v1/models/([^/]+)/healthz$")
+
+#: Successor route advertised in each deprecated alias's ``Link`` header.
+_ALIAS_SUCCESSOR = {
+    "/predict": "/v1/models/{model}/predict",
+    "/healthz": "/v1/models/{model}/healthz",
+    "/metrics": "/v1/metrics",
+    "/metrics.json": "/v1/metrics.json",
+}
+
 
 class _ServingHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer carrying the pool/server references."""
+    """ThreadingHTTPServer carrying the router/server references."""
 
     daemon_threads = True
     allow_reuse_address = True
@@ -64,7 +108,7 @@ class _ServingHTTPServer(ThreadingHTTPServer):
     # and CI-hammer shape.  A deeper accept queue absorbs the burst.
     request_queue_size = 128
 
-    pool: ReplicaPool
+    router: ModelRouter
     request_timeout_s: float
     quiet: bool
 
@@ -78,128 +122,214 @@ class _Handler(BaseHTTPRequestHandler):
         if not self.server.quiet:  # pragma: no cover - CLI verbose mode
             super().log_message(format, *args)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _deprecation_headers(self, alias: str) -> Dict[str, str]:
+        successor = _ALIAS_SUCCESSOR[alias]
+        if "{model}" in successor:
+            model = self.server.router.default_model or "default"
+            successor = successor.format(model=model)
+        return {"Deprecation": "true",
+                "Link": f'<{successor}>; rel="successor-version"'}
+
+    def _send_json(self, status: int, payload: object,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        _log.warning("request_rejected", path=self.path, status=status,
-                     error=message)
-        self._send_json(status, {"error": message})
-
-    def _send_text(self, status: int, body: str, content_type: str) -> None:
+    def _send_text(self, status: int, body: str, content_type: str,
+                   headers: Optional[Dict[str, str]] = None) -> None:
         data = body.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
         self.end_headers()
         self.wfile.write(data)
+
+    def _send_api_error(self, error: ApiError,
+                        headers: Optional[Dict[str, str]] = None) -> None:
+        merged = dict(headers or {})
+        retry_after = error.retry_after_header
+        if retry_after is not None:
+            merged["Retry-After"] = retry_after
+        _log.warning("request_rejected", path=self.path, status=error.status,
+                     code=error.code, error=error.message)
+        self._send_json(error.status, error.envelope(), merged)
 
     # -- GET -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
-        pool = self.server.pool
-        if self.path == "/healthz":
+        try:
+            self._route_get()
+        except ApiError as error:
+            self._send_api_error(error)
+        except Exception as error:  # noqa: BLE001 - last-resort envelope
+            self._send_api_error(ApiError(
+                CODE_INTERNAL, f"{type(error).__name__}: {error}"
+            ))
+
+    def _route_get(self) -> None:
+        router = self.server.router
+        path = self.path
+        if path == "/v1/models":
+            self._send_json(200, {"models": router.list_models()})
+            return
+        match = _MODEL_HEALTHZ.match(path)
+        if match:
+            self._send_json(200, router.health(match.group(1)))
+            return
+        if path == "/v1/healthz":
+            entries = router.entries()
             self._send_json(200, {
-                "status": "ok" if pool.running else "stopped",
-                "model": pool.model_name,
-                "n_input": pool.n_input,
-                "workers": pool.workers,
-                "queue_depth": pool.queue_depth,
-                "max_batch": pool.batcher.max_batch,
-                "max_wait_ms": pool.batcher.max_wait_ms,
+                "status": "ok" if any(entry.pool.running for entry in entries)
+                else "stopped",
+                "models": [entry.key for entry in entries],
+                "default_model": router.default_model,
             })
-        elif self.path == "/metrics":
-            self._send_text(200, render_prometheus(pool.metrics_snapshot()),
-                            PROMETHEUS_CONTENT_TYPE)
-        elif self.path == "/metrics.json":
-            self._send_json(200, pool.metrics_snapshot())
-        else:
-            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        if path == "/v1/metrics":
+            self._send_text(
+                200, render_prometheus_multi(router.metrics_snapshots()),
+                PROMETHEUS_CONTENT_TYPE,
+            )
+            return
+        if path == "/v1/metrics.json":
+            self._send_json(200, {"models": router.metrics_snapshots()})
+            return
+        # -- deprecated single-model aliases (bit-identical to v1.6.0) ------
+        if path in ("/healthz", "/metrics", "/metrics.json"):
+            pool = router.default_entry().pool
+            headers = self._deprecation_headers(path)
+            if path == "/healthz":
+                self._send_json(200, {
+                    "status": "ok" if pool.running else "stopped",
+                    "model": pool.model_name,
+                    "n_input": pool.n_input,
+                    "workers": pool.workers,
+                    "queue_depth": pool.queue_depth,
+                    "max_batch": pool.batcher.max_batch,
+                    "max_wait_ms": pool.batcher.max_wait_ms,
+                }, headers)
+            elif path == "/metrics":
+                self._send_text(200, render_prometheus(pool.metrics_snapshot()),
+                                PROMETHEUS_CONTENT_TYPE, headers)
+            else:
+                self._send_json(200, pool.metrics_snapshot(), headers)
+            return
+        raise ApiError(CODE_NOT_FOUND, f"unknown path {self.path!r}")
 
     # -- POST ----------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
-        if self.path != "/predict":
-            self._send_error_json(404, f"unknown path {self.path!r}")
+        try:
+            self._route_post()
+        except ApiError as error:
+            headers = (self._deprecation_headers("/predict")
+                       if self.path == "/predict" else None)
+            self._send_api_error(error, headers)
+        except Exception as error:  # noqa: BLE001 - last-resort envelope
+            self._send_api_error(ApiError(
+                CODE_INTERNAL, f"{type(error).__name__}: {error}"
+            ))
+
+    def _route_post(self) -> None:
+        path = self.path
+        match = _MODEL_PREDICT.match(path)
+        if match:
+            self._handle_predict(match.group(1), None, legacy=False)
             return
+        match = _VERSION_PREDICT.match(path)
+        if match:
+            self._handle_predict(match.group(1), match.group(2), legacy=False)
+            return
+        if path == "/predict":
+            self._handle_predict(None, None, legacy=True)
+            return
+        raise ApiError(CODE_NOT_FOUND, f"unknown path {self.path!r}")
+
+    def _handle_predict(self, name: Optional[str], version: Optional[str],
+                        *, legacy: bool) -> None:
+        image, seed = self._read_predict_body()
+        router = self.server.router
+        if legacy:
+            entry = router.default_entry()
+        else:
+            entry = router.resolve(name, version)
+        tenant = self.headers.get(TENANT_HEADER, DEFAULT_TENANT)
+        try:
+            result = router.predict_entry(
+                entry, image, seed=seed, tenant=tenant,
+                timeout=self.server.request_timeout_s,
+            )
+        except ValueError as error:
+            raise ApiError(CODE_INVALID_REQUEST, str(error)) from None
+        except FutureTimeoutError:
+            raise ApiError(
+                CODE_TIMEOUT, "request timed out awaiting a worker"
+            ) from None
+        except CancelledError:
+            raise ApiError(
+                CODE_SHUTTING_DOWN, "request was cancelled at shutdown"
+            ) from None
+        body = result.to_dict()
+        if legacy:
+            body["model"] = entry.pool.model_name
+            self._send_json(200, body, self._deprecation_headers("/predict"))
+        else:
+            body["model"] = entry.name
+            body["version"] = (f"v{entry.version:04d}"
+                               if entry.version is not None else None)
+            self._send_json(200, body)
+
+    def _read_predict_body(self) -> Tuple[np.ndarray, Optional[int]]:
+        """Read and validate the predict payload; raises ``ApiError``."""
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._send_error_json(400, "invalid Content-Length")
-            return
-        if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_error_json(
-                400, f"request body must be 1..{MAX_BODY_BYTES} bytes"
+            raise ApiError(CODE_INVALID_REQUEST,
+                           "invalid Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise ApiError(
+                CODE_PAYLOAD_TOO_LARGE,
+                f"request body must be 1..{MAX_BODY_BYTES} bytes",
+                detail={"max_bytes": MAX_BODY_BYTES, "got_bytes": length},
             )
-            return
+        if length <= 0:
+            raise ApiError(CODE_INVALID_REQUEST,
+                           f"request body must be 1..{MAX_BODY_BYTES} bytes")
         try:
             payload = json.loads(self.rfile.read(length).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            self._send_error_json(400, f"request body is not valid JSON: {error}")
-            return
-        parsed = self._parse_predict(payload)
-        if parsed is None:
-            return
-        image, seed = parsed
-
-        pool = self.server.pool
-        try:
-            future = pool.submit(image, seed=seed)
-        except QueueFullError as error:
-            self._send_error_json(503, str(error))
-            return
-        except QueueClosedError:
-            self._send_error_json(503, "server is shutting down")
-            return
-        except ValueError as error:
-            self._send_error_json(400, str(error))
-            return
-        try:
-            result = future.result(self.server.request_timeout_s)
-        except FutureTimeoutError:
-            future.cancel()
-            self._send_error_json(504, "request timed out awaiting a worker")
-            return
-        except CancelledError:
-            self._send_error_json(503, "request was cancelled at shutdown")
-            return
-        except Exception as error:  # noqa: BLE001 - worker-side failure
-            self._send_error_json(500, f"inference failed: {error}")
-            return
-        body = result.to_dict()
-        body["model"] = pool.model_name
-        self._send_json(200, body)
-
-    def _parse_predict(self, payload: object) -> Optional[Tuple[np.ndarray, Optional[int]]]:
-        """Validate the /predict payload; sends the 400 itself on failure."""
+            raise ApiError(CODE_INVALID_REQUEST,
+                           f"request body is not valid JSON: {error}") from None
         if not isinstance(payload, dict):
-            self._send_error_json(400, "request body must be a JSON object")
-            return None
+            raise ApiError(CODE_INVALID_REQUEST,
+                           "request body must be a JSON object")
         if "image" not in payload:
-            self._send_error_json(400, "request is missing the 'image' field")
-            return None
+            raise ApiError(CODE_INVALID_REQUEST,
+                           "request is missing the 'image' field")
         try:
             image = np.asarray(payload["image"], dtype=float)
         except (TypeError, ValueError):
-            self._send_error_json(400, "'image' must be a (nested) list of numbers")
-            return None
+            raise ApiError(CODE_INVALID_REQUEST,
+                           "'image' must be a (nested) list of numbers") from None
         if not np.all(np.isfinite(image)):
-            self._send_error_json(400, "'image' contains non-finite values")
-            return None
+            raise ApiError(CODE_INVALID_REQUEST,
+                           "'image' contains non-finite values")
         if np.any(image < 0):
-            self._send_error_json(400, "'image' intensities must be "
-                                       "non-negative")
-            return None
+            raise ApiError(CODE_INVALID_REQUEST,
+                           "'image' intensities must be non-negative")
         seed = payload.get("seed")
         if seed is not None:
             if isinstance(seed, bool) or not isinstance(seed, int):
-                self._send_error_json(400, "'seed' must be an integer")
-                return None
+                raise ApiError(CODE_INVALID_REQUEST,
+                               "'seed' must be an integer")
         return image, seed
 
 
@@ -208,8 +338,11 @@ class ModelServer:
 
     Parameters
     ----------
-    pool:
-        The (started or not-yet-started) replica pool to serve.
+    source:
+        Either a :class:`~repro.serving.router.ModelRouter` (multi-model
+        serving) or a single pool (``ReplicaPool``/``ShardProcessPool``),
+        which is wrapped in a one-model router pinned under its model name —
+        the pre-1.7 construction style keeps working unchanged.
     host, port:
         Bind address; ``port=0`` picks an ephemeral port (see
         :attr:`address`).
@@ -220,13 +353,19 @@ class ModelServer:
         with ``-v``).
     """
 
-    def __init__(self, pool: ReplicaPool, host: str = "127.0.0.1",
+    def __init__(self, source, host: str = "127.0.0.1",
                  port: int = 0, *,
                  request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
                  quiet: bool = True) -> None:
-        self.pool = pool
+        if isinstance(source, ModelRouter):
+            self.router = source
+            self.pool = None
+        else:
+            self.router = ModelRouter()
+            self.router.add_pool(source.model_name, source)
+            self.pool = source
         self._httpd = _ServingHTTPServer((host, port), _Handler)
-        self._httpd.pool = pool
+        self._httpd.router = self.router
         self._httpd.request_timeout_s = float(request_timeout_s)
         self._httpd.quiet = bool(quiet)
         self._thread: Optional[threading.Thread] = None
@@ -244,8 +383,8 @@ class ModelServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "ModelServer":
-        """Start the pool and serve requests from a background thread."""
-        self.pool.start()
+        """Start the pools and serve requests from a background thread."""
+        self.router.start()
         if self._thread is None:
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
@@ -254,12 +393,12 @@ class ModelServer:
             self._thread.start()
         host, port = self.address
         _log.info("server_started", host=host, port=port,
-                  model=self.pool.model_name, workers=self.pool.workers)
+                  models=[entry.key for entry in self.router.entries()])
         return self
 
     def serve_forever(self) -> None:
-        """Start the pool and serve on the calling thread (CLI mode)."""
-        self.pool.start()
+        """Start the pools and serve on the calling thread (CLI mode)."""
+        self.router.start()
         self._serving = True
         try:
             self._httpd.serve_forever()
@@ -267,7 +406,7 @@ class ModelServer:
             self._serving = False
 
     def stop(self) -> None:
-        """Stop accepting connections, then drain and stop the pool.
+        """Stop accepting connections, then drain and stop the pools.
 
         ``shutdown()`` blocks until the serve loop acknowledges, so it is
         only issued when a loop is (or was) actually running — calling
@@ -279,7 +418,7 @@ class ModelServer:
         if self._thread is not None:
             self._thread.join(10.0)
             self._thread = None
-        self.pool.stop()
+        self.router.stop()
 
     def __enter__(self) -> "ModelServer":
         return self.start()

@@ -4,17 +4,23 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _parse_model_spec, build_parser, main
 
 
 class TestServeParser:
     def test_defaults(self):
         parser = build_parser()
         args = parser.parse_args(["serve", "some/artifact"])
-        assert args.artifact == "some/artifact"
+        assert args.artifacts == ["some/artifact"]
+        assert args.registry is None
         assert args.host == "127.0.0.1"
         assert args.port == 8080
         assert args.workers == 2
+        assert args.shards == 0
+        assert args.max_models == 4
+        assert args.rate_rps is None
+        assert args.breaker_failures == 5
+        assert args.retries == 2
         assert args.max_batch == 32
         assert args.max_wait_ms == 5.0
         assert args.max_queue == 1024
@@ -25,12 +31,28 @@ class TestServeParser:
     def test_knobs_parse(self):
         parser = build_parser()
         args = parser.parse_args([
-            "serve", "a", "--port", "0", "--workers", "4", "--max-batch",
-            "16", "--max-wait-ms", "2.5", "--max-queue", "64",
+            "serve", "a", "b=path/to/b", "--port", "0", "--workers", "4",
+            "--max-batch", "16", "--max-wait-ms", "2.5", "--max-queue", "64",
             "--drift-window", "32", "--drift-threshold", "2.0", "-v",
+            "--shards", "2", "--registry", "reg", "--max-models", "2",
+            "--rate-rps", "50", "--rate-burst", "100",
+            "--breaker-failures", "3", "--breaker-window-s", "10",
+            "--breaker-reset-s", "1", "--retries", "1",
+            "--retry-backoff-s", "0.01",
         ])
+        assert args.artifacts == ["a", "b=path/to/b"]
         assert args.port == 0
         assert args.workers == 4
+        assert args.shards == 2
+        assert args.registry == "reg"
+        assert args.max_models == 2
+        assert args.rate_rps == 50.0
+        assert args.rate_burst == 100.0
+        assert args.breaker_failures == 3
+        assert args.breaker_window_s == 10.0
+        assert args.breaker_reset_s == 1.0
+        assert args.retries == 1
+        assert args.retry_backoff_s == 0.01
         assert args.max_batch == 16
         assert args.max_wait_ms == 2.5
         assert args.max_queue == 64
@@ -42,9 +64,31 @@ class TestServeParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "a", "--workers", "0"])
 
-    def test_missing_artifact_is_a_usage_error(self):
+    def test_invalid_shards_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+            build_parser().parse_args(["serve", "a", "--shards", "-1"])
+
+    def test_no_artifacts_and_no_registry_is_a_usage_error(self, capsys):
+        exit_code = main(["serve", "--port", "0"])
+        assert exit_code == 2
+        assert "--registry" in capsys.readouterr().err
+
+
+class TestModelSpecParsing:
+    def test_explicit_name(self):
+        assert _parse_model_spec("mnist=/data/art") == ("mnist", "/data/art")
+
+    def test_registry_version_dir_uses_parent_name(self):
+        assert _parse_model_spec("/reg/mnist/v0003") == \
+            ("mnist", "/reg/mnist/v0003")
+
+    def test_plain_dir_uses_basename(self):
+        assert _parse_model_spec("/data/spikedyn") == \
+            ("spikedyn", "/data/spikedyn")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            _parse_model_spec("=/data/art")
 
 
 class TestServeHappyPath:
@@ -58,7 +102,7 @@ class TestServeHappyPath:
         from repro.serving.server import ModelServer
 
         def interrupt(self):
-            self.pool.start()
+            self.router.start()
             raise KeyboardInterrupt
 
         monkeypatch.setattr(ModelServer, "serve_forever", interrupt)
@@ -66,14 +110,46 @@ class TestServeHappyPath:
                           "--workers", "1", "--max-batch", "4"])
         assert exit_code == 0
         captured = capsys.readouterr()
-        assert "serving spikedyn" in captured.out
+        assert "serving spikedyn: spikedyn" in captured.out
         assert "listening on http://127.0.0.1:" in captured.out
         assert "backend=dense" in captured.out
-        assert "POST /predict" in captured.out
+        assert "POST /v1/models/<name>/predict" in captured.out
+        assert "POST /predict" in captured.out  # deprecated alias announced
         assert "shutting down" in captured.err
 
-    def test_serve_with_backend_override(self, artifact_dir, capsys,
-                                         monkeypatch):
+    def test_serve_with_explicit_name_and_backend_override(
+            self, artifact_dir, capsys, monkeypatch):
+        from repro.serving.server import ModelServer
+
+        def interrupt(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ModelServer, "serve_forever", interrupt)
+        exit_code = main(["serve", f"digits={artifact_dir}", "--port", "0",
+                          "--workers", "1", "--backend", "sparse"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "serving digits: spikedyn" in out
+        assert "backend=sparse" in out
+
+    def test_serve_registry_only(self, artifact_dir, tmp_path, capsys,
+                                 monkeypatch):
+        """A server can start with zero pinned models and only a registry."""
+        from repro.serving.server import ModelServer
+
+        def interrupt(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(ModelServer, "serve_forever", interrupt)
+        exit_code = main(["serve", "--registry", str(tmp_path / "reg"),
+                          "--port", "0"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "registry:" in out
+        assert "listening on" in out
+
+    def test_serve_shards_announces_processes(self, artifact_dir, capsys,
+                                              monkeypatch):
         from repro.serving.server import ModelServer
 
         def interrupt(self):
@@ -81,9 +157,9 @@ class TestServeHappyPath:
 
         monkeypatch.setattr(ModelServer, "serve_forever", interrupt)
         exit_code = main(["serve", str(artifact_dir), "--port", "0",
-                          "--workers", "1", "--backend", "sparse"])
+                          "--shards", "1", "--max-batch", "4"])
         assert exit_code == 0
-        assert "backend=sparse" in capsys.readouterr().out
+        assert "shards=1 processes" in capsys.readouterr().out
 
 
 class TestServeErrors:
@@ -117,3 +193,8 @@ class TestServeErrors:
         exit_code = main(["serve", str(directory), "--port", "0"])
         assert exit_code == 1
         assert "error" in capsys.readouterr().err
+
+    def test_empty_model_name_exits_1(self, artifact_dir, capsys):
+        exit_code = main(["serve", f"={artifact_dir}", "--port", "0"])
+        assert exit_code == 1
+        assert "empty model name" in capsys.readouterr().err

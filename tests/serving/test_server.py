@@ -157,17 +157,20 @@ class TestProtocolErrors:
     def test_malformed_json_400(self, server):
         status, body = _post(server.url, None, raw=b"{not json")
         assert status == 400
-        assert "JSON" in body["error"]
+        assert body["error"]["code"] == "invalid_request"
+        assert "JSON" in body["error"]["message"]
 
     def test_missing_image_field_400(self, server):
         status, body = _post(server.url, {"seed": 1})
         assert status == 400
-        assert "image" in body["error"]
+        assert body["error"]["code"] == "invalid_request"
+        assert "image" in body["error"]["message"]
 
     def test_wrong_image_size_400(self, server):
         status, body = _post(server.url, {"image": [0.1, 0.2, 0.3]})
         assert status == 400
-        assert "pixels" in body["error"]
+        assert body["error"]["code"] == "invalid_request"
+        assert "pixels" in body["error"]["message"]
 
     def test_non_numeric_image_400(self, server):
         status, body = _post(server.url, {"image": ["a"] * 196})
@@ -178,21 +181,21 @@ class TestProtocolErrors:
             "image": [float("nan")] + [0.0] * 195,
         })
         assert status == 400
-        assert "finite" in body["error"]
+        assert "finite" in body["error"]["message"]
 
     def test_negative_image_400(self, server):
         status, body = _post(server.url, {
             "image": [-0.1] + [0.0] * 195,
         })
         assert status == 400
-        assert "non-negative" in body["error"]
+        assert "non-negative" in body["error"]["message"]
 
     def test_non_integer_seed_400(self, server, request_images):
         status, body = _post(server.url, {
             "image": request_images[0].ravel().tolist(), "seed": "abc",
         })
         assert status == 400
-        assert "seed" in body["error"]
+        assert "seed" in body["error"]["message"]
 
     def test_empty_body_400(self, server):
         request = urllib.request.Request(
@@ -209,4 +212,4 @@ class TestProtocolErrors:
             "image": request_images[0].ravel().tolist(),
         })
         assert status == 503
-        assert "shutting down" in body["error"]
+        assert body["error"]["code"] == "shutting_down"

@@ -1,0 +1,138 @@
+"""ShardProcessPool integration tests: bit-equivalence and crash recovery.
+
+Spawning a shard costs a full interpreter start plus an artifact load, so
+the suite runs one shared two-shard pool for the happy-path and crash tests
+and keeps every request batch small.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.observability.ledger import KIND_SERVING_SHARD, RunLedger
+from repro.serving.artifacts import ArtifactError
+from repro.serving.inference import offline_predictions
+from repro.serving.shards import ShardProcessPool
+
+
+@pytest.fixture(scope="module")
+def ledger_path(tmp_path_factory):
+    return tmp_path_factory.mktemp("ledger") / "ledger.jsonl"
+
+
+@pytest.fixture(scope="module")
+def shard_pool(artifact_dir, ledger_path):
+    pool = ShardProcessPool(
+        artifact_dir, shards=2, max_batch=4, max_wait_ms=2.0,
+        ledger=RunLedger(ledger_path),
+    )
+    pool.start()
+    yield pool
+    pool.stop(cancel_pending=True)
+
+
+def _served(pool, images, seeds):
+    futures = [pool.submit(image, seed=seed)
+               for image, seed in zip(images, seeds)]
+    return np.array([future.result(timeout=120.0).prediction
+                     for future in futures])
+
+
+class TestBitEquivalence:
+    def test_matches_offline_reference(self, shard_pool, trained_model,
+                                       request_images, request_seeds):
+        served = _served(shard_pool, request_images, request_seeds)
+        offline = offline_predictions(trained_model, request_images,
+                                      request_seeds)
+        np.testing.assert_array_equal(served, offline)
+
+    def test_full_results_are_deterministic(self, shard_pool, request_images,
+                                            request_seeds):
+        first = shard_pool.predict(request_images[0], seed=request_seeds[0],
+                                   timeout=120.0)
+        second = shard_pool.predict(request_images[0], seed=request_seeds[0],
+                                    timeout=120.0)
+        assert first.prediction == second.prediction
+        assert first.spike_count == second.spike_count
+        np.testing.assert_array_equal(first.scores, second.scores)
+
+
+class TestCrashRecovery:
+    def test_killed_shard_is_respawned_and_serving_continues(
+            self, shard_pool, trained_model, request_images, request_seeds):
+        """SIGKILL one worker, then demand bit-identical answers.
+
+        The interrupted batch is retried transparently on the respawned
+        process, so no caller observes the crash at all."""
+        pids_before = shard_pool.shard_pids()
+        assert all(pid is not None for pid in pids_before)
+        respawns_before = shard_pool.respawns_total
+
+        os.kill(pids_before[0], signal.SIGKILL)
+
+        served = _served(shard_pool, request_images, request_seeds)
+        offline = offline_predictions(trained_model, request_images,
+                                      request_seeds)
+        np.testing.assert_array_equal(served, offline)
+
+        assert shard_pool.respawns_total == respawns_before + 1
+        pids_after = shard_pool.shard_pids()
+        assert all(pid is not None for pid in pids_after)
+        assert pids_after[0] != pids_before[0]
+
+    def test_ledger_recorded_the_churn(self, shard_pool, ledger_path):
+        """Runs after the kill test: spawn/crash/respawn must be on disk."""
+        entries = list(RunLedger(ledger_path).entries(kind=KIND_SERVING_SHARD))
+        events = [entry["event"] for entry in entries]
+        assert events.count("spawned") >= 3  # 2 initial + >=1 respawn
+        assert "crashed" in events
+        assert "respawned" in events
+        assert all("shard" in entry and "model" in entry for entry in entries)
+
+    def test_metrics_snapshot_reports_shard_state(self, shard_pool):
+        snapshot = shard_pool.metrics_snapshot()
+        shards = snapshot["shards"]
+        assert shards["count"] == 2
+        assert shards["alive"] == 2
+        assert shards["respawns_total"] >= 1
+        assert sum(shards["batches_by_shard"].values()) > 0
+        assert snapshot["model"] == "spikedyn"
+        assert snapshot["backend"] == "dense"
+
+
+class TestPoolContract:
+    """ReplicaPool API parity, checked without extra spawns where possible."""
+
+    def test_introspection_mirrors_replica_pool(self, shard_pool,
+                                                serving_config):
+        assert shard_pool.n_input == serving_config.n_input
+        assert shard_pool.model_name == "spikedyn"
+        assert shard_pool.workers == shard_pool.shards == 2
+        assert shard_pool.running
+        assert shard_pool.queue_depth >= 0
+        assert shard_pool.batcher.max_batch == 4
+
+    def test_submit_validates_before_crossing_the_pipe(self, shard_pool):
+        with pytest.raises(ValueError, match="pixels"):
+            shard_pool.submit(np.zeros(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            shard_pool.submit(np.full(shard_pool.n_input, -1.0))
+
+    def test_broken_artifact_fails_fast_in_the_parent(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            ShardProcessPool(tmp_path / "ghost", shards=1)
+
+    def test_stopped_pool_cannot_restart(self, artifact_dir):
+        pool = ShardProcessPool(artifact_dir, shards=1, max_batch=2)
+        pool.stop(cancel_pending=True)  # never started: close is still legal
+        with pytest.raises(RuntimeError, match="cannot be restarted"):
+            pool.start()
+
+    def test_from_artifact_uses_the_artifact_path(self, artifact):
+        pool = ShardProcessPool.from_artifact(artifact, shards=1)
+        assert pool.artifact_dir == str(artifact.path)
+        assert not pool.running
