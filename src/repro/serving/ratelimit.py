@@ -149,6 +149,19 @@ class CircuitBreaker:
             self._probes_in_flight += 1
             return True
 
+    def release_probe(self) -> None:
+        """Return a half-open probe slot when the request reached no verdict.
+
+        Every request admitted by :meth:`allow` must end in exactly one of
+        :meth:`record_success`, :meth:`record_failure`, or this.  Outcomes
+        that say nothing about model health (bad input, queue backpressure,
+        a caller-side timeout) would otherwise pin the probe slot forever
+        and the circuit would shed 100% of traffic until restart.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN and self._probes_in_flight > 0:
+                self._probes_in_flight -= 1
+
     def record_success(self) -> None:
         """A request completed; a half-open probe success closes the circuit."""
         with self._lock:

@@ -33,6 +33,7 @@ import re
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import CancelledError
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -175,6 +176,10 @@ class ModelRouter:
         # Registry-loaded entries keyed (name, version); OrderedDict order
         # IS the LRU order (most recently used last).
         self._loaded: "OrderedDict[Tuple[str, int], _ModelEntry]" = OrderedDict()
+        # Keys being loaded right now: pool build/start runs outside the
+        # router lock, and concurrent requesters for the same key wait on
+        # the per-key event instead of stalling every model's traffic.
+        self._loading: Dict[Tuple[str, int], threading.Event] = {}
         self._closed = False
         self.evictions_total = 0
 
@@ -232,15 +237,27 @@ class ModelRouter:
         return None
 
     def default_entry(self) -> _ModelEntry:
-        """Entry behind the legacy single-model endpoints."""
-        name = self.default_model
-        if name is None:
-            raise ModelNotFoundError(
-                "no models are loaded", detail={"loaded": []}
-            )
-        entry = self.entry_if_loaded(name)
-        assert entry is not None
-        return entry
+        """Entry behind the legacy single-model endpoints.
+
+        Resolved under one lock acquisition, so an eviction (or stop)
+        racing between the name lookup and the entry lookup surfaces as a
+        404, never as an internal error.
+        """
+        with self._lock:
+            if self._closed:
+                raise ApiError(CODE_SHUTTING_DOWN, "server is shutting down")
+            for entry in self._pinned.values():
+                return entry
+            first_name = next((key_name for key_name, _ in self._loaded),
+                              None)
+            if first_name is not None:
+                candidates = [entry for (key_name, _), entry
+                              in self._loaded.items()
+                              if key_name == first_name]
+                return max(candidates, key=lambda entry: entry.version or 0)
+        raise ModelNotFoundError(
+            "no models are loaded", detail={"loaded": []}
+        )
 
     def start(self) -> "ModelRouter":
         """Start every resident pool (idempotent, like the pools)."""
@@ -250,45 +267,80 @@ class ModelRouter:
 
     def resolve(self, name: str, version=None) -> _ModelEntry:
         """The entry serving ``name`` (``version`` or latest), loading it
-        from the registry — and evicting the LRU entry — if needed."""
+        from the registry — and evicting the LRU entry — if needed.
+
+        Loading is slow (a process-sharded pool blocks until every shard
+        has the artifact in memory), so it runs *outside* the router lock:
+        the key is reserved under the lock, the pool is built and started
+        unlocked, and the finished entry is published under the lock again.
+        Concurrent requesters for the same key wait on a per-key event; a
+        cold load of one model never stalls traffic to the others.
+        """
         wanted = parse_version(version) if version is not None else None
-        with self._lock:
-            if self._closed:
-                raise ApiError(CODE_SHUTTING_DOWN, "server is shutting down")
-            pinned = self._pinned.get(name)
-            if pinned is not None and (wanted is None
-                                       or pinned.version == wanted):
-                return pinned
-            if self.registry is None:
-                raise ModelNotFoundError(
-                    f"no model named {name!r}"
-                    + (f" at version v{wanted}" if wanted else ""),
-                    detail={"model": name, "loaded": sorted(self._pinned)},
-                )
-            try:
-                path = self.registry.path_of(name, wanted)
-            except (ArtifactError, ValueError) as error:
-                raise ModelNotFoundError(str(error),
-                                         detail={"model": name}) from None
-            resolved = wanted if wanted is not None \
-                else self.registry.latest_version(name)
-            key = (name, resolved)
-            entry = self._loaded.get(key)
-            if entry is not None:
-                self._loaded.move_to_end(key)
-                return entry
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise ApiError(CODE_SHUTTING_DOWN,
+                                   "server is shutting down")
+                pinned = self._pinned.get(name)
+                if pinned is not None and (wanted is None
+                                           or pinned.version == wanted):
+                    return pinned
+                if self.registry is None:
+                    raise ModelNotFoundError(
+                        f"no model named {name!r}"
+                        + (f" at version v{wanted}" if wanted else ""),
+                        detail={"model": name,
+                                "loaded": sorted(self._pinned)},
+                    )
+                try:
+                    path = self.registry.path_of(name, wanted)
+                except (ArtifactError, ValueError) as error:
+                    raise ModelNotFoundError(str(error),
+                                             detail={"model": name}) from None
+                resolved = wanted if wanted is not None \
+                    else self.registry.latest_version(name)
+                key = (name, resolved)
+                entry = self._loaded.get(key)
+                if entry is not None:
+                    self._loaded.move_to_end(key)
+                    return entry
+                loading = self._loading.get(key)
+                if loading is None:
+                    loading = threading.Event()
+                    self._loading[key] = loading
+                    break
+            # Another thread is loading this key: wait off-lock, then
+            # re-check the table (the load may also have failed).
+            loading.wait()
+        try:
             pool = self.pool_factory(str(path))
             pool.start()
-            entry = _ModelEntry(name, resolved, pool,
-                                self._make_breaker(), pinned=False)
-            self._loaded[key] = entry
-            _log.info("model_loaded", model=name, version=resolved,
-                      resident=len(self._loaded))
-            evicted = []
-            while len(self._loaded) > self.max_models:
-                _, victim = self._loaded.popitem(last=False)
-                evicted.append(victim)
-                self.evictions_total += 1
+        except BaseException:
+            with self._lock:
+                self._loading.pop(key, None)
+            loading.set()
+            raise
+        evicted = []
+        with self._lock:
+            self._loading.pop(key, None)
+            closed = self._closed
+            if not closed:
+                entry = _ModelEntry(name, resolved, pool,
+                                    self._make_breaker(), pinned=False)
+                self._loaded[key] = entry
+                while len(self._loaded) > self.max_models:
+                    _, victim = self._loaded.popitem(last=False)
+                    evicted.append(victim)
+                    self.evictions_total += 1
+        loading.set()
+        if closed:
+            # The router stopped while we were loading; this pool was
+            # never published, so stop() could not have reached it.
+            pool.stop(timeout=5.0, cancel_pending=True)
+            raise ApiError(CODE_SHUTTING_DOWN, "server is shutting down")
+        _log.info("model_loaded", model=name, version=resolved,
+                  resident=len(self._loaded))
         for victim in evicted:
             victim.pool.stop(timeout=5.0, cancel_pending=True)
             _log.info("model_evicted", model=victim.name,
@@ -398,44 +450,80 @@ class ModelRouter:
                 detail={"model": entry.key, **breaker.state()},
             )
         last_crash: Optional[ShardCrashedError] = None
-        for attempt in range(self.retries + 1):
-            try:
-                result = entry.pool.predict(image, seed=seed, timeout=timeout)
-            except ShardCrashedError as error:
-                last_crash = error
-                if breaker is not None:
-                    breaker.record_failure()
-                if attempt < self.retries:
-                    entry.retries_total += 1
-                    backoff = self.retry_backoff_s * (2 ** attempt)
-                    self._sleep(backoff * (0.5 + self._rng.random()))
-                    continue
-            except QueueFullError as error:
-                # Backpressure is health, not failure: 429 the caller,
-                # leave the breaker alone.
-                raise ApiError(
-                    CODE_QUEUE_FULL, str(error), retry_after_s=1.0,
-                    detail={"model": entry.key,
-                            "queue_depth": entry.pool.queue_depth},
-                ) from None
-            except QueueClosedError as error:
-                raise ApiError(CODE_SHUTTING_DOWN, str(error)) from None
-            except ValueError:
-                raise
-            except RuntimeError as error:
-                # The model itself failed on a live worker — count it and
-                # surface it; retrying identical input is pointless.
-                if breaker is not None:
-                    breaker.record_failure()
-                raise ApiError(
-                    CODE_UPSTREAM_FAILURE,
-                    f"model {entry.key!r} failed: {error}",
-                    detail={"model": entry.key},
-                ) from error
-            else:
-                if breaker is not None:
-                    breaker.record_success()
-                return result
+        # Every breaker.allow() that admitted us may have taken a half-open
+        # probe slot; exactly one of record_success / record_failure /
+        # release_probe must run, or the slot leaks and the model sheds
+        # all traffic forever.  Outcomes that say nothing about model
+        # health (bad input, backpressure, timeout, cancellation) release
+        # the slot in the finally below.
+        verdict_recorded = breaker is None
+        try:
+            for attempt in range(self.retries + 1):
+                try:
+                    result = entry.pool.predict(image, seed=seed,
+                                                timeout=timeout)
+                except ShardCrashedError as error:
+                    last_crash = error
+                    if breaker is not None:
+                        breaker.record_failure()
+                        verdict_recorded = True
+                    if attempt < self.retries:
+                        entry.retries_total += 1
+                        backoff = self.retry_backoff_s * (2 ** attempt)
+                        self._sleep(backoff * (0.5 + self._rng.random()))
+                        continue
+                except QueueFullError as error:
+                    # Backpressure is health, not failure: 429 the caller,
+                    # leave the breaker alone.
+                    raise ApiError(
+                        CODE_QUEUE_FULL, str(error), retry_after_s=1.0,
+                        detail={"model": entry.key,
+                                "queue_depth": entry.pool.queue_depth},
+                    ) from None
+                except QueueClosedError as error:
+                    # A closed queue on a live router means *this model*
+                    # was evicted/stopped, not that the server is going
+                    # down — tell the client to retry, not to disconnect.
+                    if self._closed:
+                        raise ApiError(CODE_SHUTTING_DOWN,
+                                       str(error)) from None
+                    raise ApiError(
+                        CODE_UPSTREAM_FAILURE,
+                        f"model {entry.key!r} was unloaded mid-request; "
+                        "retry",
+                        retry_after_s=1.0, detail={"model": entry.key},
+                    ) from None
+                except CancelledError:
+                    if self._closed:
+                        raise
+                    raise ApiError(
+                        CODE_UPSTREAM_FAILURE,
+                        f"model {entry.key!r} was unloaded mid-request; "
+                        "retry",
+                        retry_after_s=1.0, detail={"model": entry.key},
+                    ) from None
+                except ValueError:
+                    raise
+                except RuntimeError as error:
+                    # The model itself failed on a live worker — count it
+                    # and surface it; retrying identical input is
+                    # pointless.
+                    if breaker is not None:
+                        breaker.record_failure()
+                        verdict_recorded = True
+                    raise ApiError(
+                        CODE_UPSTREAM_FAILURE,
+                        f"model {entry.key!r} failed: {error}",
+                        detail={"model": entry.key},
+                    ) from error
+                else:
+                    if breaker is not None:
+                        breaker.record_success()
+                        verdict_recorded = True
+                    return result
+        finally:
+            if not verdict_recorded:
+                breaker.release_probe()
         _log.error("shard_retries_exhausted", model=entry.key,
                    retries=self.retries, error=str(last_crash))
         raise ApiError(

@@ -438,6 +438,21 @@ class ShardProcessPool:
         _log.info("shard_respawned", shard=index, pid=handle.pid)
         return handle
 
+    def _retire(self, index: int, handle: _ShardHandle) -> None:
+        """Ledger a mid-batch death and reap the dead process.
+
+        Nulling the table slot without retiring the handle would lose it:
+        the retrying attempt would respawn with ``dead=None``, the crash
+        would never reach the ledger, and the dead process would never be
+        joined.
+        """
+        with self._lock:
+            if self._handles[index] is handle:
+                self._handles[index] = None
+        self._ledger_shard("crashed", index, handle.pid)
+        _log.warning("shard_crashed", shard=index, pid=handle.pid)
+        handle.kill()
+
     # -- dispatch ------------------------------------------------------------
 
     def _dispatch_loop(self, index: int) -> None:
@@ -469,18 +484,26 @@ class ShardProcessPool:
             try:
                 if handle is None or not handle.alive:
                     handle = self._respawn(index, handle)
-                handle.conn.send(("predict", payload))
-                reply = self._recv_reply(handle)
-                break
             except ShardCrashedError as error:
+                # The *replacement* failed to come up (the old death, if
+                # any, was already ledgered by _respawn).
                 with self._lock:
                     self._handles[index] = None
                 if attempt == 1:
                     self._fail_batch(batch, error, started, index)
                     return
+                continue
+            try:
+                handle.conn.send(("predict", payload))
+                reply = self._recv_reply(handle)
+                break
+            except ShardCrashedError as error:
+                self._retire(index, handle)
+                if attempt == 1:
+                    self._fail_batch(batch, error, started, index)
+                    return
             except (OSError, EOFError, BrokenPipeError) as error:
-                with self._lock:
-                    self._handles[index] = None
+                self._retire(index, handle)
                 if attempt == 1:
                     self._fail_batch(
                         batch,

@@ -134,6 +134,32 @@ class TestCircuitBreaker:
         clock.advance(5.1)
         assert breaker.allow()  # probes again after another reset_s
 
+    def test_release_probe_frees_the_half_open_slot(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.1)
+        assert breaker.allow()  # takes the probe slot
+        assert not breaker.allow()
+        breaker.release_probe()  # probe ended with no verdict
+        assert breaker.state_name == HALF_OPEN
+        assert breaker.allow()  # slot is free again
+        breaker.record_success()
+        assert breaker.state_name == CLOSED
+
+    def test_release_probe_outside_half_open_is_a_no_op(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        breaker.release_probe()
+        assert breaker.state_name == CLOSED
+        assert breaker.allow()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.release_probe()
+        assert breaker.state_name == OPEN
+        assert not breaker.allow()
+
     def test_success_in_closed_state_is_a_no_op(self):
         breaker = self.make(FakeClock())
         breaker.record_failure()

@@ -205,6 +205,91 @@ class TestRegistryLRU:
         with pytest.raises(ValueError):
             ModelRouter(registry=FakeRegistry({}))
 
+    def test_slow_load_does_not_block_other_models(self, pools):
+        # Pool build/start runs outside the router lock: a cold registry
+        # load of one model must not stall requests to resident models.
+        import threading
+
+        started_loading = threading.Event()
+        release_loading = threading.Event()
+
+        def slow_factory(artifact_dir: str):
+            if artifact_dir.startswith("slow"):
+                started_loading.set()
+                assert release_loading.wait(timeout=5.0)
+            return pools(artifact_dir)
+
+        registry = FakeRegistry({"slow": [1]})
+        router = make_router(slow_factory, registry=registry)
+        router.add_model("fast", "dir-fast")
+        loader = threading.Thread(
+            target=lambda: router.predict("slow", IMAGE), daemon=True
+        )
+        loader.start()
+        assert started_loading.wait(timeout=5.0)
+        # The slow load is mid-flight and holds no router lock:
+        assert router.predict("fast", IMAGE).prediction == 1
+        assert router.health("fast")["status"] == "ok"
+        release_loading.set()
+        loader.join(timeout=5.0)
+        assert not loader.is_alive()
+        assert len(pools.built["slow/v0001"]) == 1
+
+    def test_concurrent_loads_of_one_key_build_one_pool(self, pools):
+        import threading
+
+        block = threading.Event()
+
+        def gated_factory(artifact_dir: str):
+            assert block.wait(timeout=5.0)
+            return pools(artifact_dir)
+
+        registry = FakeRegistry({"m": [1]})
+        router = make_router(gated_factory, registry=registry)
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(router.predict("m", IMAGE)),
+                daemon=True,
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        block.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(results) == 4
+        assert len(pools.built["m/v0001"]) == 1  # one loader, three waiters
+
+    def test_failed_load_unwedges_waiters(self, pools):
+        # A factory crash must clear the loading reservation so the next
+        # request can retry instead of waiting forever.
+        attempts = []
+
+        def flaky_factory(artifact_dir: str):
+            attempts.append(artifact_dir)
+            if len(attempts) == 1:
+                raise RuntimeError("artifact corrupt")
+            return pools(artifact_dir)
+
+        registry = FakeRegistry({"m": [1]})
+        router = make_router(flaky_factory, registry=registry)
+        with pytest.raises(RuntimeError):
+            router.predict("m", IMAGE)
+        assert router.predict("m", IMAGE).prediction == 1
+        assert len(attempts) == 2
+
+    def test_default_entry_serves_registry_model_and_404s_when_empty(
+            self, pools):
+        registry = FakeRegistry({"m": [1, 2]})
+        router = make_router(pools, registry=registry)
+        with pytest.raises(ModelNotFoundError) as excinfo:
+            router.default_entry()
+        assert excinfo.value.status == 404
+        router.predict("m", IMAGE)
+        assert router.default_entry().version == 2
+
     def test_list_models_merges_loaded_and_registry(self, pools):
         registry = FakeRegistry({"m": [1, 2]})
         router = make_router(pools, registry=registry)
@@ -313,13 +398,49 @@ class TestRetryAndBreaker:
         # backpressure never opened the breaker
         assert router.entries()[0].breaker.state_name == "closed"
 
-    def test_queue_closed_is_shutting_down(self, pools):
+    def test_queue_closed_on_live_router_is_retryable(self, pools):
+        # The model's queue closing while the router is up means the model
+        # was evicted/stopped, not that the server is going down: clients
+        # should retry, not disconnect.
         router = make_router(pools)
         router.add_model("a", "dir-a")
         pools.built["dir-a"][0].script = [QueueClosedError("closed")]
         with pytest.raises(ApiError) as excinfo:
             router.predict("a", IMAGE)
-        assert excinfo.value.code == "shutting_down"
+        assert excinfo.value.code == "upstream_failure"
+        assert excinfo.value.retry_after_header is not None
+
+    def test_cancelled_on_live_router_is_retryable(self, pools):
+        from concurrent.futures import CancelledError
+
+        router = make_router(pools)
+        router.add_model("a", "dir-a")
+        pools.built["dir-a"][0].script = [CancelledError()]
+        with pytest.raises(ApiError) as excinfo:
+            router.predict("a", IMAGE)
+        assert excinfo.value.code == "upstream_failure"
+
+    def test_no_verdict_outcomes_release_the_half_open_probe(self, pools):
+        # Regression: a half-open probe that ends in an outcome saying
+        # nothing about model health (bad input, backpressure) must free
+        # its slot, or the breaker sheds 100% of traffic forever.
+        router = make_router(pools, retries=0, breaker_failures=1,
+                             breaker_reset_s=0.01)
+        router.add_model("a", "dir-a")
+        pool = pools.built["dir-a"][0]
+        pool.script = [ShardCrashedError("dead")]
+        with pytest.raises(ApiError):
+            router.predict("a", IMAGE)  # opens the breaker
+        import time as _time
+
+        for no_verdict in (ValueError("bad image"), QueueFullError("full")):
+            _time.sleep(0.05)  # past reset_s: next request is the probe
+            pool.script = [no_verdict]
+            with pytest.raises((ValueError, ApiError)):
+                router.predict("a", IMAGE)
+        _time.sleep(0.05)
+        assert router.predict("a", IMAGE).prediction == 1  # probe succeeds
+        assert router.entries()[0].breaker.state_name == "closed"
 
     def test_model_runtime_error_counts_and_503s(self, pools):
         router = make_router(pools, breaker_failures=2)

@@ -206,8 +206,18 @@ class TestProtocolErrors:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
 
-    def test_shutdown_returns_503(self, server, request_images):
+    def test_stopped_pool_returns_retryable_503(self, server, request_images):
+        # Only this model's pool is gone, not the server: the envelope
+        # says "retry", not "we are shutting down".
         server.pool.stop()
+        status, body = _post(server.url, {
+            "image": request_images[0].ravel().tolist(),
+        })
+        assert status == 503
+        assert body["error"]["code"] == "upstream_failure"
+
+    def test_shutdown_returns_503(self, server, request_images):
+        server.router.stop()
         status, body = _post(server.url, {
             "image": request_images[0].ravel().tolist(),
         })
