@@ -1,4 +1,4 @@
-"""Backend throughput: sparse event-driven kernels vs the dense reference.
+"""Backend throughput: every registered backend vs the dense reference.
 
 The sparse backend's claim mirrors the paper's: SNN work should scale with
 *spike events*, not with state size.  This module asserts both halves of the
@@ -10,6 +10,17 @@ under the 5% bound the claim is made at):
   counts and OperationCounter tallies as the dense backend;
 * **throughput** — the sparse backend is at least 1.5x faster (measured
   ~2.5-3x on developer hardware and CI).
+
+The newer backends each gate their own claim:
+
+* **float32** — identical counts and tallies with the dynamic state in
+  half the memory;
+* **numba** (skipped when not installed) — at least 1.5x faster than dense
+  on a *small* network, where Python/ufunc dispatch overhead dominates the
+  arithmetic;
+* **auto** — across a grid spanning both sides of the dense/sparse
+  crossover, never more than 10% slower than the best fixed backend for
+  that workload (profiling happens before the clock starts).
 """
 
 from __future__ import annotations
@@ -17,7 +28,9 @@ from __future__ import annotations
 import time
 
 import numpy as np
+import pytest
 
+from repro.backends import NumbaBackend
 from repro.core.config import SpikeDynConfig
 from repro.models.spikedyn_model import SpikeDynModel
 
@@ -103,6 +116,130 @@ def test_cross_backend_prediction_equivalence():
                                   dense_model.predict(eval_images))
     np.testing.assert_array_equal(sparse_model.assignments,
                                   dense_model.assignments)
+
+
+def test_float32_backend_equivalence_and_memory():
+    """Float32 serves identical results with the state in half the bytes."""
+    trains = _spike_trains()
+    dense_net = _make_network("dense")
+    f32_net = _make_network("float32")
+
+    dense_results = dense_net.run_batch(trains, learning=False)
+    f32_results = f32_net.run_batch(trains, learning=False)
+    for dense_result, f32_result in zip(dense_results, f32_results):
+        np.testing.assert_array_equal(dense_result.counts("excitatory"),
+                                      f32_result.counts("excitatory"))
+    assert dense_net.counter.as_dict() == f32_net.counter.as_dict()
+
+    # The memory claim, measured on live state: one sequential step leaves
+    # every dynamic array at single precision (batch teardown reallocates,
+    # so probe via run_sample).
+    f32_net.run_sample(trains[0], learning=False)
+    dense_net.run_sample(trains[0], learning=False)
+    f32_v = f32_net.group("excitatory").v
+    dense_v = dense_net.group("excitatory").v
+    assert f32_v.dtype == np.float32
+    assert f32_v.nbytes * 2 == dense_v.nbytes
+
+
+@pytest.mark.skipif(not NumbaBackend.available(),
+                    reason="numba not installed")
+def test_numba_backend_speedup_on_small_network():
+    """Numba is >= 1.5x faster than dense where dispatch overhead rules.
+
+    On a 64x16 network each timestep does microseconds of arithmetic behind
+    ~a dozen ufunc calls; the fused jitted loops collapse that fixed
+    overhead, which is exactly the regime the backend exists for.  The
+    first ``run_batch`` below happens outside the clock so JIT compilation
+    (or the on-disk cache load) is never timed.
+    """
+    config = SpikeDynConfig.scaled_down(
+        n_input=64, n_exc=16, t_sim=100.0, seed=0, backend="dense",
+    )
+    trains = np.random.default_rng(7).random((8, 100, 64)) < SPIKE_DENSITY
+    dense_net = SpikeDynModel(config).network
+    numba_net = SpikeDynModel(config.replace(backend="numba")).network
+
+    dense_results = dense_net.run_batch(trains, learning=False)
+    numba_results = numba_net.run_batch(trains, learning=False)  # warm + JIT
+    for dense_result, numba_result in zip(dense_results, numba_results):
+        np.testing.assert_array_equal(dense_result.counts("excitatory"),
+                                      numba_result.counts("excitatory"))
+    assert dense_net.counter.as_dict() == numba_net.counter.as_dict()
+
+    dense_s = _best_of(lambda: dense_net.run_batch(trains, learning=False),
+                       repeats=5)
+    numba_s = _best_of(lambda: numba_net.run_batch(trains, learning=False),
+                       repeats=5)
+    speedup = dense_s / numba_s
+    print(f"\ndense {dense_s * 1e3:8.1f} ms   numba {numba_s * 1e3:8.1f} ms"
+          f"   speedup {speedup:4.2f}x (64x16, B=8, T=100)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"numba backend on the small network is only {speedup:.2f}x faster "
+        f"than dense (required: >= {MIN_SPEEDUP}x)"
+    )
+
+
+def test_auto_backend_tracks_the_best_fixed_backend():
+    """Auto is never >10% slower than the best fixed backend per workload.
+
+    The grid spans both sides of the crossover: a small dense-favoured
+    geometry and the paper-size sparse-favoured one.  Each network's first
+    ``run_batch`` is a warm-up pass — for auto that is where per-bucket
+    profiling happens, so the timed passes measure pure dispatch.
+    """
+    grid = [
+        ("small-dense-side", 64, 16, 8, 40),
+        ("paper-sparse-side", N_INPUT, N_EXC, 16, TIMESTEPS),
+    ]
+    fixed = ["dense", "sparse"]
+    if NumbaBackend.available():
+        fixed.append("numba")
+    margin = 1.10
+
+    for label, n_input, n_exc, batch, timesteps in grid:
+        trains = np.random.default_rng(11).random(
+            (batch, timesteps, n_input)) < SPIKE_DENSITY
+        config = SpikeDynConfig.scaled_down(
+            n_input=n_input, n_exc=n_exc, t_sim=float(timesteps), seed=0,
+        )
+
+        networks = {}
+        for backend in fixed + ["auto"]:
+            network = SpikeDynModel(config.replace(backend=backend)).network
+            network.run_batch(trains, learning=False)  # warm-up / profiling
+            networks[backend] = network
+
+        def measure():
+            # Round-robin the timed passes so machine drift (frequency
+            # scaling, noisy neighbours) hits every backend equally instead
+            # of biasing whichever happened to run last.
+            times = {backend: float("inf") for backend in networks}
+            for _ in range(7):
+                for backend, network in networks.items():
+                    start = time.perf_counter()
+                    network.run_batch(trains, learning=False)
+                    times[backend] = min(times[backend],
+                                         time.perf_counter() - start)
+            auto = times.pop("auto")
+            return auto, min(times.items(), key=lambda kv: kv[1])
+
+        # The few-millisecond workloads sit near shared-runner timer noise,
+        # so the margin check gets up to three independent measurements: a
+        # genuinely >10%-slow dispatcher fails all of them, a noise spike
+        # does not.
+        for attempt in range(3):
+            auto_s, (best_backend, best_s) = measure()
+            print(f"\n{label}: auto {auto_s * 1e3:7.1f} ms   "
+                  f"best fixed ({best_backend}) {best_s * 1e3:7.1f} ms")
+            if auto_s <= best_s * margin:
+                break
+        else:
+            raise AssertionError(
+                f"auto backend on {label} took {auto_s * 1e3:.1f} ms in "
+                f"every attempt, more than {margin:.0%} of the best fixed "
+                f"backend ({best_backend}: {best_s * 1e3:.1f} ms)"
+            )
 
 
 def test_backend_timing(benchmark):

@@ -123,6 +123,22 @@ def run_smoke(batch_size: int, repeats: int) -> Dict[str, object]:
     timings["backends_speedup_x"] = (
         timings["backends_dense_s"] / timings["backends_sparse_s"]
     )
+    # The newer backends on the same workload: float32 (half-memory state)
+    # and the profiling auto-dispatcher (its runner's first, untimed call
+    # profiles the workload's buckets; the timed passes measure dispatch).
+    timings["backends_float32_s"] = _time_best_of(backend_runner("float32"),
+                                                  repeats)
+    auto_runner = backend_runner("auto")
+    auto_runner()  # profiling pass, outside the clock
+    timings["backends_auto_s"] = _time_best_of(auto_runner, repeats)
+    # Optional-dependency backend: timed only where numba is installed
+    # (bench_compare treats the key as new/missing, never as a regression).
+    from repro.backends import NumbaBackend
+
+    if NumbaBackend.available():
+        numba_runner = backend_runner("numba")
+        numba_runner()  # JIT compilation pass, outside the clock
+        timings["backends_numba_s"] = _time_best_of(numba_runner, repeats)
 
     # Serving: micro-batched replica pool vs per-request sequential serving
     # under concurrent load (the in-process stack behind `repro serve`).

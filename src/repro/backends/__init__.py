@@ -10,15 +10,35 @@ through a small registry:
 DenseBackend(name='dense')
 >>> get_backend("sparse")       # event-driven gather/scatter kernels
 SparseEventBackend(name='sparse')
+>>> get_backend("float32")      # half-memory single-precision state
+Float32Backend(name='float32')
+>>> get_backend("auto")         # profiles once per bucket, then routes
+AutoBackend(name='auto')
+
+A fifth backend, ``numba``, JIT-compiles the kernel chain and registers
+itself unconditionally but reports :meth:`~repro.backends.base.Backend.
+available` ``False`` when the optional numba package is missing, so
+``repro backends list`` shows it while :func:`get_backend` refuses it.
+
+Every backend declares an *equivalence tier*
+(:attr:`~repro.backends.base.Backend.equivalence_tier`): ``exact`` backends
+(dense, sparse, numba, auto) reproduce the dense reference's spike counts,
+predictions, and ``OperationCounter`` tallies with float state equal to
+summation-order rounding; the ``tolerance`` tier (float32) keeps
+counts/predictions/tallies exact but only bounds float state by the
+backend's declared ``(state_rtol, state_atol)``.  The conformance suite in
+``tests/backends/`` enforces the declared tier for every registered
+backend.
 
 Backend selection threads through every layer of the system:
 ``Network(backend=...)``, ``SpikeDynConfig(backend=...)`` (and therefore
 model artifacts, schema v3), ``ExperimentScale(backend=...)`` (and therefore
 runner cache keys), ``repro serve --backend``, and ``repro backends list``.
 
-Backends are stateless kernel bundles, so :func:`get_backend` hands out one
-shared instance per name.  Future accelerator backends (numba JIT, float32,
-GPU) register themselves with :func:`register_backend` and report
+Backends are stateless kernel bundles (``auto`` holds only its routing
+table), so :func:`get_backend` hands out one shared instance per name.
+Future accelerator backends (GPU) register themselves with
+:func:`register_backend` and report
 :meth:`~repro.backends.base.Backend.available` based on their optional
 dependency, without the rest of the system changing.
 """
@@ -27,8 +47,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Type, Union
 
+from repro.backends.auto import AutoBackend
 from repro.backends.base import Backend
 from repro.backends.dense import DenseBackend
+from repro.backends.float32 import Float32Backend
+from repro.backends.numba_backend import NumbaBackend
 from repro.backends.sparse import SparseEventBackend
 
 #: Backend used when nothing selects one explicitly.
@@ -83,6 +106,7 @@ def describe_backend(name: str) -> Dict[str, object]:
         "name": cls.name,
         "description": cls.description,
         "available": cls.available(),
+        "tier": cls.equivalence_tier,
     }
 
 
@@ -122,10 +146,16 @@ def get_backend(backend: BackendLike = None) -> Backend:
 
 register_backend(DenseBackend)
 register_backend(SparseEventBackend)
+register_backend(Float32Backend)
+register_backend(NumbaBackend)
+register_backend(AutoBackend)
 
 __all__ = [
+    "AutoBackend",
     "Backend",
     "DenseBackend",
+    "Float32Backend",
+    "NumbaBackend",
     "SparseEventBackend",
     "DEFAULT_BACKEND",
     "available_backends",

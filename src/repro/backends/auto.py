@@ -1,0 +1,225 @@
+"""Auto-dispatching backend: profile once per workload bucket, then route.
+
+The fixed backends trade off against each other along two axes the caller
+usually does not want to think about: *network size* (below roughly the
+196x40 geometry the sparse backend's gather/segment-sum overhead costs more
+than the dense GEMV it avoids) and *spike density* (above a few percent the
+event count approaches the state size and the dense product wins again).
+:class:`AutoBackend` closes that gap: the first time a synaptic-propagation
+call lands in a new ``(n_pre x n_post, density-band)`` bucket it times the
+candidate backends — dense, sparse, and numba when installed — on a copy of
+the live arrays, records the winner, and from then on dispatches every call
+in that bucket to it with nothing but a dict lookup on the hot path.
+
+Only :meth:`propagate_spikes` is profiled: it is where the crossover lives.
+The remaining kernels are inherited from the dense reference — they are
+elementwise or scatter updates whose cost differences between backends are
+small and roughly size-independent, and inheriting dense keeps auto within
+a few percent of the best fixed backend on the *small* networks where
+per-kernel overhead matters most.
+
+Profiles can be pinned for deterministic dispatch — a JSON file of
+``{"decisions": {bucket: backend}}`` loaded via :meth:`load_profile` or the
+``REPRO_AUTO_PROFILE`` environment variable; pinned buckets are never
+re-profiled, so a deployment (or a regression test) gets reproducible
+routing.  :meth:`save_profile` writes the learned decisions back out in the
+same format.
+
+Equivalence contract (``exact`` tier): every candidate is itself an
+exact-tier backend, so whichever wins a bucket, spike counts, predictions,
+and tallies are identical to the dense reference — profiling noise can
+never change *results*, only which equivalent kernel computes them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.backends.base import Backend
+from repro.backends.dense import DenseBackend
+from repro.backends.numba_backend import NumbaBackend
+from repro.backends.sparse import SparseEventBackend
+
+#: Environment variable naming a pinned profile file loaded at construction.
+PROFILE_ENV = "REPRO_AUTO_PROFILE"
+
+#: Upper bounds (inclusive) of the spike-density buckets, with their labels.
+DENSITY_BANDS: Tuple[Tuple[float, str], ...] = (
+    (0.01, "le1"),
+    (0.05, "le5"),
+    (0.20, "le20"),
+    (1.00, "gt20"),
+)
+
+#: Timing repetitions per candidate when profiling a bucket (best-of).
+PROFILE_REPEATS = 3
+
+
+def density_band(density: float) -> str:
+    """Label of the spike-density bucket ``density`` falls into."""
+    for bound, label in DENSITY_BANDS:
+        if density <= bound:
+            return label
+    return DENSITY_BANDS[-1][1]
+
+
+def propagation_bucket(n_pre: int, n_post: int, density: float) -> str:
+    """Stable profile key for a propagation call's workload shape."""
+    return f"propagate:{int(n_pre)}x{int(n_post)}:{density_band(density)}"
+
+
+class AutoBackend(DenseBackend):
+    """Profiling dispatcher over the fixed exact-tier backends."""
+
+    name = "auto"
+    description = (
+        "Auto-dispatch: profiles dense/sparse/numba once per "
+        "(network-size, spike-density) bucket and routes each propagation "
+        "call to the winner"
+    )
+
+    # Dispatched propagation may route to an event-driven candidate whose
+    # summation order differs from the dense product, so auto carries the
+    # sparse backend's double-precision bounds rather than dense's zero
+    # bounds (every candidate is exact-tier, so integer results are still
+    # identical whatever the routing).
+    state_rtol = 1e-9
+    state_atol = 1e-12
+
+    def __init__(self) -> None:
+        self._decisions: Dict[str, str] = {}
+        self._pinned: set = set()
+        self._lock = threading.Lock()
+        self._candidates: Optional[Dict[str, Backend]] = None
+        # Hot-path routing cache keyed by (n_pre, n_post, band-label): the
+        # profile/pinning API speaks human-readable bucket strings, but
+        # formatting one per propagation call would tax exactly the small
+        # networks auto exists to route well; dispatch pays only a tuple
+        # hash after a bucket's first call.
+        self._route: Dict[Tuple[int, int, str], Backend] = {}
+        profile_path = os.environ.get(PROFILE_ENV)
+        if profile_path:
+            self.load_profile(profile_path)
+
+    # -- profile management --------------------------------------------------
+
+    @property
+    def candidates(self) -> Dict[str, Backend]:
+        """The fixed backends this dispatcher chooses between (lazy)."""
+        if self._candidates is None:
+            candidates: Dict[str, Backend] = {
+                "dense": DenseBackend(),
+                "sparse": SparseEventBackend(),
+            }
+            if NumbaBackend.available():
+                candidates["numba"] = NumbaBackend()
+            self._candidates = candidates
+        return self._candidates
+
+    @property
+    def decisions(self) -> Dict[str, str]:
+        """Copy of the bucket -> backend routing table learned so far."""
+        with self._lock:
+            return dict(self._decisions)
+
+    def decision_for(self, n_pre: int, n_post: int,
+                     density: float) -> Optional[str]:
+        """The recorded winner for a workload shape (``None`` if unseen)."""
+        return self.decisions.get(propagation_bucket(n_pre, n_post, density))
+
+    def reset_profile(self) -> None:
+        """Forget every decision, pinned or learned (mainly for tests)."""
+        with self._lock:
+            self._decisions.clear()
+            self._pinned.clear()
+            self._route.clear()
+
+    def load_profile(self, path: Union[str, Path]) -> Dict[str, str]:
+        """Pin the decisions stored in the JSON profile at ``path``.
+
+        Pinned buckets are never re-profiled, making dispatch fully
+        deterministic for every bucket the file covers; buckets it does not
+        cover are still profiled live on first encounter.  Unknown backend
+        names are rejected so a stale profile cannot route to nothing.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        decisions = payload.get("decisions")
+        if not isinstance(decisions, dict):
+            raise ValueError(
+                f"auto-backend profile {path} has no 'decisions' object"
+            )
+        known = set(self.candidates)
+        for bucket, choice in decisions.items():
+            if choice not in known:
+                raise ValueError(
+                    f"auto-backend profile {path} routes {bucket!r} to "
+                    f"{choice!r}, which is not an available candidate "
+                    f"({', '.join(sorted(known))})"
+                )
+        with self._lock:
+            for bucket, choice in decisions.items():
+                self._decisions[str(bucket)] = str(choice)
+                self._pinned.add(str(bucket))
+            # Any hot-path cache entries predating the pin are stale now.
+            self._route.clear()
+        return {str(k): str(v) for k, v in decisions.items()}
+
+    def save_profile(self, path: Union[str, Path]) -> Path:
+        """Write the current routing table as a pinnable JSON profile."""
+        path = Path(path)
+        payload = {"version": 1, "decisions": self.decisions}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    # -- profiling -----------------------------------------------------------
+
+    def _profile_propagation(self, bucket: str, conductance, pre_spikes,
+                             weights) -> str:
+        """Time every candidate on copies of the live arrays; store winner."""
+        timings: List[Tuple[float, str]] = []
+        for name, candidate in self.candidates.items():
+            scratch = np.array(conductance, dtype=float)
+            # Warm pass outside the clock (numba pays JIT compilation on
+            # first call; the others populate allocator/cache state).
+            candidate.propagate_spikes(scratch, pre_spikes, weights)
+            best = float("inf")
+            for _ in range(PROFILE_REPEATS):
+                scratch = np.array(conductance, dtype=float)
+                start = time.perf_counter()
+                candidate.propagate_spikes(scratch, pre_spikes, weights)
+                best = min(best, time.perf_counter() - start)
+            timings.append((best, name))
+        winner = min(timings)[1]
+        with self._lock:
+            # A concurrent profiler or a pinned profile may have raced us in;
+            # first write (and any pin) wins so routing stays stable.
+            recorded = self._decisions.setdefault(bucket, winner)
+        return recorded
+
+    # -- dispatched kernels --------------------------------------------------
+
+    def propagate_spikes(self, conductance, pre_spikes, weights):
+        size = pre_spikes.size
+        events = int(np.count_nonzero(pre_spikes))
+        density = events / size if size else 0.0
+        key = (weights.shape[0], weights.shape[1], density_band(density))
+        target = self._route.get(key)
+        if target is None:
+            bucket = propagation_bucket(key[0], key[1], density)
+            choice = self._decisions.get(bucket)
+            if choice is None:
+                choice = self._profile_propagation(bucket, conductance,
+                                                   pre_spikes, weights)
+            target = self.candidates[choice]
+            self._route[key] = target
+        target.propagate_spikes(conductance, pre_spikes, weights)

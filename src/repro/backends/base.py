@@ -36,6 +36,10 @@ import abc
 import numpy as np
 
 
+#: Valid values of :attr:`Backend.equivalence_tier`.
+EQUIVALENCE_TIERS = ("exact", "tolerance")
+
+
 class Backend(abc.ABC):
     """Abstract kernel set behind the simulation engine's hot path."""
 
@@ -43,6 +47,28 @@ class Backend(abc.ABC):
     name: str = "abstract"
     #: One-line human-readable description (``repro backends list``).
     description: str = ""
+    #: Declared equivalence tier against the dense reference backend,
+    #: enforced by the conformance suite in ``tests/backends/``:
+    #:
+    #: ``"exact"``
+    #:     Spike counts, predictions, and ``OperationCounter`` tallies are
+    #:     *identical* to the dense reference; float state (membranes,
+    #:     conductances, traces) may differ only by summation-order rounding
+    #:     and must match within ``(state_rtol, state_atol)``.
+    #: ``"tolerance"``
+    #:     Counts, predictions, and tallies are still identical, but float
+    #:     state is computed at reduced precision and only has to agree
+    #:     within the (much wider) declared bounds.
+    equivalence_tier: str = "exact"
+    #: Relative/absolute bounds the backend's float state must satisfy
+    #: against the dense reference (``0.0`` means bit-for-bit).
+    state_rtol: float = 1e-9
+    state_atol: float = 1e-12
+    #: dtype the backend keeps rebound float state in.  Callers that follow
+    #: the rebinding contract end up holding state of this dtype, which is
+    #: how the float32 backend halves the dynamic-state footprint without
+    #: the orchestration layer allocating anything differently.
+    state_dtype = np.float64
 
     @classmethod
     def available(cls) -> bool:
@@ -131,6 +157,7 @@ class Backend(abc.ABC):
             "name": self.name,
             "description": self.description,
             "available": type(self).available(),
+            "tier": self.equivalence_tier,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,170 @@
+"""Single-precision backend: half-memory dynamic state, tolerance-tier floats.
+
+:class:`Float32Backend` runs every state-update kernel in ``np.float32``.
+The orchestration layers allocate float64 buffers as always, but because the
+kernel contract is *return the array holding the result and callers rebind*,
+the first timestep's kernels hand back float32 arrays and from then on all
+dynamic state — membrane potentials, refractory timers, adaptation
+thresholds, conductances, spike traces — lives at half the memory footprint.
+That is the point of this backend: a serving replica's per-worker state
+(and the per-sample state of a large inference batch) shrinks by 2x, which
+is what lets twice as many replicas fit on the same host.
+
+Synaptic *weights* deliberately stay at float64: they are the learned
+artifact, shared with every other backend, and keeping them at artifact
+precision is what keeps artifacts backend-agnostic.  The propagation and
+STDP kernels therefore gather only the rows/columns touched by spikes and
+downcast just those (``O(events * fanout)`` per step, never a full-matrix
+cast), reusing the event-driven structure of
+:class:`~repro.backends.sparse.SparseEventBackend`.
+
+Equivalence contract (the ``tolerance`` tier, enforced by the conformance
+suite in ``tests/backends/``):
+
+* spike counts, predictions, and ``OperationCounter`` tallies are asserted
+  *identical* to the dense float64 reference on the committed workloads —
+  membrane trajectories sit far enough from the firing threshold that
+  single-precision rounding does not flip spike decisions there;
+* float state (membranes, traces, conductances, theta, learned weights
+  after float32 training) only has to agree within ``(state_rtol,
+  state_atol)``.
+
+Inside the backend, the single-sample and batched propagation paths sum the
+gathered weight rows with the same sequential ``np.add.reduceat``
+accumulation, so batched and sequential runs of *this* backend stay
+bit-for-bit identical to each other — the same invariant the other backends
+provide, just at float32 precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.dense import DenseBackend
+
+_ZERO = np.float32(0.0)
+
+
+def _f32(array: np.ndarray) -> np.ndarray:
+    """View/convert ``array`` as float32 (no copy when already float32)."""
+    return np.asarray(array, dtype=np.float32)
+
+
+class Float32Backend(DenseBackend):
+    """Single-precision kernels: half-memory state, tolerance-tier floats."""
+
+    name = "float32"
+    description = (
+        "Single-precision (float32) kernels; dynamic state uses half the "
+        "memory, counts/predictions stay exact, float state is "
+        "tolerance-tier"
+    )
+    equivalence_tier = "tolerance"
+    state_rtol = 1e-4
+    state_atol = 1e-5
+    state_dtype = np.float32
+
+    # -- neuron kernels ------------------------------------------------------
+
+    def lif_step(self, v, refrac_remaining, input_current, threshold, *,
+                 decay, v_rest, v_reset, refractory, dt):
+        v = _f32(v)
+        refrac_remaining = _f32(refrac_remaining)
+        input_current = _f32(input_current)
+        threshold = _f32(threshold)
+        decay = np.float32(decay)
+        v_rest = np.float32(v_rest)
+        v_reset = np.float32(v_reset)
+        refractory = np.float32(refractory)
+        dt = np.float32(dt)
+
+        v = v_rest + (v - v_rest) * decay
+        active = refrac_remaining <= _ZERO
+        v = np.where(active, v + input_current * dt, v)
+        spikes = active & (v >= threshold)
+        v = np.where(spikes, v_reset, v)
+        refrac_remaining = np.where(
+            spikes, refractory, np.maximum(refrac_remaining - dt, _ZERO)
+        )
+        return v, spikes, refrac_remaining
+
+    def theta_step(self, theta, spikes, *, decay, theta_plus):
+        theta = _f32(theta) * np.float32(decay)
+        if theta_plus > 0.0:
+            theta = theta + np.float32(theta_plus) * spikes
+        return theta
+
+    # -- synapse kernels -----------------------------------------------------
+
+    def decay_state(self, values, decay):
+        values = _f32(values)
+        values *= np.float32(decay)
+        return values
+
+    def propagate_spikes(self, conductance, pre_spikes, weights):
+        if pre_spikes.ndim == 1:
+            active = np.flatnonzero(pre_spikes)
+            if active.size:
+                rows = weights[active].astype(np.float32)
+                # Single-segment reduceat keeps the accumulation order
+                # identical to the batched path below, so batched and
+                # sequential float32 runs stay bit-for-bit equal.
+                conductance += np.add.reduceat(
+                    rows, np.array([0]), axis=0
+                )[0]
+            return
+        samples, pres = np.nonzero(pre_spikes)
+        if not samples.size:
+            return
+        rows = weights[pres].astype(np.float32)
+        offsets = np.concatenate(([0], np.flatnonzero(np.diff(samples)) + 1))
+        conductance[samples[offsets]] += np.add.reduceat(rows, offsets, axis=0)
+
+    def propagate_lateral(self, conductance, spikes, strength):
+        strength = np.float32(strength)
+        if spikes.ndim == 1:
+            n_spiking = int(np.count_nonzero(spikes))
+            if n_spiking:
+                total = strength * np.float32(n_spiking)
+                conductance += total - strength * spikes.astype(np.float32)
+        elif spikes.any():
+            totals = strength * spikes.sum(axis=1, dtype=np.float32)
+            conductance += totals[:, None] - strength * spikes.astype(np.float32)
+
+    # -- trace kernels -------------------------------------------------------
+
+    def bump_trace(self, values, spikes, increment, mode):
+        values = _f32(values)
+        if mode == "set":
+            return np.where(spikes, np.float32(increment), values)
+        return values + np.float32(increment) * spikes
+
+    # -- STDP weight-update kernels ------------------------------------------
+
+    def stdp_potentiation(self, pre_trace, post_spikes, weights, *,
+                          nu, w_max, soft_bounds):
+        delta = np.zeros(weights.shape, dtype=np.float32)
+        active = np.flatnonzero(post_spikes)
+        if active.size:
+            column = np.float32(nu) * _f32(pre_trace)
+            if soft_bounds:
+                delta[:, active] = column[:, None] * (
+                    np.float32(w_max) - weights[:, active].astype(np.float32)
+                )
+            else:
+                delta[:, active] = column[:, None]
+        return delta
+
+    def stdp_depression(self, pre_spikes, post_trace, weights, *,
+                        nu, w_min, soft_bounds):
+        delta = np.zeros(weights.shape, dtype=np.float32)
+        active = np.flatnonzero(pre_spikes)
+        if active.size:
+            row = np.float32(nu) * _f32(post_trace)
+            if soft_bounds:
+                delta[active, :] = row[None, :] * (
+                    weights[active, :].astype(np.float32) - np.float32(w_min)
+                )
+            else:
+                delta[active, :] = row[None, :]
+        return -delta

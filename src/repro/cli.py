@@ -31,8 +31,9 @@ driven without writing Python:
     ``GET /v1/metrics``), optionally sharded across worker processes
     (``--shards``), with the pre-1.7 endpoints kept as deprecated aliases.
 ``spikedyn-repro backends``
-    List the registered compute backends (dense reference kernels, sparse
-    event-driven kernels, ...) and their availability.
+    List the registered compute backends (dense reference, sparse
+    event-driven, float32 half-memory, numba JIT, auto dispatch) with
+    their availability and equivalence tier.
 ``spikedyn-repro cache``
     Inspect or clear the on-disk result cache.
 ``spikedyn-repro ledger``
@@ -659,9 +660,10 @@ def _cmd_backends(args: argparse.Namespace) -> int:
         rows.append([
             info["name"],
             "yes" if info["available"] else "no",
+            info["tier"],
             info["description"],
         ])
-    print(format_table(["backend", "available", "description"], rows))
+    print(format_table(["backend", "available", "tier", "description"], rows))
     return 0
 
 

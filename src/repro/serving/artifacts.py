@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Tuple, Type, Union
 
 import numpy as np
 
+from repro.backends import available_backends, describe_backend
 from repro.core.config import SpikeDynConfig
 from repro.models.asp_model import ASPModel
 from repro.models.base import (
@@ -136,9 +137,21 @@ class ModelArtifact:
                 f"{self.model_name!r}; known models: {known}"
             )
         cls = MODEL_CLASSES[self.model_name]
-        build_kwargs: Dict[str, object] = {
-            "backend": self.backend if backend is None else backend
-        }
+        build_backend = self.backend if backend is None else backend
+        # Loading an artifact that records an unavailable backend succeeds
+        # (the arrays are backend-agnostic), but rebuilding on it cannot:
+        # fail here with the artifact context and the override escape hatch
+        # instead of letting the registry's bare RuntimeError surface.
+        info = describe_backend(build_backend)
+        if not info["available"]:
+            usable = ", ".join(sorted(available_backends()))
+            raise ArtifactError(
+                f"artifact at {self.path} records compute backend "
+                f"{build_backend!r}, which is registered but not available "
+                f"in this environment; rebuild with build_model(backend=...) "
+                f"on an available backend ({usable})"
+            )
+        build_kwargs: Dict[str, object] = {"backend": build_backend}
         if eval_batch_size is not None:
             build_kwargs["eval_batch_size"] = eval_batch_size
         model = cls(self.config, **build_kwargs)

@@ -181,7 +181,12 @@ class Connection:
         spiking sample (bit-for-bit identical to the sequential path), while
         the sparse backend gathers only the spiking weight rows.
         """
-        self.backend.decay_state(self.conductance, np.exp(-dt / self.tau_syn))
+        # Rebind per the kernel contract: backends running at a different
+        # state dtype (float32) hand back a converted array here, after
+        # which the conductance stays at the backend's precision.
+        self.conductance = self.backend.decay_state(
+            self.conductance, np.exp(-dt / self.tau_syn)
+        )
         self.backend.propagate_spikes(self.conductance, self.pre.spikes,
                                       self.weights)
         if counter is not None:
@@ -332,7 +337,9 @@ class UniformLateralInhibition:
     def propagate(self, dt: float,
                   counter: Optional[OperationCounter] = None) -> np.ndarray:
         """Advance the conductance and return the (negative) lateral current."""
-        self.backend.decay_state(self.conductance, np.exp(-dt / self.tau_syn))
+        self.conductance = self.backend.decay_state(
+            self.conductance, np.exp(-dt / self.tau_syn)
+        )
         self.backend.propagate_lateral(self.conductance, self.pre.spikes,
                                        self.strength)
         if counter is not None:

@@ -95,7 +95,8 @@ class SpikeTrace:
 
     def decay(self, dt: float, counter: Optional[OperationCounter] = None) -> None:
         """Apply one timestep of exponential decay."""
-        self.backend.decay_state(self.values, np.exp(-dt / self.tau))
+        self.values = self.backend.decay_state(self.values,
+                                               np.exp(-dt / self.tau))
         if counter is not None:
             batch = self._batch_size if self._batch_size is not None else 1
             counter.add(exponential_ops=self.n * batch, trace_updates=self.n * batch)

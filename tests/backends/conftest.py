@@ -1,0 +1,63 @@
+"""Shared fixtures for the backend-conformance suite.
+
+The conformance tests are parametrized over *every* backend that reports
+itself available in this environment, so a new backend registered through
+``repro.backends`` is picked up automatically — including optional-dependency
+backends like ``numba``, which simply drop out of the parametrization on
+machines where the import probe fails (their registered-but-unavailable
+behaviour is covered separately).
+
+Tolerances come from the backend classes themselves: each backend declares
+an equivalence tier (``exact`` or ``tolerance``) plus ``state_rtol`` /
+``state_atol`` bounds for its float state, and :func:`assert_state_close`
+applies exactly those bounds — bit-for-bit when a backend claims zero
+tolerance (the dense reference), ``allclose`` otherwise.  Integer results
+(spike counts, predictions, operation tallies) are never toleranced; every
+tier must reproduce them exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, get_backend
+
+#: Names of every backend usable in this environment, in registration order.
+#: Computed at collection time so the parametrized tests enumerate exactly
+#: what ``repro backends list`` would report as available.
+AVAILABLE_BACKEND_NAMES = list(available_backends())
+
+
+@pytest.fixture(params=AVAILABLE_BACKEND_NAMES)
+def backend_name(request) -> str:
+    """Every available backend name, one parametrized case each."""
+    return request.param
+
+
+@pytest.fixture
+def backend(backend_name: str):
+    """The shared registry instance for ``backend_name``."""
+    return get_backend(backend_name)
+
+
+def assert_state_close(backend, actual, desired, err_msg: str = "") -> None:
+    """Assert float state agreement at ``backend``'s declared tolerance.
+
+    A backend declaring zero tolerance (``state_rtol == state_atol == 0.0``,
+    i.e. the dense reference) is held to bit-for-bit equality; every other
+    backend is held to its own ``state_rtol`` / ``state_atol`` bounds.
+    """
+    rtol = type(backend).state_rtol
+    atol = type(backend).state_atol
+    if rtol == 0.0 and atol == 0.0:
+        np.testing.assert_array_equal(actual, desired, err_msg=err_msg)
+    else:
+        np.testing.assert_allclose(actual, desired, rtol=rtol, atol=atol,
+                                   err_msg=err_msg)
+
+
+@pytest.fixture(name="assert_state_close")
+def assert_state_close_fixture():
+    """Function-fixture alias so test modules need no conftest import."""
+    return assert_state_close

@@ -1,0 +1,274 @@
+"""Backend-conformance suite: every available backend vs the dense reference.
+
+Auto-parametrized over :func:`repro.backends.available_backends` (see
+``conftest.py``), so registering a new backend automatically enrolls it here.
+Each backend is held to its *declared* equivalence tier:
+
+* ``exact`` (dense, sparse, numba, auto) — spike decisions, counts,
+  predictions, and operation tallies are bit-identical to the dense
+  reference; float state may differ only by summation-order rounding
+  (``state_rtol``/``state_atol`` at double-precision tightness; zero for
+  dense itself).
+* ``tolerance`` (float32) — integer results are *still* exact; float state
+  is held to the backend's own single-precision bounds.
+
+The suite checks three layers: individual kernels against their dense
+counterparts, batched-vs-sequential agreement within each backend, and a
+full golden-trace replay against the committed fixture.  A final test pins
+the registry's degradation contract for backends whose ``available()``
+probe fails.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    DenseBackend,
+    available_backends,
+    describe_backend,
+    get_backend,
+    register_backend,
+)
+from repro.core.config import SpikeDynConfig
+from repro.models.spikedyn_model import SpikeDynModel
+
+DENSE = get_backend("dense")
+
+_TESTS_DIR = Path(__file__).resolve().parents[1]
+
+
+def _load_golden_trace_module():
+    """Import ``tests/snn/test_golden_trace.py`` (tests are not a package)."""
+    path = _TESTS_DIR / "snn" / "test_golden_trace.py"
+    spec = importlib.util.spec_from_file_location("golden_trace_module", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _spikes(shape, density, seed):
+    return np.random.default_rng(seed).random(shape) < density
+
+
+class TestDeclaredTiers:
+    def test_every_backend_declares_a_known_tier(self, backend):
+        from repro.backends.base import EQUIVALENCE_TIERS
+
+        assert backend.equivalence_tier in EQUIVALENCE_TIERS
+        assert describe_backend(backend.name)["tier"] == backend.equivalence_tier
+
+    def test_exact_tier_backends_have_double_precision_bounds(self, backend):
+        if backend.equivalence_tier != "exact":
+            pytest.skip("tolerance-tier backend")
+        assert type(backend).state_rtol <= 1e-9
+        assert type(backend).state_atol <= 1e-12
+
+
+@pytest.mark.parametrize("batched", [False, True])
+class TestNeuronKernelConformance:
+    def test_lif_step_spikes_are_exact_and_state_is_in_tier(
+            self, backend, assert_state_close, batched):
+        rng = np.random.default_rng(21)
+        shape = (4, 9) if batched else (9,)
+        v = rng.uniform(-70, -50, shape)
+        refrac = rng.choice([0.0, 2.0], shape)
+        current = rng.uniform(0, 30, shape)
+        threshold = np.full(shape[-1], -54.0)
+        kwargs = dict(decay=0.98, v_rest=-65.0, v_reset=-65.0,
+                      refractory=5.0, dt=1.0)
+        ref_v, ref_spk, ref_ref = DENSE.lif_step(
+            v.copy(), refrac.copy(), current, threshold, **kwargs)
+        got_v, got_spk, got_ref = backend.lif_step(
+            v.copy(), refrac.copy(), current, threshold, **kwargs)
+        # Spike decisions are boolean results: exact for every tier.
+        np.testing.assert_array_equal(got_spk, ref_spk)
+        assert_state_close(backend, got_v, ref_v, "membrane potential")
+        assert_state_close(backend, got_ref, ref_ref, "refractory clocks")
+
+    def test_theta_step_conforms(self, backend, assert_state_close, batched):
+        rng = np.random.default_rng(22)
+        shape = (3, 8) if batched else (8,)
+        theta = rng.uniform(0, 1, shape)
+        spikes = _spikes(shape, 0.3, seed=23)
+        reference = DENSE.theta_step(theta.copy(), spikes,
+                                     decay=0.999, theta_plus=0.05)
+        actual = backend.theta_step(theta.copy(), spikes,
+                                    decay=0.999, theta_plus=0.05)
+        assert_state_close(backend, actual, reference, "theta")
+
+    def test_decay_state_conforms(self, backend, assert_state_close, batched):
+        shape = (2, 6) if batched else (6,)
+        values = np.random.default_rng(24).uniform(0, 2, shape)
+        reference = DENSE.decay_state(values.copy(), 0.9048374180359595)
+        actual = backend.decay_state(values.copy(), 0.9048374180359595)
+        assert_state_close(backend, actual, reference, "decayed state")
+
+
+@pytest.mark.parametrize("density", [0.0, 0.03, 0.5, 1.0])
+@pytest.mark.parametrize("batched", [False, True])
+class TestPropagationConformance:
+    def test_propagate_spikes_conforms(self, backend, assert_state_close,
+                                       density, batched):
+        rng = np.random.default_rng(25)
+        n_pre, n_post, batch = 37, 11, 5
+        shape = (batch, n_pre) if batched else (n_pre,)
+        spikes = _spikes(shape, density, seed=26)
+        weights = rng.random((n_pre, n_post))
+        cond_shape = (batch, n_post) if batched else (n_post,)
+        seed_cond = rng.random(cond_shape)
+        reference = seed_cond.copy()
+        DENSE.propagate_spikes(reference, spikes, weights)
+        actual = np.asarray(seed_cond, dtype=backend.state_dtype).copy()
+        backend.propagate_spikes(actual, spikes, weights)
+        assert_state_close(backend, actual, reference, "conductance")
+
+    def test_propagate_lateral_conforms(self, backend, assert_state_close,
+                                        density, batched):
+        rng = np.random.default_rng(27)
+        n, batch = 23, 4
+        shape = (batch, n) if batched else (n,)
+        spikes = _spikes(shape, density, seed=28)
+        seed_cond = rng.random(shape)
+        reference = seed_cond.copy()
+        DENSE.propagate_lateral(reference, spikes, 17.0)
+        actual = np.asarray(seed_cond, dtype=backend.state_dtype).copy()
+        backend.propagate_lateral(actual, spikes, 17.0)
+        assert_state_close(backend, actual, reference, "lateral conductance")
+
+
+@pytest.mark.parametrize("mode", ["set", "add"])
+class TestTraceKernelConformance:
+    def test_bump_trace_conforms(self, backend, assert_state_close, mode):
+        rng = np.random.default_rng(29)
+        values = rng.uniform(0, 1, 12)
+        spikes = _spikes((12,), 0.25, seed=30)
+        reference = DENSE.bump_trace(values.copy(), spikes, 1.0, mode)
+        actual = backend.bump_trace(values.copy(), spikes, 1.0, mode)
+        assert_state_close(backend, actual, reference, "trace values")
+
+
+@pytest.mark.parametrize("soft_bounds", [True, False])
+class TestSTDPKernelConformance:
+    def test_potentiation_conforms(self, backend, assert_state_close,
+                                   soft_bounds):
+        rng = np.random.default_rng(31)
+        n_pre, n_post = 15, 7
+        pre_trace = rng.uniform(0, 1, n_pre)
+        post_spikes = _spikes((n_post,), 0.4, seed=32)
+        weights = rng.uniform(0, 1, (n_pre, n_post))
+        reference = DENSE.stdp_potentiation(
+            pre_trace, post_spikes, weights,
+            nu=1e-2, w_max=1.0, soft_bounds=soft_bounds)
+        actual = backend.stdp_potentiation(
+            pre_trace, post_spikes, weights,
+            nu=1e-2, w_max=1.0, soft_bounds=soft_bounds)
+        assert_state_close(backend, actual, reference, "potentiation delta")
+        # Sparsity structure is exact in every tier: quiet columns are zero.
+        np.testing.assert_array_equal(np.asarray(actual)[:, ~post_spikes], 0.0)
+
+    def test_depression_conforms(self, backend, assert_state_close,
+                                 soft_bounds):
+        rng = np.random.default_rng(33)
+        n_pre, n_post = 15, 7
+        pre_spikes = _spikes((n_pre,), 0.4, seed=34)
+        post_trace = rng.uniform(0, 1, n_post)
+        weights = rng.uniform(0, 1, (n_pre, n_post))
+        reference = DENSE.stdp_depression(
+            pre_spikes, post_trace, weights,
+            nu=1e-4, w_min=0.0, soft_bounds=soft_bounds)
+        actual = backend.stdp_depression(
+            pre_spikes, post_trace, weights,
+            nu=1e-4, w_min=0.0, soft_bounds=soft_bounds)
+        assert_state_close(backend, actual, reference, "depression delta")
+        np.testing.assert_array_equal(np.asarray(actual)[~pre_spikes], 0.0)
+
+
+class TestBatchedVersusSequential:
+    """Within one backend, batched and sequential inference must agree.
+
+    Spike counts are integers, so they are asserted exactly for every tier —
+    including float32, whose 1-D and batched propagation paths are built on
+    the same segment-sum so single-precision rounding cannot differ between
+    them.
+    """
+
+    def test_respond_batch_matches_sequential_respond(self, backend_name):
+        config = SpikeDynConfig.scaled_down(
+            n_input=64, n_exc=10, t_sim=30.0, seed=17, backend=backend_name
+        )
+        images = np.random.default_rng(17).random((6, 64)) * 0.7
+        batched = SpikeDynModel(config).respond_batch(images)
+        sequential_model = SpikeDynModel(config)
+        sequential = np.stack([sequential_model.respond(image)
+                               for image in images])
+        np.testing.assert_array_equal(batched, sequential)
+
+
+class TestGoldenTraceReplay:
+    """Every available backend replays the committed golden trace.
+
+    Spike counts must be bit-exact for *all* tiers; learned weights and
+    adapted thresholds are held to each backend's declared state tolerance.
+    """
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        module = _load_golden_trace_module()
+        return module, dict(np.load(module.FIXTURE))
+
+    def test_backend_replays_the_fixture(self, backend, backend_name,
+                                         assert_state_close, golden):
+        module, expected = golden
+        actual = module.compute_trace(backend=backend_name)
+        np.testing.assert_array_equal(
+            actual["inference_counts"], expected["inference_counts"],
+            err_msg=f"{backend_name}: inference counts diverged",
+        )
+        np.testing.assert_array_equal(
+            actual["learning_counts"], expected["learning_counts"],
+            err_msg=f"{backend_name}: learning counts diverged",
+        )
+        assert_state_close(backend, actual["final_weights"],
+                           expected["final_weights"],
+                           f"{backend_name}: learned weights")
+        assert_state_close(backend, actual["final_theta"],
+                           expected["final_theta"],
+                           f"{backend_name}: adapted theta")
+
+
+class TestUnavailableBackendDegradation:
+    """A backend whose ``available()`` probe fails degrades cleanly.
+
+    It stays *registered* (visible, describable) but is excluded from the
+    conformance parametrization source and cannot be instantiated through
+    the registry — the same contract the numba backend follows on machines
+    without the optional dependency.
+    """
+
+    def test_stub_backend_is_registered_but_not_available(self):
+        class Stub(DenseBackend):
+            name = "conformance-stub"
+            description = "import probe always fails"
+
+            @classmethod
+            def available(cls):
+                return False
+
+        register_backend(Stub)
+        try:
+            assert "conformance-stub" not in available_backends()
+            assert "conformance-stub" not in list(available_backends())
+            info = describe_backend("conformance-stub")
+            assert info["available"] is False
+            assert info["tier"] == "exact"
+            with pytest.raises(RuntimeError, match="not available"):
+                get_backend("conformance-stub")
+        finally:
+            from repro import backends as backends_module
+
+            backends_module._REGISTRY.pop("conformance-stub", None)

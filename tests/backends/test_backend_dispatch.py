@@ -1,0 +1,208 @@
+"""Regression tests for the auto backend's profiling dispatcher.
+
+Two families: *live profiling* — on workload shapes with a decisive winner,
+the profiler must route below-crossover geometries to dense and large
+sparse-activity geometries away from dense — and *pinned profiles* — a
+routing table loaded from JSON (directly or via ``REPRO_AUTO_PROFILE``)
+makes dispatch fully deterministic: pinned buckets are never re-profiled
+and every call in them goes to the pinned candidate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend
+from repro.backends.auto import (
+    PROFILE_ENV,
+    AutoBackend,
+    density_band,
+    propagation_bucket,
+)
+
+
+class _Recorder:
+    """Wraps a candidate backend and counts propagate_spikes deliveries."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def propagate_spikes(self, conductance, pre_spikes, weights):
+        self.calls += 1
+        return self.inner.propagate_spikes(conductance, pre_spikes, weights)
+
+
+def _workload(n_pre, n_post, events, seed=0):
+    rng = np.random.default_rng(seed)
+    spikes = np.zeros(n_pre, dtype=bool)
+    spikes[rng.choice(n_pre, size=events, replace=False)] = True
+    weights = rng.random((n_pre, n_post))
+    conductance = np.zeros(n_post)
+    return conductance, spikes, weights
+
+
+class TestBucketing:
+    def test_density_bands_partition_the_unit_interval(self):
+        assert density_band(0.0) == "le1"
+        assert density_band(0.01) == "le1"
+        assert density_band(0.02) == "le5"
+        assert density_band(0.05) == "le5"
+        assert density_band(0.12) == "le20"
+        assert density_band(0.5) == "gt20"
+        assert density_band(1.0) == "gt20"
+
+    def test_bucket_key_is_stable_and_readable(self):
+        assert propagation_bucket(784, 400, 0.03) == "propagate:784x400:le5"
+
+    def test_decision_for_reports_unseen_buckets_as_none(self):
+        auto = AutoBackend()
+        assert auto.decision_for(999, 999, 0.5) is None
+
+
+class TestLiveProfiling:
+    def test_below_crossover_selects_dense(self):
+        # Tiny geometry at full density: the BLAS product over a 32x8
+        # matrix beats any gather/segment-sum of all 32 rows.
+        auto = AutoBackend()
+        conductance, spikes, weights = _workload(32, 8, events=32)
+        auto.propagate_spikes(conductance, spikes, weights)
+        assert auto.decision_for(32, 8, 1.0) == "dense"
+
+    def test_above_crossover_avoids_dense(self):
+        # Large geometry with ~0.4% activity: touching 4 of 1024 weight
+        # rows beats a full 1024x512 product by orders of magnitude, so
+        # whichever event-driven candidate wins, it is not dense.
+        auto = AutoBackend()
+        conductance, spikes, weights = _workload(1024, 512, events=4)
+        auto.propagate_spikes(conductance, spikes, weights)
+        assert auto.decision_for(1024, 512, 4 / 1024) in ("sparse", "numba")
+
+    def test_profiling_happens_once_per_bucket(self):
+        auto = AutoBackend()
+        conductance, spikes, weights = _workload(48, 6, events=10, seed=3)
+        auto.propagate_spikes(conductance.copy(), spikes, weights)
+        first = auto.decisions
+        assert list(first) == [propagation_bucket(48, 6, 10 / 48)]
+        # Same bucket, different arrays: the decision table must not grow
+        # or change — dispatch is a dict lookup from here on.
+        _, spikes2, weights2 = _workload(48, 6, events=11, seed=4)
+        auto.propagate_spikes(conductance.copy(), spikes2, weights2)
+        assert auto.decisions == first
+
+    def test_dispatch_results_match_dense_exactly(self):
+        auto = AutoBackend()
+        dense = get_backend("dense")
+        for seed in range(3):
+            conductance, spikes, weights = _workload(64, 16, events=12,
+                                                     seed=seed)
+            reference = conductance.copy()
+            dense.propagate_spikes(reference, spikes, weights)
+            auto.propagate_spikes(conductance, spikes, weights)
+            np.testing.assert_allclose(conductance, reference,
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_reset_profile_forgets_decisions(self):
+        auto = AutoBackend()
+        conductance, spikes, weights = _workload(16, 4, events=2, seed=5)
+        auto.propagate_spikes(conductance, spikes, weights)
+        assert auto.decisions
+        auto.reset_profile()
+        assert auto.decisions == {}
+
+
+class TestPinnedProfiles:
+    def _write_profile(self, path, decisions):
+        path.write_text(json.dumps({"version": 1, "decisions": decisions}))
+        return path
+
+    def test_pinned_bucket_is_honored_without_reprofiling(self, tmp_path):
+        bucket = propagation_bucket(40, 12, 1.0)
+        profile = self._write_profile(tmp_path / "profile.json",
+                                      {bucket: "sparse"})
+        auto = AutoBackend()
+        auto.load_profile(profile)
+        # Instrument both candidates; a profiling pass would hit *every*
+        # candidate, honored pinning hits only the pinned one.
+        recorders = {name: _Recorder(auto.candidates[name])
+                     for name in list(auto.candidates)}
+        auto.candidates.update(recorders)
+        conductance, spikes, weights = _workload(40, 12, events=40, seed=7)
+        auto.propagate_spikes(conductance, spikes, weights)
+        auto.propagate_spikes(conductance, spikes, weights)
+        assert recorders["sparse"].calls == 2
+        assert recorders["dense"].calls == 0
+        assert auto.decisions[bucket] == "sparse"
+
+    def test_pinned_dispatch_is_deterministic_across_instances(self, tmp_path):
+        bucket = propagation_bucket(40, 12, 1.0)
+        profile = self._write_profile(tmp_path / "profile.json",
+                                      {bucket: "dense"})
+        decision_tables = []
+        for _ in range(2):
+            auto = AutoBackend()
+            auto.load_profile(profile)
+            conductance, spikes, weights = _workload(40, 12, events=40,
+                                                     seed=8)
+            auto.propagate_spikes(conductance, spikes, weights)
+            decision_tables.append(auto.decisions)
+        assert decision_tables[0] == decision_tables[1] == {bucket: "dense"}
+
+    def test_environment_variable_pins_at_construction(self, tmp_path,
+                                                       monkeypatch):
+        bucket = propagation_bucket(24, 8, 1.0)
+        profile = self._write_profile(tmp_path / "env_profile.json",
+                                      {bucket: "sparse"})
+        monkeypatch.setenv(PROFILE_ENV, str(profile))
+        auto = AutoBackend()
+        assert auto.decisions == {bucket: "sparse"}
+
+    def test_unknown_candidate_in_profile_is_rejected(self, tmp_path):
+        profile = self._write_profile(tmp_path / "bad.json",
+                                      {"propagate:8x8:le1": "quantum"})
+        auto = AutoBackend()
+        with pytest.raises(ValueError, match="quantum"):
+            auto.load_profile(profile)
+
+    def test_profile_without_decisions_is_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"version": 1}))
+        with pytest.raises(ValueError, match="decisions"):
+            AutoBackend().load_profile(path)
+
+    def test_save_load_round_trip(self, tmp_path):
+        auto = AutoBackend()
+        conductance, spikes, weights = _workload(20, 5, events=3, seed=9)
+        auto.propagate_spikes(conductance, spikes, weights)
+        learned = auto.decisions
+        assert learned
+        saved = auto.save_profile(tmp_path / "learned.json")
+        payload = json.loads(saved.read_text())
+        assert payload == {"version": 1, "decisions": learned}
+        replica = AutoBackend()
+        replica.load_profile(saved)
+        assert replica.decisions == learned
+
+
+class TestAutoInTheEngine:
+    def test_auto_model_matches_dense_counts_and_tallies(self):
+        from repro.core.config import SpikeDynConfig
+        from repro.models.spikedyn_model import SpikeDynModel
+
+        def build(backend):
+            config = SpikeDynConfig.scaled_down(
+                n_input=64, n_exc=10, t_sim=30.0, seed=13, backend=backend
+            )
+            return SpikeDynModel(config)
+
+        images = np.random.default_rng(13).random((5, 64)) * 0.7
+        dense_model = build("dense")
+        dense_counts = dense_model.respond_batch(images)
+        auto_model = build("auto")
+        auto_counts = auto_model.respond_batch(images)
+        np.testing.assert_array_equal(auto_counts, dense_counts)
+        assert auto_model.counter.as_dict() == dense_model.counter.as_dict()
+        assert auto_model.backend_name == "auto"

@@ -1,0 +1,106 @@
+"""Numba backend: optional-dependency degradation and compiled-path checks.
+
+The degradation contract is testable everywhere: ``available()`` mirrors the
+import probe, the backend stays registered either way, and on stdlib-only
+installs (no numba) instantiating it through the registry raises
+``RuntimeError`` while everything else — listing, describing, configs and
+artifacts that merely *name* it — keeps working.
+
+The compiled-path tests are skipped when numba is missing; CI runs them on
+a dedicated leg with numba installed.  They only smoke the backend wiring
+(instantiation, kernel chain, engine integration) — full numerical coverage
+comes from the conformance suite, which auto-enrolls numba whenever it is
+available.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    NumbaBackend,
+    available_backends,
+    describe_backend,
+    get_backend,
+)
+from repro.core.config import SpikeDynConfig
+from repro.models.spikedyn_model import SpikeDynModel
+
+NUMBA_INSTALLED = importlib.util.find_spec("numba") is not None
+
+needs_numba = pytest.mark.skipif(not NUMBA_INSTALLED,
+                                 reason="numba not installed")
+needs_no_numba = pytest.mark.skipif(NUMBA_INSTALLED,
+                                    reason="numba is installed")
+
+
+class TestDegradation:
+    def test_available_mirrors_the_import_probe(self):
+        assert NumbaBackend.available() is NUMBA_INSTALLED
+
+    def test_registration_is_unconditional(self):
+        info = describe_backend("numba")
+        assert info["name"] == "numba"
+        assert info["tier"] == "exact"
+        assert info["available"] is NUMBA_INSTALLED
+
+    def test_availability_listing_tracks_the_probe(self):
+        assert ("numba" in available_backends()) is NUMBA_INSTALLED
+
+    @needs_no_numba
+    def test_get_backend_raises_runtime_error_without_numba(self):
+        with pytest.raises(RuntimeError, match="not available"):
+            get_backend("numba")
+
+    @needs_no_numba
+    def test_direct_instantiation_raises_without_numba(self):
+        with pytest.raises(RuntimeError, match="numba"):
+            NumbaBackend()
+
+    def test_configs_may_name_numba_regardless_of_availability(self):
+        # Selection is validated by *name*; availability is enforced when
+        # kernels are actually built, so a config naming numba can be
+        # created (and shipped in an artifact) on any machine.
+        config = SpikeDynConfig.scaled_down(n_input=16, n_exc=4,
+                                            backend="numba")
+        assert config.backend == "numba"
+
+
+@needs_numba
+class TestCompiledKernels:
+    def test_backend_instantiates_and_compiles(self):
+        backend = get_backend("numba")
+        assert backend.name == "numba"
+        assert backend.equivalence_tier == "exact"
+
+    def test_lif_step_matches_dense_bitwise(self):
+        dense = get_backend("dense")
+        numba = get_backend("numba")
+        rng = np.random.default_rng(61)
+        v = rng.uniform(-70, -50, (3, 9))
+        refrac = rng.choice([0.0, 2.0], (3, 9))
+        current = rng.uniform(0, 30, (3, 9))
+        threshold = np.full(9, -54.0)
+        kwargs = dict(decay=0.98, v_rest=-65.0, v_reset=-65.0,
+                      refractory=5.0, dt=1.0)
+        ref = dense.lif_step(v.copy(), refrac.copy(), current, threshold,
+                             **kwargs)
+        got = numba.lif_step(v.copy(), refrac.copy(), current, threshold,
+                             **kwargs)
+        for got_arr, ref_arr in zip(got, ref):
+            np.testing.assert_array_equal(got_arr, ref_arr)
+
+    def test_engine_runs_end_to_end_on_numba(self):
+        config = SpikeDynConfig.scaled_down(
+            n_input=64, n_exc=10, t_sim=30.0, seed=62, backend="numba"
+        )
+        dense_config = config.replace(backend="dense")
+        images = np.random.default_rng(62).random((4, 64)) * 0.7
+        numba_model = SpikeDynModel(config)
+        dense_model = SpikeDynModel(dense_config)
+        np.testing.assert_array_equal(numba_model.respond_batch(images),
+                                      dense_model.respond_batch(images))
+        assert numba_model.counter.as_dict() == dense_model.counter.as_dict()

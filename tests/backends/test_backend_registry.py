@@ -5,8 +5,11 @@ from __future__ import annotations
 import pytest
 
 from repro.backends import (
+    AutoBackend,
     Backend,
     DenseBackend,
+    Float32Backend,
+    NumbaBackend,
     SparseEventBackend,
     available_backends,
     backend_names,
@@ -17,13 +20,25 @@ from repro.backends import (
 
 
 class TestRegistry:
-    def test_both_shipped_backends_are_registered(self):
-        assert backend_names() == ["dense", "sparse"]
+    def test_shipped_backends_are_registered_in_order(self):
+        assert backend_names() == ["dense", "sparse", "float32", "numba",
+                                   "auto"]
 
-    def test_both_shipped_backends_are_available(self):
+    def test_always_available_backends(self):
         available = available_backends()
         assert available["dense"] is DenseBackend
         assert available["sparse"] is SparseEventBackend
+        assert available["float32"] is Float32Backend
+        assert available["auto"] is AutoBackend
+
+    def test_numba_availability_tracks_the_import_probe(self):
+        # The numba backend is always *registered*; whether it is available
+        # must exactly track whether the optional dependency imports.
+        import importlib.util
+
+        expected = importlib.util.find_spec("numba") is not None
+        assert NumbaBackend.available() is expected
+        assert ("numba" in available_backends()) is expected
 
     def test_get_backend_returns_shared_instances(self):
         assert get_backend("dense") is get_backend("dense")
@@ -109,6 +124,7 @@ class TestRegistry:
                 "name": "describe-unavailable",
                 "description": "never importable",
                 "available": False,
+                "tier": "exact",
             }
         finally:
             from repro import backends as backends_module
