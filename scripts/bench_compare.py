@@ -6,7 +6,9 @@ Compares a fresh ``bench_smoke.py`` report against the committed baseline
 regresses beyond the tolerance:
 
 * timing metrics (``*_s``) regress when ``current > baseline * tolerance``;
-* speedup metrics (``*_x``) regress when ``current < baseline / tolerance``.
+* speedup metrics (``*_x``) regress when ``current < baseline / tolerance``;
+* percentage metrics (``*_pct``) are informational here — they gate
+  absolutely (fixed ceiling) in ``bench_history.py --check`` instead.
 
 When both reports carry the ``calibration_s`` reference workload, every
 timing metric is first divided by its report's calibration time.  That
@@ -79,6 +81,12 @@ def compare(
             continue
         if name == CALIBRATION_METRIC:
             rows.append([name, f"{base:.4f}", f"{curr:.4f}", "-", "reference"])
+            continue
+        if name.endswith("_pct"):
+            # Percentage metrics gate absolutely in bench_history --check
+            # (a fixed ceiling), not relatively: a baseline near zero
+            # would make any ratio gate here meaninglessly twitchy.
+            rows.append([name, f"{base:.4f}", f"{curr:.4f}", "-", "info"])
             continue
         higher_is_better = name.endswith("_x")
         norm_base, norm_curr = base, curr

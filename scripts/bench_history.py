@@ -39,6 +39,14 @@ BASELINE_PATH = REPO_ROOT / "benchmarks" / "baseline_smoke.json"
 #: Reference-workload metric used to normalize timings across machines.
 CALIBRATION_METRIC = "calibration_s"
 
+#: Absolute gates on dimensionless metrics: unlike the *_s timings (which
+#: gate relatively against the committed baseline), these percentages are
+#: machine-independent by construction — both sides of the ratio were
+#: measured back to back on the same machine — so a fixed ceiling applies.
+ABSOLUTE_GATES_PCT = {
+    "tracing_overhead_pct": 3.0,
+}
+
 #: Top-level keys every snapshot must carry.
 REQUIRED_KEYS = (
     "version",
@@ -174,6 +182,27 @@ def check_against_baseline(
     return problems
 
 
+def check_absolute_gates(snapshot: Dict[str, object]) -> List[str]:
+    """Absolute-ceiling problems on the snapshot's own timings.
+
+    Applies :data:`ABSOLUTE_GATES_PCT` to metrics present in the snapshot;
+    a gated metric missing from the snapshot is not a problem (older
+    snapshots predate the metric).
+    """
+    timings = snapshot.get("timings", {})
+    problems: List[str] = []
+    for name, ceiling in sorted(ABSOLUTE_GATES_PCT.items()):
+        if name not in timings:
+            continue
+        value = float(timings[name])
+        if value > ceiling:
+            problems.append(
+                f"{name} is {value:.2f}% which exceeds the "
+                f"{ceiling:.2f}% ceiling"
+            )
+    return problems
+
+
 def _cmd_list(root: Path) -> int:
     rows = []
     for path in sorted(root.glob("BENCH_v*.json")):
@@ -218,6 +247,7 @@ def _cmd_check(root: Path, tolerance: float) -> int:
     problems = validate_snapshot(snapshot, expect_version=repro.__version__)
     if not problems:
         problems = check_against_baseline(snapshot, BASELINE_PATH, tolerance)
+        problems += check_absolute_gates(snapshot)
     if problems:
         for problem in problems:
             print(f"error: {path.name}: {problem}", file=sys.stderr)

@@ -21,6 +21,7 @@ import json
 import platform
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict
 
 
@@ -221,6 +222,48 @@ def run_smoke(batch_size: int, repeats: int) -> Dict[str, object]:
             )
     timings["serving_mp_speedup_x"] = (
         timings["serving_sp_s"] / timings["serving_mp_s"]
+    )
+
+    # Distributed-tracing overhead: the same pool and request stream, with
+    # and without an active trace.  Untraced requests pay one contextvar
+    # read; traced requests additionally record queue_wait/serve_batch/
+    # encode/kernel spans to the ledger.  The overhead percentage is
+    # machine-independent by construction (same machine, same workload,
+    # back to back), so bench_history gates it absolutely (<= 3 %) instead
+    # of against the calibration-normalized baseline.
+    from repro.observability.ledger import RunLedger
+    from repro.observability.tracing import TraceContext, trace_scope
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-tr-") as tmp:
+        artifact = load_artifact(model.save(tmp))
+        trace_pool = ReplicaPool.from_artifact(
+            artifact, workers=1, max_batch=8, max_wait_ms=2.0,
+            max_queue=4 * len(serve_images),
+            ledger=RunLedger(Path(tmp) / "ledger"),
+        )
+        trace_images = serve_images[: len(images)]
+        trace_seeds = serve_seeds[: len(images)]
+
+        def predict_stream() -> None:
+            for image, seed in zip(trace_images, trace_seeds):
+                trace_pool.predict(image, seed=seed, timeout=120.0)
+
+        def traced_stream() -> None:
+            with trace_scope(TraceContext(trace_id="bench-smoke")):
+                predict_stream()
+
+        with trace_pool:
+            predict_stream()  # warm-up
+            timings["tracing_untraced_s"] = _time_best_of(
+                predict_stream, repeats
+            )
+            timings["tracing_traced_s"] = _time_best_of(
+                traced_stream, repeats
+            )
+    timings["tracing_overhead_pct"] = max(
+        0.0,
+        (timings["tracing_traced_s"] - timings["tracing_untraced_s"])
+        / timings["tracing_untraced_s"] * 100.0,
     )
 
     scale = ExperimentScale.tiny(network_sizes=(10,), class_sequence=(0, 1),

@@ -37,9 +37,14 @@ driven without writing Python:
 ``spikedyn-repro cache``
     Inspect or clear the on-disk result cache.
 ``spikedyn-repro ledger``
-    Query the persistent execution ledger (``list``/``show``/``tail``):
-    every runner job and serving batch, with lineage back to content key,
-    artifact version, config hash, backend, and package version.
+    Query the persistent execution ledger (``list``/``show``/``tail``/
+    ``compact``): every runner job, serving batch, and trace span, with
+    lineage back to content key, artifact version, config hash, backend,
+    and package version.
+``spikedyn-repro trace``
+    Reconstruct a distributed trace from the ledger as a span tree
+    (``show <trace_id>``) or rank the slowest recorded traces
+    (``slowest``).
 
 Every subcommand prints plain text to stdout; exit code 0 means success.
 Setting ``REPRO_LOG_JSON=1`` additionally streams every internal event
@@ -76,9 +81,12 @@ from repro.observability import (
     KIND_JOB,
     KIND_SERVING_BATCH,
     KIND_SERVING_SHARD,
+    KIND_SPAN,
     RunLedger,
 )
+from repro.observability.runmetrics import RunnerMetrics, RunnerMetricsServer
 from repro.observability.structlog import configure_from_env
+from repro.observability.trace_view import format_trace, slowest_traces
 from repro.runner import (
     JobRecord,
     JobSpec,
@@ -454,11 +462,23 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         if event in ("done", "cached", "resumed"):
             _write_report(record, out_dir)
 
+    metrics = None
+    metrics_server = None
+    if args.metrics_port is not None:
+        metrics = RunnerMetrics()
+        metrics_server = RunnerMetricsServer(metrics, port=args.metrics_port)
+        metrics_server.start()
+        print(f"runner metrics at {metrics_server.url}/metrics")
+
     runner = ParallelRunner(args.workers, cache=_make_cache(args),
                             manifest=manifest, resume=not args.no_resume,
                             force=args.force, ledger=_make_ledger(args),
-                            on_event=on_event)
-    records = runner.run(jobs)
+                            on_event=on_event, metrics=metrics)
+    try:
+        records = runner.run(jobs)
+    finally:
+        if metrics_server is not None:
+            metrics_server.stop()
 
     # A manifest-resumed job carries no report text when caching is off; its
     # report file normally survives from the run that completed it, but if it
@@ -710,6 +730,12 @@ def _ledger_row(entry: Dict[str, object]) -> List[object]:
         detail = f"shard={entry.get('shard', '?')} pid={entry.get('pid', '?')}"
         return [when, kind, what, entry.get("event", "?"),
                 entry.get("backend", "?"), entry.get("version", "?"), detail]
+    elif kind == KIND_SPAN:
+        what = str(entry.get("name", "?"))
+        detail = (f"trace={entry.get('trace_id', '?')} "
+                  f"{entry.get('duration_ms', '?')} ms")
+        return [when, kind, what, f"pid={entry.get('pid', '?')}",
+                entry.get("backend", "-"), entry.get("version", "?"), detail]
     else:
         what = str(entry.get("experiment", "?"))
         detail = str(entry.get("key", ""))[:16]
@@ -724,7 +750,17 @@ _LEDGER_COLUMNS = ["when", "kind", "what", "outcome", "backend", "version",
 def _cmd_ledger(args: argparse.Namespace) -> int:
     ledger = RunLedger(args.ledger_dir)
     kind = {"job": KIND_JOB, "serving": KIND_SERVING_BATCH,
-            "serving_shard": KIND_SERVING_SHARD, "all": None}[args.kind]
+            "serving_shard": KIND_SERVING_SHARD, "span": KIND_SPAN,
+            "all": None}[args.kind]
+
+    if args.action == "compact":
+        summary = ledger.compact()
+        saved = summary["bytes_before"] - summary["bytes_after"]
+        print(f"compacted {summary['path']}: "
+              f"{summary['entries_before']} -> {summary['entries_after']} "
+              f"entries, {saved / 1024.0:.1f} KiB reclaimed "
+              f"({summary['segments_removed']} rotated segment(s) merged)")
+        return 0
 
     if args.action == "list":
         stats = ledger.stats()
@@ -761,6 +797,33 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         return 1
     for entry in matches:
         print(json.dumps(entry, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    ledger = RunLedger(args.ledger_dir)
+
+    if args.action == "show":
+        if not args.trace_id:
+            print("error: 'trace show' needs a trace id (header "
+                  "X-Repro-Trace-Id, predict response 'trace_id', or the "
+                  "detail column of 'ledger list --kind span')",
+                  file=sys.stderr)
+            return 2
+        print(format_trace(ledger, args.trace_id))
+        return 0
+
+    # action == "slowest": one row per trace, largest total span time first.
+    summaries = slowest_traces(ledger, limit=args.limit)
+    if not summaries:
+        print(f"no spans recorded in ledger at {ledger.path}")
+        return 0
+    rows = [[summary["trace_id"], summary["root"],
+             f"{summary['total_ms']:.2f}", str(summary["spans"]),
+             str(summary["processes"])]
+            for summary in summaries]
+    print(format_table(["trace", "root span", "total ms", "spans",
+                        "processes"], rows))
     return 0
 
 
@@ -872,6 +935,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument("--backend", choices=backend_names(), default="dense",
                          help="compute backend every experiment's models run "
                               "on (part of each job's cache key)")
+    run_all.add_argument("--metrics-port", type=_nonnegative_int, default=None,
+                         metavar="PORT",
+                         help="serve runner metrics over HTTP on this port "
+                              "for the duration of the run (Prometheus text "
+                              "at /metrics, JSON at /metrics.json; 0 picks a "
+                              "free port)")
     _add_runner_arguments(run_all)
     run_all.set_defaults(handler=_cmd_run_all)
 
@@ -985,19 +1054,42 @@ def build_parser() -> argparse.ArgumentParser:
     ledger = subparsers.add_parser(
         "ledger", help="query the persistent execution ledger"
     )
-    ledger.add_argument("action", choices=("list", "show", "tail"),
+    ledger.add_argument("action", choices=("list", "show", "tail", "compact"),
                         help="list every entry, show entries matching a "
-                             "job-key prefix as JSON, or tail the newest")
+                             "job-key prefix as JSON, tail the newest, or "
+                             "compact the ledger (squash repeated "
+                             "cached/resumed entries and merge rotated "
+                             "segments)")
     ledger.add_argument("key", nargs="?", default=None, metavar="KEY_PREFIX",
                         help="job-key prefix (required for 'show')")
     ledger.add_argument("--ledger-dir", default=None,
                         help="ledger directory (default: $REPRO_LEDGER_DIR "
                              "or ~/.cache/repro/ledger)")
-    ledger.add_argument("--kind", choices=("all", "job", "serving", "serving_shard"),
+    ledger.add_argument("--kind",
+                        choices=("all", "job", "serving", "serving_shard",
+                                 "span"),
                         default="all", help="restrict to one entry kind")
     ledger.add_argument("-n", "--limit", type=_positive_int, default=10,
                         help="entries shown by 'tail' (default: 10)")
     ledger.set_defaults(handler=_cmd_ledger)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="reconstruct distributed traces from the execution ledger",
+    )
+    trace.add_argument("action", choices=("show", "slowest"),
+                       help="show one trace as a span tree, or rank the "
+                            "slowest traces by total span time")
+    trace.add_argument("trace_id", nargs="?", default=None, metavar="TRACE_ID",
+                       help="trace id (required for 'show'; returned in the "
+                            "X-Repro-Trace-Id response header and the "
+                            "predict response body)")
+    trace.add_argument("--ledger-dir", default=None,
+                       help="ledger directory (default: $REPRO_LEDGER_DIR "
+                            "or ~/.cache/repro/ledger)")
+    trace.add_argument("-n", "--limit", type=_positive_int, default=10,
+                       help="traces ranked by 'slowest' (default: 10)")
+    trace.set_defaults(handler=_cmd_trace)
 
     return parser
 

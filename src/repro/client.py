@@ -33,6 +33,8 @@ import urllib.error
 import urllib.request
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.observability.prometheus import parse_prometheus_text
+from repro.observability.tracing import TRACE_HEADER
 from repro.serving.errors import (
     CODE_CIRCUIT_OPEN,
     CODE_INTERNAL,
@@ -218,7 +220,8 @@ class ServingClient:
     # -- transport -----------------------------------------------------------
 
     def _attempt(self, method: str, path: str,
-                 payload: Optional[dict]) -> dict:
+                 payload: Optional[dict],
+                 extra_headers: Optional[Dict[str, str]] = None) -> dict:
         data = None
         headers = {}
         if payload is not None:
@@ -226,6 +229,8 @@ class ServingClient:
             headers["Content-Type"] = "application/json"
         if self.tenant is not None:
             headers["X-Tenant"] = str(self.tenant)
+        if extra_headers:
+            headers.update(extra_headers)
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method,
         )
@@ -246,12 +251,13 @@ class ServingClient:
         return {"text": body.decode("utf-8")}
 
     def request(self, method: str, path: str,
-                payload: Optional[dict] = None) -> dict:
+                payload: Optional[dict] = None,
+                headers: Optional[Dict[str, str]] = None) -> dict:
         """One API call with the retry policy applied."""
         last: Optional[ServingClientError] = None
         for attempt in range(self.retries + 1):
             try:
-                return self._attempt(method, path, payload)
+                return self._attempt(method, path, payload, headers)
             except TransportError as error:
                 last = error
             except ServingAPIError as error:
@@ -283,19 +289,25 @@ class ServingClient:
 
     def predict(self, image, seed: Optional[int] = None, *,
                 model: Optional[str] = None,
-                version: Union[int, str, None] = None) -> dict:
+                version: Union[int, str, None] = None,
+                trace_id: Optional[str] = None) -> dict:
         """One prediction; returns the full response body.
 
         ``model=None`` uses the deprecated single-model alias (the server's
         default model); otherwise the versioned ``/v1`` route is used.
         ``image`` is any nested sequence of pixel intensities.
+        ``trace_id`` sends the ``X-Repro-Trace-Id`` header, activating
+        server-side distributed tracing for this request; the response body
+        then carries the same id back as ``"trace_id"``.
         """
         if hasattr(image, "tolist"):
             image = image.tolist()
         payload: Dict[str, object] = {"image": image}
         if seed is not None:
             payload["seed"] = int(seed)
-        return self.request("POST", self._predict_path(model, version), payload)
+        headers = {TRACE_HEADER: str(trace_id)} if trace_id is not None else None
+        return self.request("POST", self._predict_path(model, version),
+                            payload, headers)
 
     def models(self) -> List[dict]:
         """The server's model catalogue (``GET /v1/models``)."""
@@ -314,6 +326,16 @@ class ServingClient:
     def metrics_text(self) -> str:
         """The Prometheus exposition document (``GET /v1/metrics``)."""
         return self.request("GET", "/v1/metrics")["text"]
+
+    def metrics_prometheus(self) -> Dict[str, Dict]:
+        """Fetched *and parsed* Prometheus metrics, keyed by family name.
+
+        Fetches ``GET /v1/metrics`` and validates it through
+        :func:`repro.observability.prometheus.parse_prometheus_text` — a
+        malformed document (bad sample line, duplicate metric family)
+        raises ``ValueError`` instead of returning garbage.
+        """
+        return parse_prometheus_text(self.metrics_text())
 
     def wait_until_healthy(self, timeout: float = 30.0,
                            interval: float = 0.2) -> dict:

@@ -19,7 +19,17 @@ Durability hygiene matches :class:`~repro.runner.cache.ResultCache`:
 The ledger is deliberately schema-light: entries are plain dictionaries
 with a ``kind`` discriminator, and the helpers :func:`job_entry` /
 :func:`artifact_lineage` assemble the canonical lineage fields for the two
-entry kinds the stack emits today.
+entry kinds the stack emits today.  Entries appended inside an active trace
+(see :mod:`repro.observability.tracing`) are stamped with the trace/span
+ids, and ``kind="span"`` entries make the ledger a queryable trace store.
+
+Long-lived deployments bound the ledger's footprint with *rotation*: when
+the active file exceeds ``max_bytes`` or its oldest entry exceeds
+``max_age_s``, it is renamed to a timestamped segment and a fresh active
+file starts; only the newest ``max_segments`` segments are kept, so disk
+usage stays under ``max_segments * max_bytes`` plus one active file.
+:meth:`RunLedger.compact` squashes repeated cache/manifest-served re-runs
+of the same job into one entry with a ``repeats`` count (lineage preserved).
 """
 
 from __future__ import annotations
@@ -34,19 +44,35 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 import repro
+from repro.observability.structlog import get_struct_logger
+from repro.observability.tracing import trace_fields
 
 PathLike = Union[str, Path]
 
+_log = get_struct_logger("observability.ledger")
+
 #: Environment variable overriding the default ledger location.
 LEDGER_DIR_ENV = "REPRO_LEDGER_DIR"
+
+#: Environment variables overriding the rotation knobs.
+LEDGER_MAX_BYTES_ENV = "REPRO_LEDGER_MAX_BYTES"
+LEDGER_MAX_AGE_ENV = "REPRO_LEDGER_MAX_AGE_S"
+LEDGER_MAX_SEGMENTS_ENV = "REPRO_LEDGER_MAX_SEGMENTS"
 
 #: Entry kinds written by the stack.
 KIND_JOB = "job"
 KIND_SERVING_BATCH = "serving_batch"
 KIND_SERVING_SHARD = "serving_shard"
+KIND_SPAN = "span"
 
 #: Ledger file name inside the ledger directory.
 LEDGER_FILENAME = "ledger.jsonl"
+
+#: Rotated segments: ``ledger-<unix_millis>.jsonl``, sortable by name.
+_SEGMENT_PATTERN = re.compile(r"^ledger-(\d{10,17})\.jsonl$")
+
+#: Segments kept after a rotation unless configured otherwise.
+DEFAULT_MAX_SEGMENTS = 8
 
 _VERSION_DIR = re.compile(r"^v\d{1,9}$")
 
@@ -158,16 +184,41 @@ class RunLedger:
     strict:
         When true, append failures raise instead of degrading to a no-op
         (tests use this; production recording must never fail a job).
+    max_bytes, max_age_s:
+        Rotation triggers for the active file: byte size before an append,
+        and age of its oldest entry.  ``None`` (the default) reads
+        ``$REPRO_LEDGER_MAX_BYTES`` / ``$REPRO_LEDGER_MAX_AGE_S``; unset
+        means that trigger is off.
+    max_segments:
+        Rotated segments kept on disk (oldest dropped beyond it); ``None``
+        reads ``$REPRO_LEDGER_MAX_SEGMENTS``, default 8.
     """
 
-    def __init__(self, root: Optional[PathLike] = None, *, strict: bool = False) -> None:
+    def __init__(self, root: Optional[PathLike] = None, *, strict: bool = False,
+                 max_bytes: Optional[int] = None,
+                 max_age_s: Optional[float] = None,
+                 max_segments: Optional[int] = None) -> None:
         self.root = Path(root) if root is not None else default_ledger_root()
         self.strict = strict
+        self.max_bytes = _resolve_limit(max_bytes, LEDGER_MAX_BYTES_ENV, int)
+        self.max_age_s = _resolve_limit(max_age_s, LEDGER_MAX_AGE_ENV, float)
+        segments = _resolve_limit(max_segments, LEDGER_MAX_SEGMENTS_ENV, int)
+        self.max_segments = DEFAULT_MAX_SEGMENTS if segments is None else segments
+        self._degraded_warned = False
 
     @property
     def path(self) -> Path:
-        """The ledger file (whether or not it exists yet)."""
+        """The active ledger file (whether or not it exists yet)."""
         return self.root / LEDGER_FILENAME
+
+    def segments(self) -> List[Path]:
+        """Rotated segment files, oldest first (the active file excluded)."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        found = [name for name in names if _SEGMENT_PATTERN.match(name)]
+        return [self.root / name for name in sorted(found)]
 
     # -- writing -------------------------------------------------------------
 
@@ -175,16 +226,21 @@ class RunLedger:
         """Append one entry (plus ``fields``) as a single JSONL line.
 
         Timestamp (``ts``, unix seconds) and package version are stamped
-        automatically unless already present.  Returns the full entry as
-        written, or ``None`` when recording failed and ``strict`` is off.
+        automatically unless already present; inside an active trace the
+        trace/span ids are stamped too.  Returns the full entry as written,
+        or ``None`` when recording failed and ``strict`` is off (the first
+        such degradation emits one structured warning event).
         """
         full = dict(entry)
         full.update(fields)
         full.setdefault("ts", time.time())
         full.setdefault("version", repro.__version__)
+        for key, value in trace_fields().items():
+            full.setdefault(key, value)
         line = json.dumps(full, sort_keys=True, separators=(",", ":"), default=str) + "\n"
         try:
             self.root.mkdir(parents=True, exist_ok=True)
+            self._maybe_rotate(len(line))
             fd = os.open(self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
             try:
                 # One write() of one complete line: concurrent O_APPEND
@@ -193,38 +249,116 @@ class RunLedger:
                 os.write(fd, line.encode("utf-8"))
             finally:
                 os.close(fd)
-        except OSError:
+        except OSError as error:
             if self.strict:
                 raise
+            # Degrade to a no-op, but never *silently*: one warning per
+            # ledger instance names the path and the failure, so an
+            # unwritable volume is diagnosable from the event stream.
+            if not self._degraded_warned:
+                self._degraded_warned = True
+                _log.warning("ledger_degraded", path=str(self.path),
+                             error=f"{type(error).__name__}: {error}")
             return None
         return full
+
+    # -- rotation ------------------------------------------------------------
+
+    def _maybe_rotate(self, incoming_bytes: int) -> None:
+        """Rotate the active file when a size/age trigger fires.
+
+        Called with the root directory known to exist.  Rotation is a
+        single ``rename`` — concurrent writers racing it either win the
+        rename or see ``FileNotFoundError`` and carry on appending to the
+        fresh active file, so no entry is ever lost to a rotation race.
+        """
+        if self.max_bytes is None and self.max_age_s is None:
+            return
+        try:
+            stat = self.path.stat()
+        except OSError:
+            return
+        rotate = False
+        if self.max_bytes is not None and stat.st_size + incoming_bytes > self.max_bytes:
+            rotate = stat.st_size > 0
+        if not rotate and self.max_age_s is not None:
+            oldest = self._oldest_ts()
+            if oldest is not None and time.time() - oldest > self.max_age_s:
+                rotate = True
+        if not rotate:
+            return
+        # Bump the timestamp past any existing segment: two rotations within
+        # the same millisecond must not rename onto (and silently clobber)
+        # the same segment file.
+        millis = int(time.time() * 1000)
+        segment = self.root / f"ledger-{millis:013d}.jsonl"
+        while segment.exists():
+            millis += 1
+            segment = self.root / f"ledger-{millis:013d}.jsonl"
+        try:
+            os.rename(self.path, segment)
+        except OSError:
+            return  # a concurrent writer rotated first
+        self._prune_segments()
+
+    def _oldest_ts(self) -> Optional[float]:
+        """Timestamp of the active file's first well-formed entry."""
+        try:
+            with open(self.path, "r", encoding="utf-8", errors="replace") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(entry, dict) and isinstance(
+                        entry.get("ts"), (int, float)
+                    ):
+                        return float(entry["ts"])
+                    return None
+        except OSError:
+            return None
+        return None
+
+    def _prune_segments(self) -> None:
+        segments = self.segments()
+        for stale in segments[: max(0, len(segments) - self.max_segments)]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent prune
+                pass
 
     # -- reading -------------------------------------------------------------
 
     def entries(self, kind: Optional[str] = None) -> Iterator[Dict[str, Any]]:
         """Yield every well-formed entry in append order.
 
-        Corrupt or truncated lines (crash mid-append, foreign garbage) are
-        skipped; ``kind`` filters on the entry's ``kind`` field.
+        Rotated segments are read oldest-first, then the active file, so the
+        ordering survives rotation.  Corrupt or truncated lines (crash
+        mid-append, foreign garbage) are skipped; ``kind`` filters on the
+        entry's ``kind`` field.
         """
-        try:
-            handle = open(self.path, "r", encoding="utf-8", errors="replace")
-        except OSError:
-            return
-        with handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:
-                    continue
-                if not isinstance(entry, dict):
-                    continue
-                if kind is not None and entry.get("kind") != kind:
-                    continue
-                yield entry
+        for path in [*self.segments(), self.path]:
+            try:
+                handle = open(path, "r", encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            with handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    if not isinstance(entry, dict):
+                        continue
+                    if kind is not None and entry.get("kind") != kind:
+                        continue
+                    yield entry
 
     def tail(self, n: int = 10, kind: Optional[str] = None) -> List[Dict[str, Any]]:
         """The last ``n`` well-formed entries, oldest first."""
@@ -250,24 +384,111 @@ class RunLedger:
         return sum(1 for _ in self.entries())
 
     def stats(self) -> Dict[str, Any]:
-        """Summary: path, entry/kind counts, bytes on disk."""
+        """Summary: path, entry/kind counts, segments, bytes on disk."""
         kinds: Dict[str, int] = {}
         entries = 0
         for entry in self.entries():
             entries += 1
             kind = str(entry.get("kind", "?"))
             kinds[kind] = kinds.get(kind, 0) + 1
-        try:
-            size = self.path.stat().st_size
-        except OSError:
-            size = 0
-        return {"path": str(self.path), "entries": entries, "kinds": kinds, "bytes": size}
+        segments = self.segments()
+        size = 0
+        for path in [*segments, self.path]:
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return {"path": str(self.path), "entries": entries, "kinds": kinds,
+                "bytes": size, "segments": len(segments)}
 
     def clear(self) -> int:
-        """Remove the ledger file; returns how many entries were dropped."""
+        """Remove the ledger file and all segments; returns entries dropped."""
         dropped = self.count()
-        try:
-            self.path.unlink()
-        except OSError:
-            pass
+        for path in [*self.segments(), self.path]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return dropped
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self) -> Dict[str, Any]:
+        """Rewrite the ledger, squashing repeated cache-served re-runs.
+
+        Every *executed* entry (and every span, serving batch, and shard
+        transition) is kept verbatim; ``cached``/``resumed`` job entries —
+        the bulk of a long deployment's growth, since each re-run appends
+        one per job — are deduplicated to the most recent entry per content
+        key, stamped with a ``repeats`` count so the lineage still records
+        how often the result was served.
+
+        The survivors are written to a temporary file and atomically
+        renamed over the active file; all rotated segments are then
+        removed.  Entries appended concurrently between the snapshot read
+        and the rename are lost — run compaction from the CLI
+        (``repro ledger compact``), not under live writers.  Returns a
+        summary: entries/bytes before and after.
+        """
+        before = self.stats()
+        survivors: List[Dict[str, Any]] = []
+        latest_shortcut: Dict[str, Dict[str, Any]] = {}
+        shortcut_counts: Dict[str, int] = {}
+        for entry in self.entries():
+            if (entry.get("kind") == KIND_JOB
+                    and entry.get("outcome") in ("cached", "resumed")
+                    and entry.get("key")):
+                key = str(entry["key"])
+                if key not in latest_shortcut:
+                    # First sighting: keep its slot in the overall order.
+                    survivors.append(entry)
+                latest_shortcut[key] = entry
+                shortcut_counts[key] = shortcut_counts.get(key, 0) + 1
+                continue
+            survivors.append(entry)
+        for index, entry in enumerate(survivors):
+            key = entry.get("key")
+            if (entry.get("kind") == KIND_JOB and key in latest_shortcut
+                    and entry.get("outcome") in ("cached", "resumed")):
+                newest = dict(latest_shortcut[str(key)])
+                repeats = shortcut_counts[str(key)]
+                if repeats > 1:
+                    newest["repeats"] = repeats
+                survivors[index] = newest
+        tmp = self.root / f"{LEDGER_FILENAME}.compact.{os.getpid()}.tmp"
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for entry in survivors:
+                handle.write(json.dumps(entry, sort_keys=True,
+                                        separators=(",", ":"), default=str))
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        for segment in self.segments():
+            try:
+                segment.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
+        after = self.stats()
+        return {
+            "path": str(self.path),
+            "entries_before": before["entries"],
+            "entries_after": after["entries"],
+            "bytes_before": before["bytes"],
+            "bytes_after": after["bytes"],
+            "segments_removed": before["segments"],
+        }
+
+
+def _resolve_limit(value, env_name: str, cast):
+    """An explicit limit, else the environment's, else ``None``."""
+    if value is not None:
+        return cast(value)
+    raw = os.environ.get(env_name, "").strip()
+    if not raw:
+        return None
+    try:
+        return cast(raw)
+    except ValueError:
+        return None

@@ -278,14 +278,22 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ..
 
     Returns ``{metric_name: {((label, value), ...): sample_value}}``.
 
+    Samples with no preceding ``# TYPE`` header (untyped "info" lines, as
+    some exporters emit) are accepted — any number of them.  What is *not*
+    accepted is the same metric family declared twice: a second ``# TYPE``
+    for a name already typed means the document interleaves families, which
+    Prometheus itself rejects at scrape time.
+
     Raises
     ------
     ValueError
         If any non-empty line is neither a ``# HELP``/``# TYPE`` header
         nor a well-formed ``name{labels} value`` sample, if a ``# TYPE``
-        names an unknown type, or if a sample value is not a number.
+        names an unknown type, if a metric family is declared by ``# TYPE``
+        more than once, or if a sample value is not a number.
     """
     samples: Dict[str, Dict[Tuple[Tuple[str, str], ...], float]] = {}
+    typed_families: Dict[str, int] = {}
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.strip()
         if not line:
@@ -299,6 +307,15 @@ def parse_prometheus_text(text: str) -> Dict[str, Dict[Tuple[Tuple[str, str], ..
             if parts[1] == "TYPE":
                 if len(parts) < 4 or parts[3].split()[0] not in _TYPES:
                     raise ValueError(f"line {lineno}: invalid metric type in {raw!r}")
+                family = parts[2]
+                if family in typed_families:
+                    raise ValueError(
+                        f"line {lineno}: duplicate metric family {family!r} "
+                        f"(# TYPE already declared on line "
+                        f"{typed_families[family]}; all samples of a family "
+                        "must sit under a single header)"
+                    )
+                typed_families[family] = lineno
             continue
         match = _SAMPLE_LINE.match(line)
         if not match:

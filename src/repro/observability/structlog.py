@@ -27,6 +27,8 @@ import os
 import sys
 from typing import Any, Dict, Mapping, Optional
 
+from repro.observability.tracing import trace_fields
+
 #: Environment variable that makes the CLI emit JSON-lines events to stderr.
 LOG_JSON_ENV = "REPRO_LOG_JSON"
 
@@ -128,6 +130,9 @@ class StructLogger:
             "logger": self._logger.name,
             "event": event,
         }
+        # Events emitted inside an active span carry the trace identity, so
+        # the JSON stream can be joined against the ledger's span records.
+        payload.update(trace_fields())
         for source in (self._context, fields):
             for key, value in source.items():
                 payload[key] = _json_safe(value)

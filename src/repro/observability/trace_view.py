@@ -1,0 +1,157 @@
+"""Reconstruct cross-process span trees from the ledger's span records.
+
+Every :class:`~repro.observability.tracing.Span` lands in the
+:class:`~repro.observability.ledger.RunLedger` as one ``kind="span"`` entry,
+so the ledger doubles as the trace store: this module turns those flat
+records back into the tree a request or job traversed — HTTP handler span
+in the server process, RPC spans per shard attempt, encode/kernel spans in
+the shard worker — with per-phase latency and the pid each phase ran in.
+
+``repro trace show <trace_id>`` and ``repro trace slowest`` are thin CLI
+wrappers over :func:`format_trace` and :func:`slowest_traces`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.observability.ledger import RunLedger
+from repro.observability.tracing import KIND_SPAN
+
+
+class SpanNode:
+    """One span record plus its resolved children, ordered as recorded."""
+
+    __slots__ = ("record", "children")
+
+    def __init__(self, record: Dict[str, Any]) -> None:
+        self.record = record
+        self.children: List["SpanNode"] = []
+
+    @property
+    def span_id(self) -> Optional[str]:
+        return self.record.get("span_id")
+
+    @property
+    def name(self) -> str:
+        return str(self.record.get("name", "?"))
+
+    @property
+    def duration_ms(self) -> float:
+        try:
+            return float(self.record.get("duration_ms", 0.0))
+        except (TypeError, ValueError):
+            return 0.0
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def trace_spans(ledger: RunLedger, trace_id: str) -> List[Dict[str, Any]]:
+    """All span records of ``trace_id``, in ledger (i.e. wall-clock) order."""
+    return [
+        entry for entry in ledger.entries()
+        if entry.get("kind") == KIND_SPAN and entry.get("trace_id") == trace_id
+    ]
+
+
+def build_trace_tree(spans: Iterable[Dict[str, Any]]) -> List[SpanNode]:
+    """Span records → forest of :class:`SpanNode` roots.
+
+    A span is a root when it has no ``parent_span_id`` or its parent never
+    landed in the ledger (e.g. the parent process died before recording) —
+    orphans surface at top level instead of disappearing.  Duplicate span
+    ids (impossible by construction, tolerated by policy) keep the first
+    record.
+    """
+    nodes: Dict[str, SpanNode] = {}
+    ordered: List[SpanNode] = []
+    for record in spans:
+        span_id = record.get("span_id")
+        if not span_id or span_id in nodes:
+            continue
+        node = SpanNode(record)
+        nodes[span_id] = node
+        ordered.append(node)
+    roots: List[SpanNode] = []
+    for node in ordered:
+        parent_id = node.record.get("parent_span_id")
+        parent = nodes.get(parent_id) if parent_id else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
+
+
+def trace_summary(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate facts about one trace (span count, pids, total duration)."""
+    roots = build_trace_tree(spans)
+    pids = sorted({span.get("pid") for span in spans if span.get("pid") is not None})
+    return {
+        "spans": len(spans),
+        "pids": pids,
+        "processes": len(pids),
+        "roots": len(roots),
+        "total_ms": round(sum(node.duration_ms for node in roots), 3),
+    }
+
+
+def _format_node(node: SpanNode, prefix: str, is_last: bool,
+                 lines: List[str]) -> None:
+    connector = "└─ " if is_last else "├─ "
+    record = node.record
+    extras = [f"{node.duration_ms:.3f} ms", f"pid={record.get('pid', '?')}"]
+    if record.get("retry"):
+        extras.append(f"retry={record['retry']}")
+    for key in ("shard", "batch_size", "shared_batch", "experiment", "error"):
+        if key in record:
+            extras.append(f"{key}={record[key]}")
+    lines.append(f"{prefix}{connector}{node.name}  [{', '.join(extras)}]")
+    child_prefix = prefix + ("   " if is_last else "│  ")
+    for index, child in enumerate(node.children):
+        _format_node(child, child_prefix, index == len(node.children) - 1, lines)
+
+
+def format_trace(ledger: RunLedger, trace_id: str) -> str:
+    """Human-readable tree of one trace, or a not-found message."""
+    spans = trace_spans(ledger, trace_id)
+    if not spans:
+        return f"trace {trace_id}: no spans recorded"
+    summary = trace_summary(spans)
+    lines = [
+        f"trace {trace_id}: {summary['spans']} spans across "
+        f"{summary['processes']} processes (pids {summary['pids']}), "
+        f"{summary['total_ms']:.3f} ms total",
+    ]
+    roots = build_trace_tree(spans)
+    for index, root in enumerate(roots):
+        _format_node(root, "", index == len(roots) - 1, lines)
+    return "\n".join(lines)
+
+
+def slowest_traces(ledger: RunLedger, limit: int = 10) -> List[Dict[str, Any]]:
+    """The ``limit`` traces with the largest summed root-span duration.
+
+    Returns one summary dict per trace (``trace_id``, ``total_ms``,
+    ``spans``, ``processes``, ``root``), slowest first.
+    """
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for entry in ledger.entries():
+        if entry.get("kind") != KIND_SPAN:
+            continue
+        trace_id = entry.get("trace_id")
+        if not trace_id:
+            continue
+        by_trace.setdefault(str(trace_id), []).append(entry)
+    summaries = []
+    for trace_id, spans in by_trace.items():
+        summary = trace_summary(spans)
+        roots = build_trace_tree(spans)
+        summary["trace_id"] = trace_id
+        summary["root"] = roots[0].name if roots else "?"
+        summaries.append(summary)
+    summaries.sort(key=lambda item: (-item["total_ms"], item["trace_id"]))
+    return summaries[: max(0, int(limit))]

@@ -31,7 +31,15 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.observability.ledger import RunLedger, job_entry
+from repro.observability.runmetrics import RunnerMetrics
 from repro.observability.structlog import get_struct_logger
+from repro.observability.tracing import (
+    TraceContext,
+    record_span,
+    span,
+    trace_id_for_job,
+    trace_scope,
+)
 from repro.runner.cache import ResultCache
 from repro.runner.jobs import JobSpec
 from repro.runner.manifest import (
@@ -99,6 +107,16 @@ class ParallelRunner:
         Optional callback ``(event, record)`` invoked on ``"start"``,
         ``"cached"``, ``"resumed"``, and ``"done"`` transitions — the CLI
         uses it for progress lines.
+    metrics:
+        Optional :class:`~repro.observability.runmetrics.RunnerMetrics`
+        sink fed job transitions, queue depth, and in-flight counts (the
+        ``repro run-all --metrics-port`` endpoint scrapes it).
+
+    When a ledger is attached, every job is traced: its trace id is
+    :func:`~repro.observability.tracing.trace_id_for_job` of the content
+    key (deterministic — re-running the same job reproduces the same
+    trace), the scheduler records ``job``/``queue_wait`` spans, and workers
+    record ``job_execute`` in their own process.
     """
 
     def __init__(
@@ -111,6 +129,7 @@ class ParallelRunner:
         force: bool = False,
         ledger: Optional[RunLedger] = None,
         on_event: Optional[EventCallback] = None,
+        metrics: Optional[RunnerMetrics] = None,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -121,8 +140,10 @@ class ParallelRunner:
         self.force = force
         self.ledger = ledger
         self.on_event = on_event
+        self.metrics = metrics
         self._context = multiprocessing.get_context("spawn")
         self._jobs_by_key: Dict[str, JobSpec] = {}
+        self._trace_by_key: Dict[str, TraceContext] = {}
 
     # -- public API ------------------------------------------------------------
 
@@ -138,6 +159,8 @@ class ParallelRunner:
         to_run: List[JobSpec] = []
         queued: set = set()
         _log.info("run_started", jobs=len(jobs), workers=self.workers)
+        if self.metrics is not None:
+            self.metrics.set_workers(self.workers)
         for job in jobs:
             key = job.key()
             self._jobs_by_key[key] = job
@@ -221,7 +244,12 @@ class ParallelRunner:
                 inline=True,
             )
             self._emit("start", self._pending_record(job))
-            record = JobRecord.from_dict(execute_payload(job.to_dict()))
+            if self.metrics is not None:
+                self.metrics.record_started()
+            context = self._job_trace(job.key())
+            with trace_scope(context, sink=self.ledger):
+                with span("job_execute", experiment=job.experiment):
+                    record = JobRecord.from_dict(execute_payload(job.to_dict()))
             records[record.key] = record
             self._record_done(record)
         return records
@@ -231,10 +259,16 @@ class ParallelRunner:
         pending: List[JobSpec] = list(jobs)
         running: List[_Running] = []
         records: Dict[str, JobRecord] = {}
+        queued_at = {job.key(): time.perf_counter() for job in jobs}
         try:
             while pending or running:
                 while pending and len(running) < self.workers:
-                    running.append(self._start_worker(pending.pop(0)))
+                    job = pending.pop(0)
+                    running.append(
+                        self._start_worker(job, queued_at.get(job.key()))
+                    )
+                if self.metrics is not None:
+                    self.metrics.set_progress(len(pending), len(running))
                 now = time.monotonic()
                 still_running: List[_Running] = []
                 for entry in running:
@@ -251,14 +285,47 @@ class ParallelRunner:
             for entry in running:
                 self._kill(entry.process)
             raise
+        finally:
+            if self.metrics is not None:
+                self.metrics.set_progress(0, 0)
         return records
 
-    def _start_worker(self, job: JobSpec) -> _Running:
+    def _job_trace(self, key: str) -> Optional[TraceContext]:
+        """The job's span context (created once per key); ``None`` untraced.
+
+        The trace id derives from the content key, so a re-run of the same
+        job lands in the same trace — and a retried/restarted worker keeps
+        the identity of the work, not of the attempt.
+        """
+        if self.ledger is None:
+            return None
+        context = self._trace_by_key.get(key)
+        if context is None:
+            root = TraceContext(trace_id=trace_id_for_job(key))
+            context = root.child()
+            self._trace_by_key[key] = context
+        return context
+
+    def _start_worker(self, job: JobSpec,
+                      queued_at: Optional[float] = None) -> _Running:
         channel = self._context.Queue()
+        context = self._job_trace(job.key())
+        args = (job.to_dict(), channel)
+        if context is not None:
+            # Outside the payload: the payload is hashed into the content
+            # key, so the trace must ride as separate spawn arguments.
+            args = (job.to_dict(), channel, context.to_dict(),
+                    str(self.ledger.root))
         process = self._context.Process(
-            target=worker_main, args=(job.to_dict(), channel), daemon=True
+            target=worker_main, args=args, daemon=True
         )
         process.start()
+        if context is not None and queued_at is not None:
+            record_span(self.ledger, context.child(), "queue_wait",
+                        time.perf_counter() - queued_at,
+                        experiment=job.experiment)
+        if self.metrics is not None:
+            self.metrics.record_started()
         _log.info(
             "job_started",
             key=job.key(),
@@ -368,6 +435,15 @@ class ParallelRunner:
             if self.cache is not None and record.ok:
                 self.cache.put(record.key, record.to_dict())
             self._emit("done", record)
+            context = self._trace_by_key.get(record.key)
+            if context is not None:
+                # The scheduler-side umbrella span of the whole job: the
+                # worker's job_execute (and any retries) nest under it.
+                record_span(self.ledger, context, "job", record.elapsed,
+                            experiment=record.experiment,
+                            status=record.status)
+        if self.metrics is not None:
+            self.metrics.record_finished(record)
         self._ledger_record(record)
         _log.info(
             "job_finished",
@@ -392,7 +468,16 @@ class ParallelRunner:
         job = self._jobs_by_key.get(record.key)
         if job is None:  # pragma: no cover - records always follow a job
             return
-        self.ledger.append(job_entry(job, record))
+        entry = job_entry(job, record)
+        context = self._trace_by_key.get(record.key)
+        if context is not None:
+            entry.setdefault("trace_id", context.trace_id)
+            entry.setdefault("span_id", context.span_id)
+        else:
+            # Cache/manifest shortcuts never executed, but their entry still
+            # joins the job's deterministic trace id for lineage queries.
+            entry.setdefault("trace_id", trace_id_for_job(record.key))
+        self.ledger.append(entry)
 
     def _emit(self, event: str, record: JobRecord) -> None:
         if self.on_event is not None:
@@ -432,6 +517,7 @@ def run_jobs(
     force: bool = False,
     ledger: Optional[RunLedger] = None,
     on_event: Optional[EventCallback] = None,
+    metrics: Optional[RunnerMetrics] = None,
 ) -> List[JobRecord]:
     """Convenience wrapper: build a :class:`ParallelRunner` and run ``jobs``."""
     runner = ParallelRunner(
@@ -442,5 +528,6 @@ def run_jobs(
         force=force,
         ledger=ledger,
         on_event=on_event,
+        metrics=metrics,
     )
     return runner.run(jobs)

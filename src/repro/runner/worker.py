@@ -18,11 +18,13 @@ from __future__ import annotations
 import importlib
 import time
 import traceback
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.experiments.common import ExperimentScale
 from repro.experiments.registry import EXPERIMENTS, render_report
+from repro.observability.ledger import RunLedger
 from repro.observability.structlog import configure_from_env, get_struct_logger
+from repro.observability.tracing import TraceContext, span, trace_scope
 from repro.runner.jobs import JobSpec
 from repro.runner.manifest import STATUS_COMPLETED, STATUS_FAILED
 
@@ -86,19 +88,38 @@ def execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
-def worker_main(payload: Dict[str, Any], queue: Any) -> None:
+def worker_main(payload: Dict[str, Any], queue: Any,
+                trace: Optional[Dict[str, Any]] = None,
+                ledger_root: Optional[str] = None) -> None:
     """Subprocess entry: execute ``payload`` and put the record on ``queue``.
 
     Must never raise: a worker that dies without enqueueing anything is
     recorded as crashed by the scheduler, so even queue failures are reported
     as a failed record when possible.
+
+    ``trace``/``ledger_root`` travel *outside* the payload on purpose: the
+    payload is hashed into the job's content key, so the trace identity must
+    never change what is being computed.  When set, the whole execution runs
+    under a ``job_execute`` span written to the parent's ledger, and every
+    worker-side log event carries the trace id.
     """
     # ``spawn`` workers inherit no logging configuration from the parent;
     # re-apply the environment's structured-logging request so a run under
     # ``REPRO_LOG_JSON=1`` streams worker-side events too.
     configure_from_env()
+    context: Optional[TraceContext] = None
+    sink: Optional[RunLedger] = None
+    if trace:
+        try:
+            context = TraceContext.from_dict(trace)
+            sink = RunLedger(ledger_root) if ledger_root else None
+        except Exception:  # noqa: BLE001 - tracing must never fail a job
+            context, sink = None, None
     try:
-        record = execute_payload(payload)
+        with trace_scope(context, sink=sink):
+            with span("job_execute",
+                      experiment=payload.get("experiment", "?")):
+                record = execute_payload(payload)
     except BaseException:
         record = {
             "key": payload.get("experiment", "?"),

@@ -24,6 +24,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
+from repro.observability.tracing import TraceContext, current_trace
 from repro.serving.inference import PredictRequest
 from repro.utils.validation import check_non_negative, check_positive_int
 
@@ -38,11 +39,17 @@ class QueueClosedError(RuntimeError):
 
 @dataclass
 class PendingRequest:
-    """A queued request together with its completion future."""
+    """A queued request together with its completion future.
+
+    ``trace`` snapshots the submitting thread's trace context (``None``
+    when tracing is inactive) so worker threads can parent their spans —
+    and account the queue wait — under the request's HTTP span.
+    """
 
     request: PredictRequest
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    trace: Optional[TraceContext] = field(default_factory=current_trace)
 
 
 class MicroBatcher:

@@ -19,14 +19,16 @@ assert this end to end.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.evaluation.labeling import class_scores
 from repro.models.base import N_CLASSES, UnsupervisedDigitClassifier
+from repro.observability.tracing import TraceContext, record_span
 
 #: Seeds are folded into numpy's 32-bit range.
 _SEED_MODULUS = 2 ** 32
@@ -45,10 +47,16 @@ def derive_request_seed(image: np.ndarray) -> int:
 
 @dataclass
 class PredictRequest:
-    """One inference request: an image plus its encoding seed."""
+    """One inference request: an image plus its encoding seed.
+
+    ``trace`` is the span context this request runs under when distributed
+    tracing is active (``None`` otherwise); it is excluded from equality so
+    tracing never changes how requests compare or hash.
+    """
 
     image: np.ndarray
     seed: Optional[int] = None
+    trace: Optional[TraceContext] = field(default=None, compare=False, repr=False)
 
     def resolved_seed(self) -> int:
         """The request's seed, derived from the image when not supplied."""
@@ -103,25 +111,58 @@ class PredictionService:
     so consecutive batches are independent — a replica never drifts.
     """
 
-    def __init__(self, model: UnsupervisedDigitClassifier) -> None:
+    def __init__(self, model: UnsupervisedDigitClassifier,
+                 span_sink: Optional[Any] = None) -> None:
         self.model = model
+        #: Where per-phase span records land when requests carry a trace
+        #: context (typically the process-local :class:`RunLedger`).
+        self.span_sink = span_sink
 
     @property
     def n_input(self) -> int:
         return self.model.n_input
 
+    def _encode_timed(self, request: PredictRequest, seed: int) -> np.ndarray:
+        """``encode_request`` plus one ``encode`` span under the request."""
+        started = time.perf_counter()
+        train = encode_request(self.model, request.image, seed)
+        record_span(self.span_sink, request.trace.child(), "encode",
+                    time.perf_counter() - started, seed=int(seed))
+        return train
+
     def predict_batch(self, requests: Sequence[PredictRequest]
                       ) -> List[PredictResult]:
-        """Predictions for a micro-batch of requests, in request order."""
+        """Predictions for a micro-batch of requests, in request order.
+
+        When tracing is active (a request carries a trace context and a
+        span sink is configured) the encode and kernel phases are timed and
+        recorded per request — the numeric work is identical either way, so
+        traced and untraced predictions stay bit-for-bit equal.
+        """
         if not requests:
             return []
         model = self.model
         seeds = [request.resolved_seed() for request in requests]
+        traced = self.span_sink is not None and any(
+            request.trace is not None for request in requests
+        )
         trains = np.stack([
-            encode_request(model, request.image, seed)
+            self._encode_timed(request, seed)
+            if traced and request.trace is not None
+            else encode_request(model, request.image, seed)
             for request, seed in zip(requests, seeds)
         ])
+        kernel_started = time.perf_counter()
         results = model.network.run_batch(trains, learning=False)
+        if traced:
+            # One shared kernel execution; each traced request records the
+            # phase under its own span so every trace tree is complete.
+            kernel_s = time.perf_counter() - kernel_started
+            for request in requests:
+                if request.trace is not None:
+                    record_span(self.span_sink, request.trace.child(),
+                                "kernel", kernel_s,
+                                shared_batch=len(requests))
         responses = np.stack([result.counts("excitatory")
                               for result in results]).astype(float)
         scores = class_scores(responses, model.assignments, N_CLASSES)

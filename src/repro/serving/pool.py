@@ -27,6 +27,7 @@ import numpy as np
 from repro.models.base import UnsupervisedDigitClassifier
 from repro.observability.ledger import KIND_SERVING_BATCH, RunLedger, artifact_lineage
 from repro.observability.structlog import get_struct_logger
+from repro.observability.tracing import record_span
 from repro.serving.artifacts import ModelArtifact
 from repro.serving.batcher import MicroBatcher, PendingRequest
 from repro.serving.drift import SpikeCountDriftDetector
@@ -83,7 +84,8 @@ class ReplicaPool:
         self.ledger = ledger
         self.lineage = dict(lineage or {})
         self.replicas: List[PredictionService] = [
-            PredictionService(model_factory()) for _ in range(self.workers)
+            PredictionService(model_factory(), span_sink=ledger)
+            for _ in range(self.workers)
         ]
         self._threads: List[threading.Thread] = []
         self._started = False
@@ -264,6 +266,20 @@ class ReplicaPool:
 
     def _serve_batch(self, service: PredictionService,
                      batch: Sequence[PendingRequest]) -> None:
+        claimed = time.perf_counter()
+        traced: List[PendingRequest] = []
+        if self.ledger is not None:
+            for pending in batch:
+                if pending.trace is None:
+                    continue
+                # Queue wait is timed from the submit-side enqueue stamp;
+                # the serve phase gets its own span the encode/kernel spans
+                # parent under.
+                record_span(self.ledger, pending.trace.child(), "queue_wait",
+                            claimed - pending.enqueued_at,
+                            batch_size=len(batch))
+                pending.request.trace = pending.trace.child()
+                traced.append(pending)
         try:
             results = service.predict_batch([p.request for p in batch])
         except Exception as error:  # noqa: BLE001 - fanned out to callers
@@ -273,6 +289,10 @@ class ReplicaPool:
             _log.error("batch_failed", size=len(batch), error=str(error))
             self._ledger_batch(len(batch), [], outcome="error",
                                error=str(error))
+            failed = time.perf_counter() - claimed
+            for pending in traced:
+                record_span(self.ledger, pending.request.trace, "serve_batch",
+                            failed, batch_size=len(batch), error=str(error))
             return
         finished = time.perf_counter()
         for pending, result in zip(batch, results):
@@ -280,6 +300,9 @@ class ReplicaPool:
         latencies = [finished - p.enqueued_at for p in batch]
         self.metrics.record_batch(len(batch), latencies)
         self._ledger_batch(len(batch), latencies, outcome="ok")
+        for pending in traced:
+            record_span(self.ledger, pending.request.trace, "serve_batch",
+                        finished - claimed, batch_size=len(batch))
         if self.drift_detector is not None:
             for result in results:
                 self.drift_detector.observe(result.spike_count)

@@ -63,6 +63,15 @@ from repro.observability.prometheus import (
     render_prometheus_multi,
 )
 from repro.observability.structlog import get_struct_logger
+from repro.observability.tracing import (
+    TRACE_HEADER,
+    TraceContext,
+    new_trace_id,
+    span,
+    trace_id_for_request,
+    trace_scope,
+    tracing_forced,
+)
 from repro.serving.errors import (
     ApiError,
     CODE_INTERNAL,
@@ -116,7 +125,31 @@ class _ServingHTTPServer(ThreadingHTTPServer):
 class _Handler(BaseHTTPRequestHandler):
     server: _ServingHTTPServer
 
+    #: Trace context of the in-flight request (set per request by the GET/
+    #: POST entry points; ``None`` for untraced requests).
+    _trace: Optional[TraceContext] = None
+
     # -- plumbing ------------------------------------------------------------
+
+    def _read_trace_header(self) -> bool:
+        """Parse :data:`TRACE_HEADER` into ``self._trace``.
+
+        Returns ``False`` (after sending the 400) when the header is
+        present but malformed.
+        """
+        self._trace = None
+        try:
+            self._trace = TraceContext.from_headers(self.headers)
+        except ValueError as error:
+            self._send_api_error(ApiError(CODE_INVALID_REQUEST, str(error)))
+            return False
+        return True
+
+    def _trace_headers(self) -> Dict[str, str]:
+        """Response header echoing the request's trace id (empty untraced)."""
+        if self._trace is None:
+            return {}
+        return {TRACE_HEADER: self._trace.trace_id}
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:  # pragma: no cover - CLI verbose mode
@@ -136,7 +169,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        for key, value in (headers or {}).items():
+        merged = {**self._trace_headers(), **(headers or {})}
+        for key, value in merged.items():
             self.send_header(key, value)
         self.end_headers()
         self.wfile.write(body)
@@ -147,7 +181,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
-        for key, value in (headers or {}).items():
+        merged = {**self._trace_headers(), **(headers or {})}
+        for key, value in merged.items():
             self.send_header(key, value)
         self.end_headers()
         self.wfile.write(data)
@@ -165,6 +200,8 @@ class _Handler(BaseHTTPRequestHandler):
     # -- GET -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        if not self._read_trace_header():
+            return
         try:
             self._route_get()
         except ApiError as error:
@@ -227,6 +264,8 @@ class _Handler(BaseHTTPRequestHandler):
     # -- POST ----------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        if not self._read_trace_header():
+            return
         try:
             self._route_post()
         except ApiError as error:
@@ -262,11 +301,21 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             entry = router.resolve(name, version)
         tenant = self.headers.get(TENANT_HEADER, DEFAULT_TENANT)
-        try:
-            result = router.predict_entry(
-                entry, image, seed=seed, tenant=tenant,
-                timeout=self.server.request_timeout_s,
+        if self._trace is None and tracing_forced():
+            # REPRO_TRACE: trace every request; deterministic id when the
+            # request pins a seed, random otherwise.
+            self._trace = TraceContext(
+                trace_id=trace_id_for_request(seed) if seed is not None
+                else new_trace_id()
             )
+        sink = getattr(entry.pool, "ledger", None)
+        try:
+            with trace_scope(self._trace, sink=sink):
+                with span("http_request", route=self.path, tenant=tenant):
+                    result = router.predict_entry(
+                        entry, image, seed=seed, tenant=tenant,
+                        timeout=self.server.request_timeout_s,
+                    )
         except ValueError as error:
             raise ApiError(CODE_INVALID_REQUEST, str(error)) from None
         except FutureTimeoutError:
@@ -278,6 +327,10 @@ class _Handler(BaseHTTPRequestHandler):
                 CODE_SHUTTING_DOWN, "request was cancelled at shutdown"
             ) from None
         body = result.to_dict()
+        if self._trace is not None:
+            # Only traced responses grow the field — untraced bodies stay
+            # bit-identical to the pre-tracing API.
+            body["trace_id"] = self._trace.trace_id
         if legacy:
             body["model"] = entry.pool.model_name
             self._send_json(200, body, self._deprecation_headers("/predict"))

@@ -43,6 +43,7 @@ from repro.observability.ledger import (
     artifact_lineage,
 )
 from repro.observability.structlog import configure_from_env, get_struct_logger
+from repro.observability.tracing import TraceContext, record_span
 from repro.serving.artifacts import ModelArtifact, load_artifact
 from repro.serving.batcher import MicroBatcher, PendingRequest
 from repro.serving.drift import SpikeCountDriftDetector
@@ -66,24 +67,31 @@ _POLL_S = 0.1
 
 def _shard_main(artifact_dir: str, backend: Optional[str],
                 conn: "multiprocessing.connection.Connection",
-                shard_index: int) -> None:
+                shard_index: int, ledger_root: Optional[str] = None) -> None:
     """Worker-process entry point: load the artifact, answer predict RPCs.
 
     Protocol (parent -> child / child -> parent), one message per batch:
 
-    * ``("predict", [(image, seed), ...])`` -> ``("ok", [result, ...])`` or
-      ``("error", "message")`` — a raising batch reports instead of dying;
+    * ``("predict", [(image, seed, trace), ...])`` -> ``("ok", [result,
+      ...])`` or ``("error", "message")`` — a raising batch reports instead
+      of dying.  ``trace`` is the request's serialized
+      :class:`~repro.observability.tracing.TraceContext` (``None`` when the
+      request is untraced);
     * ``("stop",)`` -> the child exits cleanly (no reply).
 
     On start the child sends one ``("ready", info)`` message after the model
     is rebuilt, so the parent can distinguish a slow load from a crash.
+    ``ledger_root`` points the worker at the parent's ledger directory so
+    worker-side spans (``shard_batch``, ``encode``, ``kernel``) land in the
+    same trace store as the parent's.
     """
     configure_from_env()
     log = get_struct_logger("serving.shard").bind(shard=shard_index)
     try:
         artifact = load_artifact(artifact_dir)
         model = artifact.build_model(backend=backend)
-        service = PredictionService(model)
+        span_ledger = RunLedger(ledger_root) if ledger_root else None
+        service = PredictionService(model, span_sink=span_ledger)
     except BaseException as error:  # noqa: BLE001 - reported to the parent
         try:
             conn.send(("failed", f"{type(error).__name__}: {error}"))
@@ -107,15 +115,27 @@ def _shard_main(artifact_dir: str, backend: Optional[str],
         if message[0] != "predict":  # pragma: no cover - protocol guard
             conn.send(("error", f"unknown message {message[0]!r}"))
             continue
-        requests = [
-            PredictRequest(image=np.asarray(image, dtype=float), seed=seed)
-            for image, seed in message[1]
-        ]
+        requests = []
+        for image, seed, trace in message[1]:
+            request = PredictRequest(image=np.asarray(image, dtype=float),
+                                     seed=seed)
+            if trace is not None and span_ledger is not None:
+                # Child of the parent-side shard_rpc span: the worker's
+                # whole batch phase, under which encode/kernel nest.
+                request.trace = TraceContext.from_dict(trace).child()
+            requests.append(request)
+        batch_started = time.perf_counter()
         try:
             results = service.predict_batch(requests)
         except Exception as error:  # noqa: BLE001 - fanned back to callers
             conn.send(("error", f"{type(error).__name__}: {error}"))
             continue
+        batch_s = time.perf_counter() - batch_started
+        for request in requests:
+            if request.trace is not None:
+                record_span(span_ledger, request.trace, "shard_batch",
+                            batch_s, shard=shard_index,
+                            batch_size=len(requests))
         conn.send(("ok", [
             (r.prediction, r.seed, r.spike_count, r.scores) for r in results
         ]))
@@ -388,9 +408,11 @@ class ShardProcessPool:
 
     def _spawn(self, index: int) -> _ShardHandle:
         parent_conn, child_conn = self._context.Pipe(duplex=True)
+        ledger_root = str(self.ledger.root) if self.ledger is not None else None
         process = self._context.Process(
             target=_shard_main,
-            args=(self.artifact_dir, self.backend, child_conn, index),
+            args=(self.artifact_dir, self.backend, child_conn, index,
+                  ledger_root),
             name=f"repro-shard-{index}", daemon=True,
         )
         process.start()
@@ -472,8 +494,19 @@ class ShardProcessPool:
     def _serve_batch(self, index: int,
                      batch: Sequence[PendingRequest]) -> None:
         started = time.perf_counter()
-        payload = [(pending.request.image, pending.request.seed)
-                   for pending in batch]
+        traced = self.ledger is not None and any(
+            pending.trace is not None for pending in batch
+        )
+        if traced:
+            for pending in batch:
+                if pending.trace is not None:
+                    record_span(self.ledger, pending.trace.child(),
+                                "queue_wait", started - pending.enqueued_at,
+                                shard=index, batch_size=len(batch))
+        payload = None
+        if not traced:
+            payload = [(pending.request.image, pending.request.seed, None)
+                       for pending in batch]
         reply = None
         # One transparent retry on a fresh process: a batch interrupted by a
         # crash is usually served successfully by the respawned shard, so
@@ -493,16 +526,40 @@ class ShardProcessPool:
                     self._fail_batch(batch, error, started, index)
                     return
                 continue
+            rpc_ctxs = None
+            if traced:
+                # Fresh span ids per attempt: a retried RPC is a *second*
+                # span of the same trace, flagged retry=1 — the worker
+                # inherits the flag, so its spans mark the retry too.
+                rpc_ctxs = [
+                    pending.trace.child(retry=attempt)
+                    if pending.trace is not None else None
+                    for pending in batch
+                ]
+                payload = [
+                    (pending.request.image, pending.request.seed,
+                     ctx.to_dict() if ctx is not None else None)
+                    for pending, ctx in zip(batch, rpc_ctxs)
+                ]
+            rpc_started = time.perf_counter()
             try:
                 handle.conn.send(("predict", payload))
                 reply = self._recv_reply(handle)
+                self._record_rpc(rpc_ctxs, index, len(batch),
+                                 time.perf_counter() - rpc_started)
                 break
             except ShardCrashedError as error:
+                self._record_rpc(rpc_ctxs, index, len(batch),
+                                 time.perf_counter() - rpc_started,
+                                 error=str(error))
                 self._retire(index, handle)
                 if attempt == 1:
                     self._fail_batch(batch, error, started, index)
                     return
             except (OSError, EOFError, BrokenPipeError) as error:
+                self._record_rpc(rpc_ctxs, index, len(batch),
+                                 time.perf_counter() - rpc_started,
+                                 error=str(error))
                 self._retire(index, handle)
                 if attempt == 1:
                     self._fail_batch(
@@ -541,6 +598,20 @@ class ShardProcessPool:
         if self.drift_detector is not None:
             for result in results:
                 self.drift_detector.observe(result.spike_count)
+
+    def _record_rpc(self, rpc_ctxs, shard: int, size: int,
+                    duration_s: float, error: Optional[str] = None) -> None:
+        """One ``shard_rpc`` span per traced request of the attempt."""
+        if not rpc_ctxs:
+            return
+        fields: Dict[str, object] = {"shard": int(shard),
+                                     "batch_size": int(size)}
+        if error is not None:
+            fields["error"] = error
+        for ctx in rpc_ctxs:
+            if ctx is not None:
+                record_span(self.ledger, ctx, "shard_rpc", duration_s,
+                            **fields)
 
     def _recv_reply(self, handle: _ShardHandle):
         deadline = time.monotonic() + self.batch_timeout_s

@@ -156,6 +156,19 @@ class TestBenchCompare:
             "4.0",
         )
 
+    def test_percentage_metrics_are_informational(self, tmp_path):
+        # A huge relative jump in a *_pct metric must not gate here: the
+        # absolute ceiling lives in bench_history.py --check instead.
+        baseline = write_report(tmp_path / "baseline.json",
+                                {"tracing_overhead_pct": 0.01})
+        current = write_report(tmp_path / "current.json",
+                               {"tracing_overhead_pct": 2.5})
+        completed = run_script(
+            "bench_compare.py", "--baseline", str(baseline), "--current", str(current)
+        )
+        assert "info" in completed.stdout
+        assert "no regressions" in completed.stdout
+
     def test_calibration_metric_itself_never_gates(self, tmp_path):
         baseline = write_report(tmp_path / "baseline.json", {"calibration_s": 0.01})
         current = write_report(tmp_path / "current.json", {"calibration_s": 0.09})

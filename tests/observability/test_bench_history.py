@@ -37,6 +37,7 @@ def report():
             "training_s": 0.2,
             "inference_s": 0.04,
             "speedup_x": 3.5,
+            "tracing_overhead_pct": 1.2,
         },
     }
 
@@ -50,6 +51,10 @@ class TestNormalization:
     def test_ratio_metrics_pass_through(self, history, report):
         normalized = history.normalize_timings(report["timings"])
         assert normalized["speedup_x"] == pytest.approx(3.5)
+
+    def test_percentage_metrics_pass_through(self, history, report):
+        normalized = history.normalize_timings(report["timings"])
+        assert normalized["tracing_overhead_pct"] == pytest.approx(1.2)
 
     def test_calibration_itself_is_excluded(self, history, report):
         assert "calibration_s" not in history.normalize_timings(report["timings"])
@@ -122,6 +127,35 @@ class TestBaselineDrift:
             history.build_snapshot(report), tmp_path / "missing.json", tolerance=3.0
         )
         assert any("cannot read" in problem for problem in problems)
+
+    def test_percentage_metrics_never_gate_relatively(self, history, report, tmp_path):
+        # A 100x baseline difference in the percentage metric is fine here:
+        # *_pct gates absolutely via check_absolute_gates, not by drift.
+        drifted = dict(report["timings"], tracing_overhead_pct=0.01)
+        baseline = self.write_baseline(tmp_path, drifted)
+        assert history.check_against_baseline(
+            history.build_snapshot(report), baseline, tolerance=3.0
+        ) == []
+
+
+class TestAbsoluteGates:
+    def test_overhead_within_the_ceiling_passes(self, history, report):
+        snapshot = history.build_snapshot(report)
+        assert history.check_absolute_gates(snapshot) == []
+
+    def test_overhead_beyond_the_ceiling_fails(self, history, report):
+        report["timings"]["tracing_overhead_pct"] = 7.5
+        snapshot = history.build_snapshot(report)
+        problems = history.check_absolute_gates(snapshot)
+        assert len(problems) == 1
+        assert "tracing_overhead_pct" in problems[0]
+        assert "7.50%" in problems[0]
+        assert "3.00% ceiling" in problems[0]
+
+    def test_snapshots_without_the_metric_pass(self, history, report):
+        del report["timings"]["tracing_overhead_pct"]
+        snapshot = history.build_snapshot(report)
+        assert history.check_absolute_gates(snapshot) == []
 
 
 class TestCliModes:

@@ -1,0 +1,145 @@
+"""Trace reconstruction tests: span trees, `repro trace`, `repro ledger compact`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.observability.ledger import KIND_JOB, RunLedger
+from repro.observability.trace_view import (
+    build_trace_tree,
+    format_trace,
+    slowest_traces,
+    trace_spans,
+    trace_summary,
+)
+from repro.observability.tracing import TraceContext, record_span
+
+
+@pytest.fixture
+def ledger(tmp_path) -> RunLedger:
+    return RunLedger(tmp_path / "ledger", strict=True)
+
+
+def _tree(ledger: RunLedger, trace_id: str = "trace-1") -> TraceContext:
+    """Record a two-level tree: http_request -> (queue_wait, shard_rpc)."""
+    root = TraceContext(trace_id=trace_id).child()
+    record_span(ledger, root, "http_request", 0.020, route="/v1/x")
+    record_span(ledger, root.child(), "queue_wait", 0.004)
+    record_span(ledger, root.child(retry=1), "shard_rpc", 0.012, shard=0)
+    return root
+
+
+class TestTraceView:
+    def test_spans_filter_by_trace_id(self, ledger):
+        _tree(ledger, "trace-1")
+        _tree(ledger, "trace-2")
+        ledger.append({"kind": KIND_JOB, "key": "k", "trace_id": "trace-1"})
+        spans = trace_spans(ledger, "trace-1")
+        assert len(spans) == 3  # the job entry is not a span
+        assert {span["trace_id"] for span in spans} == {"trace-1"}
+
+    def test_tree_links_children_under_parents(self, ledger):
+        root = _tree(ledger)
+        (tree,) = build_trace_tree(trace_spans(ledger, "trace-1"))
+        assert tree.name == "http_request"
+        assert tree.span_id == root.span_id
+        assert sorted(child.name for child in tree.children) == [
+            "queue_wait", "shard_rpc"
+        ]
+        assert len(list(tree.walk())) == 3
+
+    def test_orphan_spans_surface_as_roots(self, ledger):
+        context = TraceContext(trace_id="t", span_id="s1",
+                               parent_span_id="never-recorded")
+        record_span(ledger, context, "lonely", 0.001)
+        roots = build_trace_tree(trace_spans(ledger, "t"))
+        assert [root.name for root in roots] == ["lonely"]
+
+    def test_summary_counts_spans_processes_and_root_time(self, ledger):
+        _tree(ledger)
+        summary = trace_summary(trace_spans(ledger, "trace-1"))
+        assert summary["spans"] == 3
+        assert summary["processes"] == 1
+        assert summary["roots"] == 1
+        assert summary["total_ms"] == pytest.approx(20.0)
+
+    def test_format_trace_draws_the_tree(self, ledger):
+        _tree(ledger)
+        text = format_trace(ledger, "trace-1")
+        assert "trace trace-1" in text
+        assert "http_request" in text
+        # Children are indented under the root with box-drawing connectors.
+        for line in text.splitlines():
+            if "queue_wait" in line or "shard_rpc" in line:
+                assert "─" in line and line.startswith("   ")
+        assert "retry=1" in text
+        assert "shard=0" in text
+
+    def test_format_trace_without_spans_says_so(self, ledger):
+        assert "no spans recorded" in format_trace(ledger, "missing")
+
+    def test_slowest_orders_by_total_root_time(self, ledger):
+        _tree(ledger, "fast")
+        slow_root = TraceContext(trace_id="slow").child()
+        record_span(ledger, slow_root, "job", 1.5)
+        summaries = slowest_traces(ledger, limit=10)
+        assert [summary["trace_id"] for summary in summaries] == ["slow", "fast"]
+        assert summaries[0]["root"] == "job"
+        assert slowest_traces(ledger, limit=1)[0]["trace_id"] == "slow"
+
+
+class TestTraceCommand:
+    def test_show_prints_the_tree(self, ledger, capsys):
+        _tree(ledger)
+        assert main(["trace", "show", "trace-1",
+                     "--ledger-dir", str(ledger.root)]) == 0
+        output = capsys.readouterr().out
+        assert "http_request" in output and "shard_rpc" in output
+
+    def test_show_without_id_is_usage_error(self, ledger, capsys):
+        assert main(["trace", "show", "--ledger-dir", str(ledger.root)]) == 2
+        assert "needs a trace id" in capsys.readouterr().err
+
+    def test_slowest_renders_table(self, ledger, capsys):
+        _tree(ledger, "trace-1")
+        _tree(ledger, "trace-2")
+        assert main(["trace", "slowest", "--ledger-dir", str(ledger.root)]) == 0
+        output = capsys.readouterr().out
+        assert "trace-1" in output and "trace-2" in output
+        assert "http_request" in output
+
+    def test_slowest_respects_limit(self, ledger, capsys):
+        for index in range(3):
+            root = TraceContext(trace_id=f"t{index}").child()
+            record_span(ledger, root, "job", 0.1 * (index + 1))
+        assert main(["trace", "slowest", "-n", "1",
+                     "--ledger-dir", str(ledger.root)]) == 0
+        output = capsys.readouterr().out
+        assert "t2" in output and "t0" not in output
+
+    def test_slowest_on_empty_ledger(self, tmp_path, capsys):
+        assert main(["trace", "slowest",
+                     "--ledger-dir", str(tmp_path / "nothing")]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+
+class TestLedgerSpanIntegration:
+    def test_ledger_list_filters_spans(self, ledger, capsys):
+        _tree(ledger)
+        ledger.append({"kind": KIND_JOB, "key": "k", "experiment": "fig5"})
+        assert main(["ledger", "list", "--kind", "span",
+                     "--ledger-dir", str(ledger.root)]) == 0
+        output = capsys.readouterr().out
+        assert "http_request" in output
+        assert "fig5" not in output
+        assert "trace=trace-1" in output
+
+    def test_ledger_compact_command(self, ledger, capsys):
+        for _ in range(4):
+            ledger.append({"kind": KIND_JOB, "key": "k", "outcome": "cached"})
+        assert main(["ledger", "compact", "--ledger-dir", str(ledger.root)]) == 0
+        output = capsys.readouterr().out
+        assert "compacted" in output
+        assert "4 -> 1 entries" in output
+        assert ledger.count() == 1

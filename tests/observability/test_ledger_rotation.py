@@ -1,0 +1,152 @@
+"""Ledger lifecycle tests: rotation, segment pruning, compaction, degrade."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.observability.ledger import (
+    KIND_JOB,
+    KIND_SPAN,
+    LEDGER_MAX_BYTES_ENV,
+    LEDGER_MAX_SEGMENTS_ENV,
+    RunLedger,
+)
+
+
+def _fill(ledger: RunLedger, n: int, **extra) -> None:
+    for index in range(n):
+        ledger.append({"kind": KIND_JOB, "key": f"key-{index:04d}",
+                       "experiment": "fig5", "outcome": "completed", **extra})
+
+
+class TestRotation:
+    def test_no_limits_means_no_rotation(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True)
+        _fill(ledger, 50)
+        assert ledger.segments() == []
+
+    def test_size_trigger_rotates_and_keeps_every_entry(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True, max_bytes=1024)
+        _fill(ledger, 40)
+        assert len(ledger.segments()) >= 1
+        # Active file stays under the byte budget after every append.
+        assert ledger.path.stat().st_size <= 1024
+        entries = list(ledger.entries())
+        assert len(entries) == 40
+        # Append order survives rotation (segments read oldest-first).
+        assert [entry["key"] for entry in entries] == [
+            f"key-{index:04d}" for index in range(40)
+        ]
+
+    def test_age_trigger_rotates_old_active_file(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True, max_age_s=60.0)
+        ledger.append({"kind": KIND_JOB, "key": "old", "ts": 1.0})
+        assert ledger.segments() == []
+        ledger.append({"kind": KIND_JOB, "key": "new"})
+        # The stale active file became a segment; the new entry started fresh.
+        assert len(ledger.segments()) == 1
+        assert len(list(ledger.entries())) == 2
+
+    def test_max_segments_bounds_disk(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True, max_bytes=256, max_segments=3)
+        _fill(ledger, 60)
+        assert len(ledger.segments()) <= 3
+        # Oldest entries were pruned with their segments; the newest survive.
+        keys = [entry["key"] for entry in ledger.entries()]
+        assert keys[-1] == "key-0059"
+        assert len(keys) < 60
+
+    def test_env_knobs_configure_rotation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(LEDGER_MAX_BYTES_ENV, "512")
+        monkeypatch.setenv(LEDGER_MAX_SEGMENTS_ENV, "2")
+        ledger = RunLedger(tmp_path, strict=True)
+        assert ledger.max_bytes == 512
+        assert ledger.max_segments == 2
+        _fill(ledger, 40)
+        assert 1 <= len(ledger.segments()) <= 2
+
+    def test_stats_and_clear_cover_segments(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True, max_bytes=512)
+        _fill(ledger, 20)
+        stats = ledger.stats()
+        assert stats["segments"] == len(ledger.segments()) >= 1
+        assert stats["entries"] == len(list(ledger.entries()))
+        dropped = ledger.clear()
+        assert dropped == stats["entries"]
+        assert ledger.count() == 0
+        assert ledger.segments() == []
+
+
+class TestCompaction:
+    def test_squashes_repeated_cache_hits_per_key(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True)
+        ledger.append({"kind": KIND_JOB, "key": "k1", "outcome": "completed"})
+        for _ in range(5):
+            ledger.append({"kind": KIND_JOB, "key": "k1", "outcome": "cached"})
+        for _ in range(3):
+            ledger.append({"kind": KIND_JOB, "key": "k2", "outcome": "resumed"})
+        summary = ledger.compact()
+        assert summary["entries_before"] == 9
+        assert summary["entries_after"] == 3
+        assert summary["bytes_after"] < summary["bytes_before"]
+        entries = list(ledger.entries())
+        by_outcome = {entry["outcome"]: entry for entry in entries}
+        assert by_outcome["completed"]["key"] == "k1"  # executed entry verbatim
+        assert by_outcome["cached"]["repeats"] == 5
+        assert by_outcome["resumed"]["repeats"] == 3
+
+    def test_single_shortcut_entry_gets_no_repeats_field(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True)
+        ledger.append({"kind": KIND_JOB, "key": "k1", "outcome": "cached"})
+        ledger.compact()
+        (entry,) = list(ledger.entries())
+        assert "repeats" not in entry
+
+    def test_spans_and_serving_entries_survive_verbatim(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True)
+        ledger.append({"kind": KIND_SPAN, "trace_id": "t1", "span_id": "s1",
+                       "name": "kernel", "duration_ms": 1.5})
+        ledger.append({"kind": "serving_batch", "model": "m", "outcome": "ok"})
+        ledger.compact()
+        kinds = [entry["kind"] for entry in ledger.entries()]
+        assert kinds == [KIND_SPAN, "serving_batch"]
+
+    def test_compaction_merges_segments_into_active_file(self, tmp_path):
+        ledger = RunLedger(tmp_path, strict=True, max_bytes=512)
+        _fill(ledger, 20)
+        assert len(ledger.segments()) >= 1
+        kept_before = len(list(ledger.entries()))
+        summary = ledger.compact()
+        assert ledger.segments() == []
+        assert summary["segments_removed"] >= 1
+        assert len(list(ledger.entries())) == kept_before
+
+
+class TestDegradedWrites:
+    @pytest.fixture
+    def unwritable(self, tmp_path) -> RunLedger:
+        """A ledger whose root path is occupied by a regular file."""
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        return RunLedger(blocker)
+
+    def test_strict_mode_raises(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        with pytest.raises(OSError):
+            RunLedger(blocker, strict=True).append({"kind": KIND_JOB, "key": "k"})
+
+    def test_non_strict_degrades_with_one_warning(self, unwritable, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.observability.ledger"):
+            assert unwritable.append({"kind": KIND_JOB, "key": "k1"}) is None
+            assert unwritable.append({"kind": KIND_JOB, "key": "k2"}) is None
+        warnings = [record for record in caplog.records
+                    if "ledger_degraded" in record.getMessage()]
+        assert len(warnings) == 1
+        payload = json.loads(warnings[0].getMessage())
+        assert payload["event"] == "ledger_degraded"
+        assert payload["path"].endswith("ledger.jsonl")
+        assert "error" in payload

@@ -155,3 +155,27 @@ class TestParserRejections:
 
     def test_blank_lines_are_ignored(self):
         assert parse_prometheus_text("\n\na 1\n\n")["a"][()] == 1.0
+
+    def test_accepts_untyped_info_samples(self):
+        # Exporters may emit bare "info" samples with no # TYPE header at
+        # all; any number of them parse fine.
+        series = parse_prometheus_text("build_info{rev=\"abc\"} 1\nuptime 3\n")
+        assert series["build_info"][(("rev", "abc"),)] == 1.0
+        assert series["uptime"][()] == 3.0
+
+    def test_rejects_duplicate_type_for_one_family(self):
+        text = ("# TYPE a counter\na 1\n"
+                "# TYPE b gauge\nb 2\n"
+                "# TYPE a counter\na 3\n")
+        with pytest.raises(ValueError, match="line 5.*duplicate metric family 'a'"):
+            parse_prometheus_text(text)
+
+    def test_duplicate_rejection_names_the_first_declaration(self):
+        text = "# TYPE a counter\n# TYPE a gauge\n"
+        with pytest.raises(ValueError, match="already declared on line 1"):
+            parse_prometheus_text(text)
+
+    def test_retyping_is_fine_across_separate_documents(self):
+        # The duplicate-family check is per parse, not global state.
+        for _ in range(2):
+            assert parse_prometheus_text("# TYPE a counter\na 1\n")["a"][()] == 1.0

@@ -150,6 +150,40 @@ class TestRequestShapes:
                          "/v1/models/m/healthz", "/v1/metrics.json",
                          "/v1/metrics"]
 
+    def test_predict_trace_id_sends_the_trace_header(self, stub):
+        stub.script((200, {}, ok_body()))
+        ServingClient(stub.url).predict(IMAGE, model="m", trace_id="trace-42")
+        headers = stub.requests[0][2]
+        assert headers.get("X-Repro-Trace-Id") == "trace-42"
+
+    def test_predict_without_trace_id_sends_no_trace_header(self, stub):
+        stub.script((200, {}, ok_body()))
+        ServingClient(stub.url).predict(IMAGE, model="m")
+        assert "X-Repro-Trace-Id" not in stub.requests[0][2]
+
+    def test_trace_header_survives_retries(self, stub):
+        stub.script(
+            (503, {}, envelope("unavailable")),
+            (200, {}, ok_body()),
+        )
+        client = ServingClient(stub.url, retries=2, backoff_s=0.01)
+        client.predict(IMAGE, model="m", trace_id="trace-42")
+        assert len(stub.requests) == 2
+        assert all(request[2].get("X-Repro-Trace-Id") == "trace-42"
+                   for request in stub.requests)
+
+    def test_metrics_prometheus_parses_families(self, stub):
+        stub.script((200, {},
+                     b"# TYPE repro_requests_total counter\n"
+                     b'repro_requests_total{model="m"} 5\n'))
+        families = ServingClient(stub.url).metrics_prometheus()
+        assert families["repro_requests_total"][(("model", "m"),)] == 5.0
+
+    def test_metrics_prometheus_rejects_corrupt_exposition(self, stub):
+        stub.script((200, {}, b"# TYPE a counter\n# TYPE a counter\n"))
+        with pytest.raises(ValueError, match="duplicate metric family"):
+            ServingClient(stub.url).metrics_prometheus()
+
 
 class TestErrorTyping:
     @pytest.mark.parametrize("status,code,expected", [

@@ -15,7 +15,7 @@ class TestParser:
         commands = set(subparser_actions[0].choices)
         assert commands == {"info", "train", "evaluate", "search", "energy",
                             "reproduce", "run-all", "scenarios", "serve",
-                            "backends", "cache", "ledger"}
+                            "backends", "cache", "ledger", "trace"}
 
     def test_reproduce_knows_every_driver(self):
         assert set(EXPERIMENT_DRIVERS) == {
