@@ -132,6 +132,28 @@ def run_smoke(batch_size: int, repeats: int) -> Dict[str, object]:
     auto_runner = backend_runner("auto")
     auto_runner()  # profiling pass, outside the clock
     timings["backends_auto_s"] = _time_best_of(auto_runner, repeats)
+    # The event-queue engine on its native workload: long-horizon bursty
+    # streams at sub-1% density, run through Network.run_events (analytic
+    # silent-gap jumps).  A different regime from the batched grid above —
+    # the clock-driven timings are not comparable to this key.
+    from repro.snn.events import EventStream
+
+    event_rng = np.random.default_rng(43)
+    event_trains = np.zeros((800, 784), dtype=bool)
+    for start in range(0, 800, 160):
+        event_trains[start:start + 6] = event_rng.random((6, 784)) < 0.2
+    event_stream = EventStream.from_dense(event_trains)
+    eventqueue_config = SpikeDynConfig.scaled_down(
+        n_input=784, n_exc=100, t_sim=800.0, seed=0, backend="eventqueue"
+    )
+    eventqueue_network = SpikeDynModel(eventqueue_config).network
+
+    def eventqueue_runner() -> None:
+        eventqueue_network.run_events(event_stream, learning=False)
+
+    timings["backends_eventqueue_s"] = _time_best_of(eventqueue_runner,
+                                                     repeats)
+
     # Optional-dependency backend: timed only where numba is installed
     # (bench_compare treats the key as new/missing, never as a regression).
     from repro.backends import NumbaBackend
@@ -224,42 +246,68 @@ def run_smoke(batch_size: int, repeats: int) -> Dict[str, object]:
         timings["serving_sp_s"] / timings["serving_mp_s"]
     )
 
-    # Distributed-tracing overhead: the same pool and request stream, with
-    # and without an active trace.  Untraced requests pay one contextvar
-    # read; traced requests additionally record queue_wait/serve_batch/
-    # encode/kernel spans to the ledger.  The overhead percentage is
-    # machine-independent by construction (same machine, same workload,
-    # back to back), so bench_history gates it absolutely (<= 3 %) instead
-    # of against the calibration-normalized baseline.
+    # Distributed-tracing overhead: the same requests, with and without an
+    # active trace.  Untraced requests pay one contextvar read; traced
+    # requests additionally record queue_wait/serve_batch/encode/kernel
+    # spans, batched into the ledger write the untraced path performs
+    # anyway.  The overhead percentage is machine-independent by
+    # construction (same machine, same workload, back to back), so
+    # bench_history gates it absolutely (<= 3 %) instead of against the
+    # calibration-normalized baseline.  Measurement hygiene matters more
+    # than elsewhere because the quantity is a *difference* of two noisy
+    # timings, so three choices keep the estimator's noise floor well
+    # under the gate:
+    #
+    # * requests run the paper's full 350-step presentation, the workload
+    #   the overhead claim is actually about — against a toy presentation
+    #   the fixed per-span cost reads as an inflated percentage;
+    # * the pool serves with no batching wait (the stream is sequential,
+    #   so ``max_wait_ms`` would only add condvar-scheduling jitter);
+    # * the variants alternate request by request and each request keeps
+    #   its best-of-``repeats`` time, so drifting machine load cancels
+    #   pairwise instead of biasing whichever variant ran later.
     from repro.observability.ledger import RunLedger
     from repro.observability.tracing import TraceContext, trace_scope
 
+    trace_model = SpikeDynModel(
+        SpikeDynConfig.scaled_down(n_input=196, n_exc=40, t_sim=350.0, seed=0)
+    )
+    trace_images = serve_images[:16]
+    trace_seeds = serve_seeds[:16]
     with tempfile.TemporaryDirectory(prefix="repro-bench-smoke-tr-") as tmp:
-        artifact = load_artifact(model.save(tmp))
+        artifact = load_artifact(trace_model.save(tmp))
         trace_pool = ReplicaPool.from_artifact(
-            artifact, workers=1, max_batch=8, max_wait_ms=2.0,
+            artifact, workers=1, max_batch=8, max_wait_ms=0.0,
             max_queue=4 * len(serve_images),
             ledger=RunLedger(Path(tmp) / "ledger"),
         )
-        trace_images = serve_images[: len(images)]
-        trace_seeds = serve_seeds[: len(images)]
-
-        def predict_stream() -> None:
-            for image, seed in zip(trace_images, trace_seeds):
-                trace_pool.predict(image, seed=seed, timeout=120.0)
-
-        def traced_stream() -> None:
-            with trace_scope(TraceContext(trace_id="bench-smoke")):
-                predict_stream()
-
         with trace_pool:
-            predict_stream()  # warm-up
-            timings["tracing_untraced_s"] = _time_best_of(
-                predict_stream, repeats
-            )
-            timings["tracing_traced_s"] = _time_best_of(
-                traced_stream, repeats
-            )
+            for image, seed in zip(trace_images, trace_seeds):  # warm-up
+                trace_pool.predict(image, seed=seed, timeout=120.0)
+            best_untraced = [float("inf")] * len(trace_images)
+            best_traced = [float("inf")] * len(trace_images)
+            # Five paired passes minimum: the gate sits at 3 % and each
+            # extra pass tightens the per-request minima that the
+            # difference is taken over.
+            for repeat in range(max(5, repeats)):
+                for index, (image, seed) in enumerate(
+                    zip(trace_images, trace_seeds)
+                ):
+                    started = time.perf_counter()
+                    trace_pool.predict(image, seed=seed, timeout=120.0)
+                    best_untraced[index] = min(
+                        best_untraced[index], time.perf_counter() - started
+                    )
+                    started = time.perf_counter()
+                    with trace_scope(
+                        TraceContext(trace_id=f"bench-smoke-{repeat}-{index}")
+                    ):
+                        trace_pool.predict(image, seed=seed, timeout=120.0)
+                    best_traced[index] = min(
+                        best_traced[index], time.perf_counter() - started
+                    )
+            timings["tracing_untraced_s"] = sum(best_untraced)
+            timings["tracing_traced_s"] = sum(best_traced)
     timings["tracing_overhead_pct"] = max(
         0.0,
         (timings["tracing_traced_s"] - timings["tracing_untraced_s"])

@@ -19,13 +19,17 @@ A fifth backend, ``numba``, JIT-compiles the kernel chain and registers
 itself unconditionally but reports :meth:`~repro.backends.base.Backend.
 available` ``False`` when the optional numba package is missing, so
 ``repro backends list`` shows it while :func:`get_backend` refuses it.
+The sixth, ``eventqueue``, carries the sparse kernels plus the
+``supports_events`` declaration that drives the event-queue scheduler
+(:meth:`repro.snn.network.Network.run_events`): work proportional to
+spike events, with silent gaps advanced by closed-form exponential decay.
 
 Every backend declares an *equivalence tier*
 (:attr:`~repro.backends.base.Backend.equivalence_tier`): ``exact`` backends
 (dense, sparse, numba, auto) reproduce the dense reference's spike counts,
 predictions, and ``OperationCounter`` tallies with float state equal to
-summation-order rounding; the ``tolerance`` tier (float32) keeps
-counts/predictions/tallies exact but only bounds float state by the
+summation-order rounding; the ``tolerance`` tier (float32, eventqueue)
+keeps counts/predictions/tallies exact but only bounds float state by the
 backend's declared ``(state_rtol, state_atol)``.  The conformance suite in
 ``tests/backends/`` enforces the declared tier for every registered
 backend.
@@ -50,6 +54,7 @@ from typing import Dict, List, Optional, Type, Union
 from repro.backends.auto import AutoBackend
 from repro.backends.base import Backend
 from repro.backends.dense import DenseBackend
+from repro.backends.eventqueue import EventQueueBackend
 from repro.backends.float32 import Float32Backend
 from repro.backends.numba_backend import NumbaBackend
 from repro.backends.sparse import SparseEventBackend
@@ -107,6 +112,7 @@ def describe_backend(name: str) -> Dict[str, object]:
         "description": cls.description,
         "available": cls.available(),
         "tier": cls.equivalence_tier,
+        "events": cls.supports_events,
     }
 
 
@@ -149,11 +155,13 @@ register_backend(SparseEventBackend)
 register_backend(Float32Backend)
 register_backend(NumbaBackend)
 register_backend(AutoBackend)
+register_backend(EventQueueBackend)
 
 __all__ = [
     "AutoBackend",
     "Backend",
     "DenseBackend",
+    "EventQueueBackend",
     "Float32Backend",
     "NumbaBackend",
     "SparseEventBackend",

@@ -25,10 +25,13 @@ re-profiled, so a deployment (or a regression test) gets reproducible
 routing.  :meth:`save_profile` writes the learned decisions back out in the
 same format.
 
-Equivalence contract (``exact`` tier): every candidate is itself an
-exact-tier backend, so whichever wins a bucket, spike counts, predictions,
-and tallies are identical to the dense reference — profiling noise can
-never change *results*, only which equivalent kernel computes them.
+Equivalence contract (``exact`` tier): every candidate's *kernels* compute
+exact-tier results (the ``eventqueue`` candidate shares the sparse kernels
+bit for bit — its ``tolerance`` declaration concerns only the analytic
+silent-gap jumps of ``Network.run_events``, which auto never performs), so
+whichever wins a bucket, spike counts, predictions, and tallies are
+identical to the dense reference — profiling noise can never change
+*results*, only which equivalent kernel computes them.
 """
 
 from __future__ import annotations
@@ -51,7 +54,12 @@ from repro.backends.sparse import SparseEventBackend
 PROFILE_ENV = "REPRO_AUTO_PROFILE"
 
 #: Upper bounds (inclusive) of the spike-density buckets, with their labels.
+#: The ``le01`` band (<= 0.1 %) separates long-horizon low-rate event
+#: streams — where the event-queue backend's gather kernels win — from the
+#: ordinary sparse regime; without it every such workload collapsed into
+#: ``le1`` and profiling could not tell them apart.
 DENSITY_BANDS: Tuple[Tuple[float, str], ...] = (
+    (0.001, "le01"),
     (0.01, "le1"),
     (0.05, "le5"),
     (0.20, "le20"),
@@ -80,7 +88,7 @@ class AutoBackend(DenseBackend):
 
     name = "auto"
     description = (
-        "Auto-dispatch: profiles dense/sparse/numba once per "
+        "Auto-dispatch: profiles dense/sparse/eventqueue/numba once per "
         "(network-size, spike-density) bucket and routes each propagation "
         "call to the winner"
     )
@@ -114,9 +122,12 @@ class AutoBackend(DenseBackend):
     def candidates(self) -> Dict[str, Backend]:
         """The fixed backends this dispatcher chooses between (lazy)."""
         if self._candidates is None:
+            from repro.backends.eventqueue import EventQueueBackend
+
             candidates: Dict[str, Backend] = {
                 "dense": DenseBackend(),
                 "sparse": SparseEventBackend(),
+                "eventqueue": EventQueueBackend(),
             }
             if NumbaBackend.available():
                 candidates["numba"] = NumbaBackend()
@@ -186,8 +197,15 @@ class AutoBackend(DenseBackend):
     def _profile_propagation(self, bucket: str, conductance, pre_spikes,
                              weights) -> str:
         """Time every candidate on copies of the live arrays; store winner."""
+        band = bucket.rsplit(":", 1)[-1]
         timings: List[Tuple[float, str]] = []
         for name, candidate in self.candidates.items():
+            if name == "eventqueue" and band not in ("le01", "le1"):
+                # Outside the event-stream density bands the eventqueue
+                # candidate is kernel-identical to sparse, so racing it
+                # would only add a second coin-flip of timing noise; it
+                # stays pinnable everywhere via a loaded profile.
+                continue
             scratch = np.array(conductance, dtype=float)
             # Warm pass outside the clock (numba pays JIT compilation on
             # first call; the others populate allocator/cache state).

@@ -69,6 +69,12 @@ class Backend(abc.ABC):
     #: how the float32 backend halves the dynamic-state footprint without
     #: the orchestration layer allocating anything differently.
     state_dtype = np.float64
+    #: Whether the backend is meant to drive the event-queue simulation
+    #: path (:meth:`repro.snn.network.Network.run_events` with analytic
+    #: silent-gap jumps).  ``run_events`` works on any backend, but only
+    #: backends declaring ``supports_events`` advertise the event mode in
+    #: the CLI and are routed to by ``auto`` for sparse event streams.
+    supports_events: bool = False
 
     @classmethod
     def available(cls) -> bool:
@@ -158,6 +164,7 @@ class Backend(abc.ABC):
             "description": self.description,
             "available": type(self).available(),
             "tier": self.equivalence_tier,
+            "events": self.supports_events,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,51 @@
+"""The event-queue backend: kernels for event-driven simulation.
+
+:class:`EventQueueBackend` is the kernel bundle behind the engine's
+event-driven path (:meth:`repro.snn.network.Network.run_events`).  The
+per-timestep kernels are inherited unchanged from
+:class:`~repro.backends.sparse.SparseEventBackend` — on every *executed*
+timestep the arithmetic is identical to the sparse event-driven kernels, so
+stepped simulations on this backend reproduce the dense reference exactly
+like ``sparse`` does.  What the backend adds is the *declaration* that it
+drives the event-queue scheduler: ``supports_events`` makes ``run_events``
+prefer analytic silent-gap jumps, the CLI advertise the event mode, and
+``auto`` consider it for sparse long-horizon streams.
+
+Equivalence story (why the tier is ``tolerance`` and not ``exact``)
+-------------------------------------------------------------------
+Between spike events the engine advances every exponential state variable
+(membranes, conductances, theta, STDP traces) in closed form: a gap of
+``k`` silent timesteps multiplies a decaying quantity by ``decay ** k``
+(one ``np.power``) instead of ``k`` successive multiplications.  The two
+are equal in real arithmetic but differ by accumulated rounding in floats
+(~1 ULP per decade of ``k``), so float state after a jump is only
+*tolerance*-close to the stepped reference — hence ``state_rtol=1e-6``.
+Integer results remain bit-exact in the conformance suite's workloads: a
+gap is only jumped when a conservative no-spike bound proves (with an
+absolute safety margin far above the rounding error) that stepping it
+could not have fired, and every step that *can* fire is executed with the
+inherited bit-exact kernels.  The golden-trace replay at matched
+discretization (``tests/backends/``) pins exactly this: spike counts and
+predictions identical, float state within the declared bounds.
+"""
+
+from __future__ import annotations
+
+from repro.backends.sparse import SparseEventBackend
+
+
+class EventQueueBackend(SparseEventBackend):
+    """Sparse kernels plus the event-queue scheduler declaration."""
+
+    name = "eventqueue"
+    description = (
+        "event-driven scheduler kernels: O(spike events) via analytic "
+        "decay across silent gaps (run_events), sparse kernels when stepped"
+    )
+    equivalence_tier = "tolerance"
+    # Closed-form decay (decay ** k) vs k stepped multiplies accumulates
+    # ~1 ULP of rounding per decade of gap length; 1e-6 relative bounds it
+    # with orders of magnitude to spare on T ~ 10^4 horizons.
+    state_rtol = 1e-6
+    state_atol = 1e-9
+    supports_events = True

@@ -62,7 +62,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.backends import backend_names, describe_backend
+from repro.backends import backend_names, describe_backend, get_backend
 from repro.core.config import SpikeDynConfig
 from repro.core.model_search import search_snn_model
 from repro.datasets.streams import dynamic_task_stream, nondynamic_stream
@@ -311,6 +311,7 @@ def _cmd_energy(args: argparse.Namespace) -> int:
     energy_model = EnergyModel(device)
 
     rows = []
+    event_rows = []
     baseline_joules: Optional[float] = None
     for name in ("baseline", "asp", "spikedyn"):
         model = build_model(name, config)
@@ -327,10 +328,25 @@ def _cmd_energy(args: argparse.Namespace) -> int:
             baseline_joules = training
         rows.append([name, training / len(images), inference / len(images),
                      training / baseline_joules])
+        counter = model.counter
+        event_rows.append([
+            name, counter.events_processed, counter.steps_skipped,
+        ])
     print(f"per-sample energy on the {device.name} "
           f"(averaged over {len(images)} samples)")
     print(format_table(
         ["model", "training_J", "inference_J", "training_vs_baseline"], rows
+    ))
+    backend = get_backend(config.backend)
+    print()
+    print(
+        f"backend '{backend.name}' "
+        f"{'supports' if backend.supports_events else 'does not support'} "
+        "event-driven execution (Network.run_events); tallies below stay "
+        "zero on the clock-driven paths used here"
+    )
+    print(format_table(
+        ["model", "events_processed", "steps_skipped"], event_rows
     ))
     return 0
 
@@ -681,9 +697,12 @@ def _cmd_backends(args: argparse.Namespace) -> int:
             info["name"],
             "yes" if info["available"] else "no",
             info["tier"],
+            "yes" if info["events"] else "no",
             info["description"],
         ])
-    print(format_table(["backend", "available", "tier", "description"], rows))
+    print(format_table(
+        ["backend", "available", "tier", "events", "description"], rows
+    ))
     return 0
 
 

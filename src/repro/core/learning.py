@@ -64,6 +64,11 @@ class SpikeDynLearningRule(LearningRule):
         Spike-trace parameters (see :class:`repro.learning.base.LearningRule`).
     """
 
+    # Window boundaries fire on the timestep clock regardless of activity
+    # (a silent window still commits depression and lazy decay), so the
+    # event engine must step this rule through silent gaps.
+    supports_analytic_silence = False
+
     def __init__(
         self,
         *,

@@ -13,6 +13,10 @@ re-feeding previous tasks) and *non-dynamic environments* (randomly
 distributed tasks).
 """
 
+from repro.datasets.event_streams import (
+    EventStreamDigitSource,
+    EventStreamSample,
+)
 from repro.datasets.mnist import load_digit_source, load_mnist_idx
 from repro.datasets.streams import (
     ArrayDigitSource,
@@ -26,6 +30,8 @@ from repro.datasets.synthetic_mnist import SyntheticDigits
 
 __all__ = [
     "ArrayDigitSource",
+    "EventStreamDigitSource",
+    "EventStreamSample",
     "StreamSample",
     "SyntheticDigits",
     "dynamic_task_stream",

@@ -1,0 +1,180 @@
+"""Event-stream encoders for long-horizon, low-rate workloads.
+
+The grid encoders in this package return dense ``(timesteps, n)`` boolean
+trains — fine at the paper's 350 ms presentations, wasteful for the
+workloads the event-driven engine targets: multi-second horizons where
+almost every bin is empty.  The encoders here produce the native sparse
+representation (:class:`~repro.snn.events.EventStream`) directly, in
+O(events) rather than O(grid):
+
+:class:`PoissonEventStreamEncoder`
+    Uniform low-rate Poisson coding over a long horizon — the rate-coded
+    analogue of :class:`~repro.encoding.rate.PoissonRateEncoder`, emitting
+    events instead of a grid.
+:class:`DVSEventStreamEncoder`
+    DVS-style burst structure: activity arrives in a few short global
+    bursts (an event camera seeing intermittent motion) separated by long
+    silent gaps — the regime where analytic gap-skipping pays off most.
+
+Every event-stream encoder is still a :class:`~repro.encoding.base.
+SpikeEncoder`: :meth:`~EventStreamEncoder.encode` densifies the stream, so
+the grid engine, the models, and every existing pipeline accept these
+encoders unchanged, while event-aware callers use
+:meth:`~EventStreamEncoder.encode_events` and skip the grid entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.encoding.base import SpikeEncoder
+from repro.snn.events import EventStream
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+class EventStreamEncoder(SpikeEncoder):
+    """Base class for encoders that emit :class:`EventStream` natively.
+
+    Subclasses implement :meth:`encode_events`; :meth:`encode` is derived
+    from it by densification, so every event-stream encoder remains a
+    drop-in :class:`~repro.encoding.base.SpikeEncoder`.
+    """
+
+    def encode_events(self, values: np.ndarray) -> EventStream:
+        """Encode an intensity vector/image into an event stream."""
+        raise NotImplementedError
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Dense view of :meth:`encode_events` (grid-engine compatibility)."""
+        return self.encode_events(values).to_dense()
+
+    def encode_events_batch(self, batch) -> List[EventStream]:
+        """Encode a sequence of inputs into one stream each, in order."""
+        streams = [self.encode_events(values) for values in batch]
+        if not streams:
+            raise ValueError("cannot encode an empty batch")
+        return streams
+
+
+class PoissonEventStreamEncoder(EventStreamEncoder):
+    """Low-rate Poisson coding emitted directly as events.
+
+    Each input intensity maps to a Bernoulli-per-bin firing probability
+    exactly as in :class:`~repro.encoding.rate.PoissonRateEncoder`, but the
+    events are sampled channel by channel — a binomial event count followed
+    by an unordered draw of bin indices, which is distributionally
+    identical to thresholding a dense uniform grid without ever
+    materializing one.
+
+    Parameters
+    ----------
+    duration, dt:
+        Presentation window and timestep in milliseconds.  The default
+        horizon is long (2000 ms) because that is the regime this encoder
+        exists for.
+    max_rate:
+        Firing rate (Hz) assigned to the maximum intensity.  The default
+        (5 Hz) keeps the stream at sub-1 % density on the default horizon.
+    rng:
+        Seed or generator for the event draws.
+    """
+
+    def __init__(self, duration: float = 2000.0, dt: float = 1.0, *,
+                 max_rate: float = 5.0, rng: SeedLike = None) -> None:
+        super().__init__(duration, dt)
+        self.max_rate = check_non_negative(max_rate, "max_rate")
+        self._rng = ensure_rng(rng)
+
+    def spike_probabilities(self, values: np.ndarray) -> np.ndarray:
+        """Per-bin spike probability of each channel."""
+        intensities = self._normalize_intensities(values)
+        return np.clip(intensities * self.max_rate * (self.dt / 1000.0),
+                       0.0, 1.0)
+
+    def encode_events(self, values: np.ndarray) -> EventStream:
+        probabilities = self.spike_probabilities(values)
+        timesteps = self.timesteps
+        counts = self._rng.binomial(timesteps, probabilities)
+        times: List[np.ndarray] = []
+        channels: List[np.ndarray] = []
+        for channel, count in enumerate(counts):
+            if not count:
+                continue
+            times.append(self._rng.choice(timesteps, size=int(count),
+                                          replace=False))
+            channels.append(np.full(int(count), channel, dtype=np.int64))
+        if times:
+            all_times = np.concatenate(times)
+            all_channels = np.concatenate(channels)
+        else:
+            all_times = np.zeros(0, dtype=np.int64)
+            all_channels = np.zeros(0, dtype=np.int64)
+        return EventStream(times=all_times, channels=all_channels,
+                           n_steps=timesteps,
+                           n_channels=int(probabilities.size))
+
+
+class DVSEventStreamEncoder(EventStreamEncoder):
+    """Burst-structured event coding (event-camera style).
+
+    The horizon is divided into ``n_bursts`` evenly spaced activity windows
+    of ``burst_steps`` bins each; within a window every channel fires per
+    bin with probability ``intensity * max_probability``, and outside the
+    windows the stream is completely silent.  Long silent gaps between
+    bursts are what the event engine's analytic advance skips wholesale.
+
+    Parameters
+    ----------
+    duration, dt:
+        Presentation window and timestep in milliseconds.
+    n_bursts:
+        Number of activity windows spread evenly across the horizon.
+    burst_steps:
+        Length of each activity window in bins.
+    max_probability:
+        Per-bin firing probability of the maximum-intensity channel inside
+        a burst window.
+    rng:
+        Seed or generator for the participation draws.
+    """
+
+    def __init__(self, duration: float = 1200.0, dt: float = 1.0, *,
+                 n_bursts: int = 6, burst_steps: int = 8,
+                 max_probability: float = 0.1, rng: SeedLike = None) -> None:
+        super().__init__(duration, dt)
+        self.n_bursts = check_positive_int(n_bursts, "n_bursts")
+        self.burst_steps = check_positive_int(burst_steps, "burst_steps")
+        if not 0.0 <= max_probability <= 1.0:
+            raise ValueError(
+                f"max_probability must lie in [0, 1], got {max_probability}"
+            )
+        self.max_probability = float(max_probability)
+        if self.n_bursts * self.burst_steps > self.timesteps:
+            raise ValueError(
+                f"{n_bursts} bursts of {burst_steps} steps do not fit in "
+                f"{self.timesteps} timesteps"
+            )
+        self._rng = ensure_rng(rng)
+
+    def burst_starts(self) -> np.ndarray:
+        """First bin of each activity window."""
+        spacing = self.timesteps // self.n_bursts
+        return np.arange(self.n_bursts, dtype=np.int64) * spacing
+
+    def encode_events(self, values: np.ndarray) -> EventStream:
+        intensities = self._normalize_intensities(values)
+        probabilities = intensities * self.max_probability
+        times: List[np.ndarray] = []
+        channels: List[np.ndarray] = []
+        for start in self.burst_starts():
+            draws = self._rng.random((self.burst_steps, probabilities.size))
+            offset, channel = np.nonzero(draws < probabilities[None, :])
+            times.append(start + offset.astype(np.int64))
+            channels.append(channel.astype(np.int64))
+        return EventStream(times=np.concatenate(times),
+                           channels=np.concatenate(channels),
+                           n_steps=self.timesteps,
+                           n_channels=int(probabilities.size))

@@ -34,6 +34,11 @@ DEFAULT_OP_ENERGY_COSTS: Dict[str, float] = {
     "trace_updates": 1.0,
     "weight_updates": 1.0,
     "spike_events": 0.0,
+    # Event-engine accounting tallies: how much work the event path
+    # delivered/avoided, not work in themselves — the compute they imply is
+    # already charged to the update counters above.
+    "events_processed": 0.0,
+    "steps_skipped": 0.0,
 }
 
 

@@ -49,6 +49,10 @@ from repro.experiments.fig09_accuracy import (
     run_dynamic_accuracy_comparison,
     run_nondynamic_accuracy_comparison,
 )
+from repro.experiments.eventstream import (
+    EventStreamStudyResult,
+    run_eventstream_study,
+)
 from repro.experiments.fig10_confusion import ConfusionStudyResult, run_confusion_study
 from repro.experiments.fig11_energy import EnergyComparisonResult, run_energy_comparison
 from repro.experiments.registry import (
@@ -70,6 +74,7 @@ __all__ = [
     "ConfusionStudyResult",
     "DecayThetaSweepResult",
     "EnergyComparisonResult",
+    "EventStreamStudyResult",
     "EXPERIMENTS",
     "ExperimentScale",
     "ExperimentSpec",
@@ -90,6 +95,7 @@ __all__ = [
     "run_decay_theta_sweep",
     "run_dynamic_accuracy_comparison",
     "run_energy_comparison",
+    "run_eventstream_study",
     "run_mechanism_ablation",
     "run_model_search_study",
     "run_motivation_study",

@@ -32,6 +32,7 @@ from repro.experiments.fig09_accuracy import (
     run_nondynamic_accuracy_comparison,
 )
 from repro.experiments.fig10_confusion import run_confusion_study
+from repro.experiments.eventstream import run_eventstream_study
 from repro.experiments.fig11_energy import run_energy_comparison
 from repro.experiments.scenarios import (
     run_class_incremental_scenario,
@@ -245,6 +246,18 @@ EXPERIMENTS: Dict[str, ExperimentSpec] = {
             family="sweep",
             runner=run_mechanism_ablation,
             schema=("scale", "device", "variants"),
+        ),
+        # Beyond the paper: the event-driven engine study — same network,
+        # clock-driven vs event-queue execution on long-horizon DVS-style
+        # streams, with exact-equivalence checks and the event-mode
+        # operation/energy accounting.
+        ExperimentSpec(
+            name="eventstream",
+            artifact="Event-driven execution (O(events) engine study)",
+            output="eventstream_study",
+            family="energy",
+            runner=run_eventstream_study,
+            schema=("scale", "backend", "streams", "equivalence", "event_ops"),
         ),
         # Scenario experiments go beyond the paper's two stock streams: they
         # run the comparison partners through the continual-learning workload

@@ -51,6 +51,11 @@ class ASPLearningRule(PairwiseSTDP):
         Weight value towards which the leak pulls every synapse.
     """
 
+    # The weight leak runs every timestep, silent or not, so the event
+    # engine must step ASP through silent gaps (overrides the PairwiseSTDP
+    # opt-in inherited above).
+    supports_analytic_silence = False
+
     def __init__(
         self,
         *,

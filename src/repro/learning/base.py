@@ -27,6 +27,15 @@ class LearningRule:
         ``'set'`` or ``'add'`` — see :class:`~repro.snn.traces.SpikeTrace`.
     """
 
+    #: Whether a run of input-silent, spike-free timesteps leaves the rule's
+    #: weights untouched and only decays its traces — the condition under
+    #: which :meth:`repro.snn.network.Network.run_events` may advance the
+    #: traces analytically instead of stepping the rule.  Defaults to
+    #: ``False`` (rules that act on a timer or every step, like window
+    #: boundaries or weight leak, must be stepped); rules whose silent
+    #: steps are pure trace decay opt in.
+    supports_analytic_silence: bool = False
+
     def __init__(self, *, tau_pre: float = 20.0, tau_post: float = 20.0,
                  trace_mode: str = "set") -> None:
         self.tau_pre = check_positive(tau_pre, "tau_pre")

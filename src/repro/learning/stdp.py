@@ -44,6 +44,11 @@ class PairwiseSTDP(LearningRule):
         Spike-trace update mode (``'set'`` or ``'add'``).
     """
 
+    # A spike-free timestep touches nothing but the trace decay (both weight
+    # branches below gate on spikes), so the event engine may advance the
+    # traces analytically across provably silent gaps.
+    supports_analytic_silence = True
+
     def __init__(
         self,
         *,

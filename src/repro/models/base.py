@@ -401,6 +401,42 @@ class UnsupervisedDigitClassifier:
         predictions = self.predict(images)
         return accuracy_metric(predictions, np.asarray(labels, dtype=int))
 
+    # -- event-stream path -------------------------------------------------------
+
+    def encode_events(self, image: np.ndarray):
+        """Encode ``image`` as a native event stream (no dense grid).
+
+        Requires the model's encoder to be an
+        :class:`~repro.encoding.events.EventStreamEncoder`; the grid
+        encoders have no O(events) representation to offer.
+        """
+        from repro.encoding.events import EventStreamEncoder
+
+        if not isinstance(self.encoder, EventStreamEncoder):
+            raise TypeError(
+                f"model '{self.name}' uses a {type(self.encoder).__name__}, "
+                "which cannot emit event streams; construct it with an "
+                "EventStreamEncoder to use the event path"
+            )
+        return self.encoder.encode_events(self._check_image(image))
+
+    def respond_events(self, events) -> np.ndarray:
+        """Spike counts for one event stream, via the event-driven engine.
+
+        ``events`` is anything :meth:`~repro.snn.network.Network.run_events`
+        accepts — an :class:`~repro.snn.events.EventStream` or a dense
+        ``(timesteps, n_input)`` train.  Plasticity is disabled; on backends
+        that declare event support, provably silent gaps are skipped.
+        """
+        result = self.network.run_events(events, learning=False)
+        return result.counts("excitatory")
+
+    def predict_events(self, streams: Sequence) -> np.ndarray:
+        """Predict classes for a sequence of event streams."""
+        responses = np.stack([self.respond_events(stream)
+                              for stream in streams])
+        return predict_from_responses(responses, self.assignments, N_CLASSES)
+
     # -- bookkeeping -------------------------------------------------------------
 
     def reset_counter(self) -> OperationCounter:

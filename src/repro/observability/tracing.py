@@ -94,9 +94,23 @@ def new_trace_id() -> str:
     return uuid.uuid4().hex[:16]
 
 
+def _refresh_span_prefix() -> None:
+    global _span_prefix
+    _span_prefix = os.urandom(4).hex()
+
+
+# Span ids must be unique, not unguessable: a random per-process prefix plus
+# a monotonic counter is collision-free within a process and 2^32-diverse
+# across processes, at a fraction of the cost of hashing a fresh UUID per
+# span — ids are minted on the serving hot path, several per request.  The
+# prefix is re-drawn after fork so child workers never mint parent ids.
+_refresh_span_prefix()
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_refresh_span_prefix)
+
+
 def _new_span_id() -> str:
-    raw = f"{uuid.uuid4().hex}:{os.getpid()}:{next(_span_counter)}"
-    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+    return f"{_span_prefix}{next(_span_counter) & 0xFFFFFFFFFFFF:012x}"
 
 
 @dataclass(frozen=True)

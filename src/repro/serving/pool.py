@@ -25,7 +25,12 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro.models.base import UnsupervisedDigitClassifier
-from repro.observability.ledger import KIND_SERVING_BATCH, RunLedger, artifact_lineage
+from repro.observability.ledger import (
+    KIND_SERVING_BATCH,
+    RunLedger,
+    SpanBuffer,
+    artifact_lineage,
+)
 from repro.observability.structlog import get_struct_logger
 from repro.observability.tracing import record_span
 from repro.serving.artifacts import ModelArtifact
@@ -268,48 +273,67 @@ class ReplicaPool:
                      batch: Sequence[PendingRequest]) -> None:
         claimed = time.perf_counter()
         traced: List[PendingRequest] = []
-        if self.ledger is not None:
+        # Every ledger record of this batch — spans and the serving_batch
+        # entry alike — goes through one buffer and lands in a single file
+        # append on flush, so tracing adds serialized bytes to a write the
+        # untraced path performs anyway, not extra syscalls per span.
+        spans = SpanBuffer(self.ledger) if self.ledger is not None else None
+        if spans is not None:
             for pending in batch:
                 if pending.trace is None:
                     continue
                 # Queue wait is timed from the submit-side enqueue stamp;
                 # the serve phase gets its own span the encode/kernel spans
                 # parent under.
-                record_span(self.ledger, pending.trace.child(), "queue_wait",
+                record_span(spans, pending.trace.child(), "queue_wait",
                             claimed - pending.enqueued_at,
                             batch_size=len(batch))
                 pending.request.trace = pending.trace.child()
                 traced.append(pending)
+        previous_sink = service.span_sink
+        if spans is not None:
+            service.span_sink = spans
         try:
-            results = service.predict_batch([p.request for p in batch])
-        except Exception as error:  # noqa: BLE001 - fanned out to callers
-            for pending in batch:
-                self._resolve(pending.future, error=error)
-            self.metrics.record_errors(len(batch))
-            _log.error("batch_failed", size=len(batch), error=str(error))
-            self._ledger_batch(len(batch), [], outcome="error",
-                               error=str(error))
-            failed = time.perf_counter() - claimed
+            try:
+                results = service.predict_batch([p.request for p in batch])
+            except Exception as error:  # noqa: BLE001 - fanned out to callers
+                for pending in batch:
+                    self._resolve(pending.future, error=error)
+                self.metrics.record_errors(len(batch))
+                _log.error("batch_failed", size=len(batch), error=str(error))
+                self._ledger_batch(len(batch), [], outcome="error",
+                                   error=str(error), sink=spans)
+                failed = time.perf_counter() - claimed
+                for pending in traced:
+                    record_span(spans, pending.request.trace, "serve_batch",
+                                failed, batch_size=len(batch),
+                                error=str(error))
+                return
+            finished = time.perf_counter()
+            for pending, result in zip(batch, results):
+                self._resolve(pending.future, result=result)
+            latencies = [finished - p.enqueued_at for p in batch]
+            self.metrics.record_batch(len(batch), latencies)
+            self._ledger_batch(len(batch), latencies, outcome="ok", sink=spans)
             for pending in traced:
-                record_span(self.ledger, pending.request.trace, "serve_batch",
-                            failed, batch_size=len(batch), error=str(error))
-            return
-        finished = time.perf_counter()
-        for pending, result in zip(batch, results):
-            self._resolve(pending.future, result=result)
-        latencies = [finished - p.enqueued_at for p in batch]
-        self.metrics.record_batch(len(batch), latencies)
-        self._ledger_batch(len(batch), latencies, outcome="ok")
-        for pending in traced:
-            record_span(self.ledger, pending.request.trace, "serve_batch",
-                        finished - claimed, batch_size=len(batch))
+                record_span(spans, pending.request.trace, "serve_batch",
+                            finished - claimed, batch_size=len(batch))
+        finally:
+            service.span_sink = previous_sink
+            if spans is not None:
+                spans.flush()
         if self.drift_detector is not None:
             for result in results:
                 self.drift_detector.observe(result.spike_count)
 
     def _ledger_batch(self, size: int, latencies_s: Sequence[float],
-                      outcome: str, error: Optional[str] = None) -> None:
-        """Append one ``serving_batch`` entry with the pool's lineage."""
+                      outcome: str, error: Optional[str] = None,
+                      sink: Optional[SpanBuffer] = None) -> None:
+        """Append one ``serving_batch`` entry with the pool's lineage.
+
+        ``sink`` redirects the entry into a batch-scoped buffer so it
+        shares the spans' single file append.
+        """
         if self.ledger is None:
             return
         entry = {
@@ -327,4 +351,4 @@ class ReplicaPool:
             entry["latency_max_ms"] = round(1000.0 * max(latencies_s), 3)
         if error is not None:
             entry["error"] = error
-        self.ledger.append(entry)
+        (sink if sink is not None else self.ledger).append(entry)

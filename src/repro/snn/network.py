@@ -226,15 +226,24 @@ class Network:
             monitor.reset()
         self.counter.reset()
 
-    def _step(self, dt: float, learning: bool, t_index: int) -> None:
-        """Advance all groups and connections by one timestep."""
+    def _step(self, dt: float, learning: bool, t_index: int,
+              input_override: Optional[np.ndarray] = None) -> None:
+        """Advance all groups and connections by one timestep.
+
+        ``input_override`` (the event-driven path) injects this timestep's
+        input spikes directly instead of replaying the loaded spike train;
+        everything downstream of stage 1 is identical either way.
+        """
         counter = self.counter
 
         # 1. Input group replays the next spike-train row.
         if self._input_group is not None:
-            self._input_group.step(
-                np.zeros(self._input_group.state_shape), dt, counter
-            )
+            if input_override is None:
+                self._input_group.step(
+                    np.zeros(self._input_group.state_shape), dt, counter
+                )
+            else:
+                self._input_group.spikes = input_override
 
         # 2. Gather currents per target group (one-step delay for recurrence).
         currents: Dict[str, np.ndarray] = {
@@ -430,6 +439,152 @@ class Network:
             )
             for index in range(batch_size)
         ]
+
+    def run_events(self, events, *, learning: bool = False,
+                   include_rest: bool = False,
+                   allow_jumps: Optional[bool] = None):
+        """Present input as spike *events*; cost scales with events, not steps.
+
+        The event-driven counterpart of :meth:`run_sample`: the input is a
+        time-ordered queue of (step, channel) firings, and between active
+        steps the engine advances all exponential state (membranes,
+        conductances, theta, STDP traces) analytically across the silent
+        gap — but only when a conservative bound proves the gap could not
+        have produced a spike under the stepped arithmetic (see
+        :mod:`repro.snn.events`).  Steps that deliver events, or whose
+        silence is not provable (e.g. post-burst conductance tails), are
+        executed with the ordinary per-timestep kernels, so spike counts
+        match the stepped reference exactly on every workload the bound
+        covers; float state differs only by closed-form-vs-iterated decay
+        rounding (the ``eventqueue`` backend's ``tolerance`` tier).
+
+        Parameters
+        ----------
+        events:
+            An :class:`~repro.snn.events.EventStream`, a dense boolean
+            ``(timesteps, n_input)`` train (converted losslessly), or a
+            sequence / ``(batch, timesteps, n_input)`` stack of either —
+            batches are streamed one sample at a time, which is the
+            intended serving shape for long-horizon low-rate inputs.
+        learning:
+            Enable plasticity.  Gaps are only jumped when every attached
+            learning rule declares ``supports_analytic_silence`` (pairwise
+            STDP does; rules that update weights on silent steps, like ASP
+            leak or SpikeDyn window boundaries, force full stepping).
+        include_rest:
+            Simulate ``params.rest_steps`` of silence after the
+            presentation — usually one analytic jump.
+        allow_jumps:
+            Override the jump policy; defaults to the active backend's
+            ``supports_events`` declaration, and monitors always force
+            stepping (they observe every timestep).
+
+        Returns
+        -------
+        SampleResult or list of SampleResult
+            One result for a single stream/train, a list for a batch.
+        """
+        from repro.snn.events import as_event_stream
+
+        if isinstance(events, (list, tuple)):
+            return [self.run_events(item, learning=learning,
+                                    include_rest=include_rest,
+                                    allow_jumps=allow_jumps)
+                    for item in events]
+        if not hasattr(events, "n_events"):
+            dense = np.asarray(events)
+            if dense.ndim == 3:
+                return [self.run_events(train, learning=learning,
+                                        include_rest=include_rest,
+                                        allow_jumps=allow_jumps)
+                        for train in dense]
+        if self.batch_size is not None:
+            raise RuntimeError(
+                "run_events requires single-sample mode; end the active "
+                "batch first"
+            )
+        input_group = self.input_group
+        stream = as_event_stream(events, n_channels=input_group.n)
+
+        jumps = allow_jumps if allow_jumps is not None \
+            else self.backend.supports_events
+        if self.spike_monitors or self.state_monitors:
+            jumps = False
+        if learning and jumps:
+            jumps = all(
+                getattr(conn.learning_rule, "supports_analytic_silence", False)
+                for conn in self.connections
+                if conn.learning_rule is not None
+            )
+
+        from repro.snn.events import advance_analytic, silence_is_provable
+
+        dt = self.params.dt
+        steps = stream.n_steps
+        rest_steps = self.params.rest_steps if include_rest else 0
+        total_steps = steps + rest_steps
+
+        if learning:
+            for connection in self.connections:
+                if connection.learning_rule is not None:
+                    connection.learning_rule.on_sample_start(connection)
+
+        spike_counts = {
+            name: np.zeros(group.n, dtype=np.int64)
+            for name, group in self.groups.items()
+        }
+        active_times, channels_per_step = stream.step_channels()
+        silent_row = np.zeros(input_group.n, dtype=bool)
+
+        pointer = 0
+        t_index = 0
+        while t_index < total_steps:
+            if pointer < active_times.size and active_times[pointer] == t_index:
+                channels = channels_per_step[pointer]
+                pointer += 1
+                row = np.zeros(input_group.n, dtype=bool)
+                row[channels] = True
+                delivered = int(channels.size)
+            else:
+                row = silent_row
+                delivered = 0
+
+            if delivered == 0 and jumps:
+                next_active = int(active_times[pointer]) \
+                    if pointer < active_times.size else total_steps
+                # Plasticity stops at the presentation boundary (the rest
+                # period never updates traces), so jumps do not cross it.
+                if learning and t_index < steps:
+                    next_active = min(next_active, steps)
+                gap = next_active - t_index
+                if gap > 0 and silence_is_provable(self):
+                    advance_analytic(
+                        self, gap,
+                        decay_traces=learning and t_index < steps,
+                    )
+                    t_index = next_active
+                    continue
+
+            learn_now = learning and t_index < steps
+            self._step(dt, learn_now, t_index, input_override=row)
+            if delivered:
+                self.counter.add(events_processed=delivered)
+            if t_index < steps:
+                for name, group in self.groups.items():
+                    spike_counts[name] += group.spikes
+            t_index += 1
+
+        if learning:
+            for connection in self.connections:
+                if connection.learning_rule is not None:
+                    connection.learning_rule.on_sample_end(connection, self.counter)
+
+        self.reset_transient_state()
+        return SampleResult(
+            spike_counts=spike_counts,
+            steps=total_steps,
+            learning=learning,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -78,6 +78,15 @@ class OperationCounter:
         learning rule (potentiation, depression, decay, or leak).
     spike_events:
         Total number of spikes emitted by non-input neuron groups.
+    events_processed:
+        Number of input spike events delivered by the event-driven engine
+        (:meth:`repro.snn.network.Network.run_events`).  Stays zero on the
+        clock-driven paths.
+    steps_skipped:
+        Number of timesteps the event-driven engine advanced analytically
+        (closed-form exponential decay) instead of executing step by step.
+        Together with ``events_processed`` this attributes the energy-proxy
+        savings of event-driven execution to skipped grid work.
     """
 
     neuron_updates: int = 0
@@ -86,6 +95,8 @@ class OperationCounter:
     trace_updates: int = 0
     weight_updates: int = 0
     spike_events: int = 0
+    events_processed: int = 0
+    steps_skipped: int = 0
 
     def add(self, **increments: int) -> None:
         """Increment one or more counters by the given amounts."""

@@ -47,7 +47,9 @@ def _workload(n_pre, n_post, events, seed=0):
 
 class TestBucketing:
     def test_density_bands_partition_the_unit_interval(self):
-        assert density_band(0.0) == "le1"
+        assert density_band(0.0) == "le01"
+        assert density_band(0.001) == "le01"
+        assert density_band(0.005) == "le1"
         assert density_band(0.01) == "le1"
         assert density_band(0.02) == "le5"
         assert density_band(0.05) == "le5"
@@ -55,8 +57,36 @@ class TestBucketing:
         assert density_band(0.5) == "gt20"
         assert density_band(1.0) == "gt20"
 
+    def test_sub_percent_band_separates_event_stream_workloads(self):
+        # Regression: a long-horizon event stream (~0.05 % density) and an
+        # ordinary sparse presentation (~0.8 %) used to collapse into the
+        # same `le1` bucket, so one profiling result silently decided both.
+        assert density_band(0.0005) != density_band(0.008)
+        assert propagation_bucket(784, 400, 0.0005) \
+            == "propagate:784x400:le01"
+        assert propagation_bucket(784, 400, 0.008) \
+            == "propagate:784x400:le1"
+
     def test_bucket_key_is_stable_and_readable(self):
         assert propagation_bucket(784, 400, 0.03) == "propagate:784x400:le5"
+
+    def test_eventqueue_is_a_pinnable_candidate(self, tmp_path, monkeypatch):
+        from repro.backends.eventqueue import EventQueueBackend
+
+        auto = AutoBackend()
+        assert isinstance(auto.candidates["eventqueue"], EventQueueBackend)
+
+        profile = tmp_path / "profile.json"
+        profile.write_text(json.dumps(
+            {"decisions": {"propagate:32x8:le01": "eventqueue"}}
+        ))
+        monkeypatch.setenv(PROFILE_ENV, str(profile))
+        pinned = AutoBackend()
+        conductance, spikes, weights = _workload(32, 8, events=0)
+        recorder = _Recorder(pinned.candidates["eventqueue"])
+        pinned.candidates["eventqueue"] = recorder
+        pinned.propagate_spikes(conductance, spikes, weights)
+        assert recorder.calls == 1
 
     def test_decision_for_reports_unseen_buckets_as_none(self):
         auto = AutoBackend()
@@ -79,7 +109,9 @@ class TestLiveProfiling:
         auto = AutoBackend()
         conductance, spikes, weights = _workload(1024, 512, events=4)
         auto.propagate_spikes(conductance, spikes, weights)
-        assert auto.decision_for(1024, 512, 4 / 1024) in ("sparse", "numba")
+        assert auto.decision_for(1024, 512, 4 / 1024) in (
+            "sparse", "numba", "eventqueue"
+        )
 
     def test_profiling_happens_once_per_bucket(self):
         auto = AutoBackend()

@@ -22,14 +22,25 @@ from repro.backends import (
 class TestRegistry:
     def test_shipped_backends_are_registered_in_order(self):
         assert backend_names() == ["dense", "sparse", "float32", "numba",
-                                   "auto"]
+                                   "auto", "eventqueue"]
 
     def test_always_available_backends(self):
+        from repro.backends import EventQueueBackend
+
         available = available_backends()
         assert available["dense"] is DenseBackend
         assert available["sparse"] is SparseEventBackend
         assert available["float32"] is Float32Backend
         assert available["auto"] is AutoBackend
+        assert available["eventqueue"] is EventQueueBackend
+
+    def test_event_support_is_declared_per_backend(self):
+        from repro.backends import EventQueueBackend, describe_backend
+
+        assert EventQueueBackend.supports_events is True
+        assert DenseBackend.supports_events is False
+        assert describe_backend("eventqueue")["events"] is True
+        assert describe_backend("dense")["events"] is False
 
     def test_numba_availability_tracks_the_import_probe(self):
         # The numba backend is always *registered*; whether it is available
@@ -125,6 +136,7 @@ class TestRegistry:
                 "description": "never importable",
                 "available": False,
                 "tier": "exact",
+                "events": False,
             }
         finally:
             from repro import backends as backends_module

@@ -225,3 +225,37 @@ class TestAblation:
     def test_unknown_variant_rejected(self, tiny_scale):
         with pytest.raises(ValueError):
             run_mechanism_ablation(tiny_scale, variants=("full", "no_neurons"))
+
+
+class TestEventStreamStudy:
+    def test_equivalence_and_event_accounting(self, tiny_scale):
+        from repro.experiments import run_eventstream_study
+
+        result = run_eventstream_study(
+            tiny_scale, classes=(0, 1), duration=300.0,
+            n_bursts=3, burst_steps=4,
+        )
+        assert result.backend == "eventqueue"
+        assert result.equivalence["counts_match"] is True
+        assert result.equivalence["predictions_match"] is True
+        # The whole point: the executed fraction must be far below one.
+        assert result.event_ops["steps_skipped"] > 0
+        assert result.event_ops["executed_step_fraction"] < 0.5
+        assert result.event_ops["event_total_ops"] \
+            < result.event_ops["stepped_total_ops"]
+        for record in result.streams:
+            assert record["density"] < 0.02
+        text = result.to_text()
+        assert "events_processed=" in text and "steps_skipped=" in text
+        assert "energy proxy" in text
+
+    def test_stepping_fallback_backend(self, tiny_scale):
+        from repro.experiments import run_eventstream_study
+
+        result = run_eventstream_study(
+            tiny_scale, backend="sparse", classes=(0,), duration=200.0,
+            n_bursts=2, burst_steps=4,
+        )
+        # A non-event backend steps everything but stays equivalent.
+        assert result.event_ops["steps_skipped"] == 0
+        assert result.equivalence["counts_match"] is True

@@ -14,6 +14,7 @@ from repro.observability.ledger import (
     KIND_SERVING_BATCH,
     LEDGER_DIR_ENV,
     RunLedger,
+    SpanBuffer,
     artifact_lineage,
     config_hash,
     default_ledger_root,
@@ -60,6 +61,50 @@ class TestRoundTrip:
         assert len(lines) == 2
         for line in lines:
             json.loads(line)
+
+
+class TestBatchedAppends:
+    def test_append_many_matches_sequential_appends(self, ledger):
+        written = ledger.append_many([
+            {"kind": KIND_JOB, "index": index} for index in range(4)
+        ])
+        entries = list(ledger.entries())
+        assert entries == written
+        assert [entry["index"] for entry in entries] == [0, 1, 2, 3]
+        for entry in entries:
+            assert entry["version"] == repro.__version__
+            assert entry["ts"] > 0
+
+    def test_append_many_of_nothing_is_a_no_op(self, ledger):
+        assert ledger.append_many([]) == []
+        assert not ledger.path.exists()
+
+    def test_append_many_writes_one_line_per_entry(self, ledger):
+        ledger.append_many([{"kind": KIND_JOB}, {"kind": KIND_SERVING_BATCH}])
+        lines = ledger.path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_span_buffer_defers_until_flush(self, ledger):
+        buffer = SpanBuffer(ledger)
+        buffer.append({"kind": "span", "name": "encode"}, duration_ms=1.5)
+        buffer.append({"kind": "span", "name": "kernel"})
+        assert len(buffer) == 2
+        assert not ledger.path.exists()
+        buffer.flush()
+        assert len(buffer) == 0
+        names = [entry["name"] for entry in ledger.entries()]
+        assert names == ["encode", "kernel"]
+        (encode, _) = list(ledger.entries())
+        assert encode["duration_ms"] == 1.5
+
+    def test_span_buffer_flush_is_idempotent(self, ledger):
+        buffer = SpanBuffer(ledger)
+        buffer.append({"kind": "span", "name": "only"})
+        buffer.flush()
+        assert buffer.flush() == []
+        assert len(list(ledger.entries())) == 1
 
 
 class TestReading:

@@ -30,6 +30,7 @@ class TestRegistry:
             "fig11",
             "alg1",
             "ablation",
+            "eventstream",
             "scen-classinc",
             "scen-recurring",
             "scen-drift",

@@ -71,6 +71,21 @@ class TestOperationCounter:
                                    weight_updates=5, spike_events=100)
         assert counter.total_ops() == 15
 
+    def test_total_ops_excludes_event_engine_tallies(self):
+        # events_processed / steps_skipped attribute savings, they are not
+        # compute work; total_ops must not change when they do.
+        counter = OperationCounter(neuron_updates=1, events_processed=50,
+                                   steps_skipped=900)
+        assert counter.total_ops() == 1
+
+    def test_event_tallies_survive_arithmetic_and_round_trip(self):
+        a = OperationCounter(events_processed=5, steps_skipped=100)
+        b = OperationCounter(events_processed=2, steps_skipped=40)
+        assert (a + b).events_processed == 7
+        assert (a - b).steps_skipped == 60
+        rebuilt = OperationCounter(**a.as_dict())
+        assert rebuilt == a
+
     def test_reset(self):
         counter = OperationCounter(neuron_updates=10)
         counter.reset()

@@ -21,7 +21,7 @@ class TestParser:
         assert set(EXPERIMENT_DRIVERS) == {
             "table1", "table2", "fig1", "fig4", "fig5", "fig6",
             "fig9-dynamic", "fig9-nondynamic", "fig10", "fig11",
-            "alg1", "ablation",
+            "alg1", "ablation", "eventstream",
             "scen-classinc", "scen-recurring", "scen-drift", "scen-corrupt",
         }
 
@@ -55,6 +55,14 @@ class TestBackends:
         assert "backend" in output and "available" in output
         assert "dense" in output and "sparse" in output
         assert "yes" in output
+
+    def test_list_shows_event_mode_availability(self, capsys):
+        assert main(["backends", "list"]) == 0
+        output = capsys.readouterr().out
+        assert "events" in output
+        eventqueue_row = next(line for line in output.splitlines()
+                              if line.startswith("eventqueue"))
+        assert "yes" in eventqueue_row
 
     def test_unknown_action_is_an_error(self):
         with pytest.raises(SystemExit):
@@ -138,6 +146,15 @@ class TestEnergyAndReproduce:
         output = capsys.readouterr().out
         assert "baseline" in output and "asp" in output and "spikedyn" in output
         assert "training_vs_baseline" in output
+
+    def test_energy_surfaces_event_engine_tallies(self, capsys):
+        assert main([
+            "energy", "--image-size", "8", "--n-exc", "8", "--t-sim", "20",
+            "--samples", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "events_processed" in output and "steps_skipped" in output
+        assert "event-driven execution" in output
 
     def test_reproduce_table1(self, capsys):
         assert main(["reproduce", "table1"]) == 0
